@@ -1,0 +1,19 @@
+//! Bench harness for the SV-B.3 verbs instruction micro-measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tc_putget::bench::counters::verbs_instruction_counts;
+
+fn bench(c: &mut Criterion) {
+    let (post, poll) = verbs_instruction_counts();
+    println!("verbs micro: post_send = {post} instr (paper 442), poll_cq = {poll} instr (paper 283)");
+    let mut g = c.benchmark_group("verbs_micro");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.bench_function("post_and_poll", |b| b.iter(verbs_instruction_counts));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

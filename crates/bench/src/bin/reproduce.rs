@@ -1,0 +1,55 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--quick|--full] [--out DIR] [EXPERIMENT...]
+//! ```
+//!
+//! With no experiment ids, runs everything. `--out DIR` additionally
+//! writes each experiment's output to `DIR/<experiment>.txt`. Known ids:
+//! fig1a fig1b fig2 fig3 fig4a fig4b fig5 table1 table2 verbs-instr
+//! ablations staging twosided velo.
+
+use std::time::Instant;
+
+use tc_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut scale = Scale::quick();
+    let mut picked: Vec<String> = Vec::new();
+    let mut out_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--full" => scale = Scale::full(),
+            "--out" => {
+                out_dir = Some(args.next().expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--quick|--full] [--out DIR] [EXPERIMENT...]\nknown experiments: {}",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other => picked.push(other.to_string()),
+        }
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    let ids: Vec<&str> = if picked.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        picked.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        let t0 = Instant::now();
+        let out = run_experiment(id, scale);
+        println!("{out}");
+        if let Some(dir) = &out_dir {
+            std::fs::write(format!("{dir}/{id}.txt"), &out).expect("write experiment output");
+        }
+        eprintln!("[{id} done in {:.1}s wall time]\n", t0.elapsed().as_secs_f64());
+    }
+}

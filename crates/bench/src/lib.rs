@@ -1,0 +1,499 @@
+#![warn(missing_docs)]
+//! `tc-bench` — the reproduction harness: one runner per table and figure
+//! of the paper, producing aligned text output with the paper's reference
+//! values alongside the simulated measurements.
+//!
+//! Run everything with `cargo run --release -p tc-bench --bin reproduce`.
+
+use std::sync::Mutex;
+
+use tc_putget::bench::ablation;
+use tc_putget::bench::bandwidth::{extoll_bandwidth, ib_bandwidth};
+use tc_putget::bench::counters::{fig3_point, table1, table2, verbs_instruction_counts};
+use tc_putget::bench::msgrate::{extoll_msgrate, ib_msgrate};
+use tc_putget::bench::pingpong::{extoll_pingpong, ib_pingpong};
+use tc_putget::bench::{
+    bandwidth_sizes, latency_sizes, pair_counts, pollratio_sizes, render_series_table, ExtollMode,
+    IbMode, RateMode, Series,
+};
+use tc_putget::time;
+use tc_putget::CounterSnapshot;
+
+/// Workload scale: `quick` for CI-speed runs, `full` for the paper's
+/// iteration counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Ping-pong iterations.
+    pub iters: u32,
+    /// Untimed warm-up iterations.
+    pub warmup: u32,
+    /// Messages per bandwidth point (scaled down for tiny messages).
+    pub bw_messages: u32,
+    /// Messages per connection pair in the rate benchmarks.
+    pub rate_msgs: u32,
+}
+
+impl Scale {
+    /// Fast but statistically meaningful (seconds per figure).
+    pub fn quick() -> Self {
+        Scale {
+            iters: 30,
+            warmup: 3,
+            bw_messages: 24,
+            rate_msgs: 60,
+        }
+    }
+
+    /// The paper's counts (100-iteration ping-pongs etc.).
+    pub fn full() -> Self {
+        Scale {
+            iters: 100,
+            warmup: 10,
+            bw_messages: 64,
+            rate_msgs: 300,
+        }
+    }
+}
+
+/// Run closures in parallel, collecting results in input order. Every
+/// closure builds its own simulation, so this is embarrassingly parallel
+/// across OS threads.
+fn parallel_map<T: Send, F>(n: usize, f: F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    crossbeam::thread::scope(|s| {
+        for i in 0..n {
+            let out = &out;
+            let f = &f;
+            s.spawn(move |_| {
+                let v = f(i);
+                out.lock().unwrap().push((i, v));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut v = out.into_inner().unwrap();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, v)| v).collect()
+}
+
+fn bw_msgs(scale: Scale, size: u64) -> u32 {
+    // Keep total volume bounded so the 4 MiB points stay fast.
+    let cap = ((64u64 << 20) / size.max(1)).clamp(8, scale.bw_messages as u64);
+    cap as u32
+}
+
+/// Fig. 1a — EXTOLL ping-pong latency.
+pub fn fig1a(scale: Scale) -> String {
+    let modes = [
+        ExtollMode::Dev2DevDirect,
+        ExtollMode::Dev2DevPollOnGpu,
+        ExtollMode::Dev2DevAssisted,
+        ExtollMode::HostControlled,
+    ];
+    let series = parallel_map(modes.len(), |m| {
+        let mode = modes[m];
+        let mut s = Series::new(mode.label());
+        for size in latency_sizes() {
+            let r = extoll_pingpong(mode, size, scale.iters, scale.warmup);
+            s.push(size, r.latency_us());
+        }
+        s
+    });
+    render_series_table(
+        "Fig. 1a: EXTOLL RMA ping-pong latency",
+        "bytes",
+        "latency us",
+        &series,
+    )
+}
+
+/// Fig. 1b — EXTOLL streaming bandwidth.
+pub fn fig1b(scale: Scale) -> String {
+    let modes = [
+        ExtollMode::Dev2DevDirect,
+        ExtollMode::Dev2DevAssisted,
+        ExtollMode::HostControlled,
+    ];
+    let series = parallel_map(modes.len(), |m| {
+        let mode = modes[m];
+        let mut s = Series::new(mode.label());
+        for size in bandwidth_sizes() {
+            let r = extoll_bandwidth(mode, size, bw_msgs(scale, size));
+            s.push(size, r.mbytes_per_s());
+        }
+        s
+    });
+    render_series_table(
+        "Fig. 1b: EXTOLL RMA streaming bandwidth",
+        "bytes",
+        "MB/s",
+        &series,
+    )
+}
+
+/// Fig. 2 — EXTOLL message rate over connection pairs.
+pub fn fig2(scale: Scale) -> String {
+    rate_figure(
+        "Fig. 2: EXTOLL RMA message rate (64 B messages)",
+        scale,
+        extoll_msgrate,
+    )
+}
+
+/// Fig. 5 — Infiniband message rate over connection pairs.
+pub fn fig5(scale: Scale) -> String {
+    rate_figure(
+        "Fig. 5: Infiniband Verbs message rate (64 B messages)",
+        scale,
+        ib_msgrate,
+    )
+}
+
+fn rate_figure(
+    title: &str,
+    scale: Scale,
+    run: fn(RateMode, u32, u32) -> tc_putget::bench::msgrate::RateResult,
+) -> String {
+    let modes = [
+        RateMode::Dev2DevBlocks,
+        RateMode::Dev2DevKernels,
+        RateMode::Dev2DevAssisted,
+        RateMode::HostControlled,
+    ];
+    let series = parallel_map(modes.len(), |m| {
+        let mode = modes[m];
+        let mut s = Series::new(mode.label());
+        for pairs in pair_counts() {
+            let r = run(mode, pairs as u32, scale.rate_msgs);
+            s.push(pairs, r.msgs_per_s());
+        }
+        s
+    });
+    render_series_table(title, "pairs", "MSGs/s", &series)
+}
+
+/// Fig. 3 — EXTOLL polling-time / WR-generation-time ratio.
+pub fn fig3(scale: Scale) -> String {
+    let sizes = pollratio_sizes();
+    let points = parallel_map(sizes.len(), |i| fig3_point(sizes[i], scale.iters.min(20)));
+    let mut sys = Series::new("system memory");
+    let mut dev = Series::new("device memory");
+    for (i, ((sp, sq), (dp, dq))) in points.into_iter().enumerate() {
+        sys.push(sizes[i], sq as f64 / sp.max(1) as f64);
+        dev.push(sizes[i], dq as f64 / dp.max(1) as f64);
+    }
+    render_series_table(
+        "Fig. 3: EXTOLL polling time / WR generation time",
+        "bytes",
+        "poll/put ratio",
+        &[sys, dev],
+    )
+}
+
+/// Fig. 4a — Infiniband ping-pong latency.
+pub fn fig4a(scale: Scale) -> String {
+    let modes = [
+        IbMode::Dev2DevBufOnGpu,
+        IbMode::Dev2DevBufOnHost,
+        IbMode::Dev2DevAssisted,
+        IbMode::HostControlled,
+    ];
+    let series = parallel_map(modes.len(), |m| {
+        let mode = modes[m];
+        let mut s = Series::new(mode.label());
+        for size in latency_sizes() {
+            let r = ib_pingpong(mode, size, scale.iters, scale.warmup);
+            s.push(size, r.latency_us());
+        }
+        s
+    });
+    render_series_table(
+        "Fig. 4a: Infiniband Verbs ping-pong latency",
+        "bytes",
+        "latency us",
+        &series,
+    )
+}
+
+/// Fig. 4b — Infiniband streaming bandwidth.
+pub fn fig4b(scale: Scale) -> String {
+    let modes = [
+        IbMode::Dev2DevBufOnGpu,
+        IbMode::Dev2DevBufOnHost,
+        IbMode::Dev2DevAssisted,
+        IbMode::HostControlled,
+    ];
+    let series = parallel_map(modes.len(), |m| {
+        let mode = modes[m];
+        let mut s = Series::new(mode.label());
+        for size in bandwidth_sizes() {
+            let r = ib_bandwidth(mode, size, bw_msgs(scale, size));
+            s.push(size, r.mbytes_per_s());
+        }
+        s
+    });
+    render_series_table(
+        "Fig. 4b: Infiniband Verbs streaming bandwidth",
+        "bytes",
+        "MB/s",
+        &series,
+    )
+}
+
+/// Reference values from the paper's Table I (system-memory polling).
+pub const PAPER_TABLE1_SYSMEM: [u64; 9] = [4368, 2908, 0, 500, 0, 4822, 5268, 6788, 46413];
+/// Reference values from the paper's Table I (device-memory polling).
+pub const PAPER_TABLE1_DEVMEM: [u64; 9] = [0, 303, 1314, 400, 3143, 2970, 404, 1714, 22491];
+/// Reference values from the paper's Table II (buffers on host).
+pub const PAPER_TABLE2_HOST: [u64; 8] = [772, 670, 999, 16647, 16657, 1990, 59937, 123297];
+/// Reference values from the paper's Table II (buffers on GPU).
+pub const PAPER_TABLE2_GPU: [u64; 8] = [80, 316, 1405, 14575, 15110, 1885, 58905, 110463];
+
+fn counter_rows_t1(c: &CounterSnapshot) -> [u64; 9] {
+    [
+        c.sysmem_reads,
+        c.sysmem_writes,
+        c.globmem64_reads,
+        c.globmem64_writes,
+        c.l2_read_hits,
+        c.l2_read_requests,
+        c.l2_write_requests,
+        c.mem_accesses,
+        c.instructions,
+    ]
+}
+
+fn counter_rows_t2(c: &CounterSnapshot) -> [u64; 8] {
+    [
+        c.sysmem_reads,
+        c.sysmem_writes,
+        c.l2_read_misses,
+        c.l2_read_hits,
+        c.l2_read_requests,
+        c.l2_write_requests,
+        c.mem_accesses,
+        c.instructions,
+    ]
+}
+
+/// Table I — EXTOLL polling-approach counters, with the paper's values.
+pub fn table1_report() -> String {
+    let (sys, dev) = table1();
+    let metrics = [
+        "sysmem reads (32B accesses)",
+        "sysmem writes (32B accesses)",
+        "globmem64 reads (accesses)",
+        "globmem64 writes (accesses)",
+        "l2 read hits",
+        "l2 read requests",
+        "l2 write requests",
+        "memory accesses (r/w)",
+        "instructions executed",
+    ];
+    let (s, d) = (counter_rows_t1(&sys), counter_rows_t1(&dev));
+    let mut out = String::from(
+        "# Table I: EXTOLL polling approaches (100-iteration 1 KiB ping-pong, node-0 GPU)\n",
+    );
+    out.push_str(&format!(
+        "{:30} {:>13} {:>13} {:>13} {:>13}\n",
+        "metric", "sysmem(sim)", "sysmem(paper)", "devmem(sim)", "devmem(paper)"
+    ));
+    for i in 0..metrics.len() {
+        out.push_str(&format!(
+            "{:30} {:>13} {:>13} {:>13} {:>13}\n",
+            metrics[i], s[i], PAPER_TABLE1_SYSMEM[i], d[i], PAPER_TABLE1_DEVMEM[i]
+        ));
+    }
+    out
+}
+
+/// Table II — Infiniband buffer-placement counters, with the paper's values.
+pub fn table2_report() -> String {
+    let (host, gpu) = table2();
+    let metrics = [
+        "sysmem reads (32B accesses)",
+        "sysmem writes (32B accesses)",
+        "l2 read misses",
+        "l2 read hits",
+        "l2 read requests",
+        "l2 write requests",
+        "memory accesses (r/w)",
+        "instructions executed",
+    ];
+    let (h, g) = (counter_rows_t2(&host), counter_rows_t2(&gpu));
+    let mut out = String::from(
+        "# Table II: Infiniband buffer placement (100-iteration 1 KiB ping-pong, node-0 GPU)\n",
+    );
+    out.push_str(&format!(
+        "{:30} {:>13} {:>13} {:>13} {:>13}\n",
+        "metric", "host(sim)", "host(paper)", "gpu(sim)", "gpu(paper)"
+    ));
+    for i in 0..metrics.len() {
+        out.push_str(&format!(
+            "{:30} {:>13} {:>13} {:>13} {:>13}\n",
+            metrics[i], h[i], PAPER_TABLE2_HOST[i], g[i], PAPER_TABLE2_GPU[i]
+        ));
+    }
+    out
+}
+
+/// §V-B.3 — verbs instruction micro-counts vs. the paper's 442/283.
+pub fn verbs_instr_report() -> String {
+    let (post, poll) = verbs_instruction_counts();
+    format!(
+        "# SV-B.3: GPU verbs instruction counts\n\
+         {:30} {:>10} {:>10}\n\
+         {:30} {:>10} {:>10}\n\
+         {:30} {:>10} {:>10}\n",
+        "operation",
+        "simulated",
+        "paper",
+        "ibv_post_send",
+        post,
+        442,
+        "ibv_poll_cq (success)",
+        poll,
+        283
+    )
+}
+
+/// The ablation report (design-choice experiments from DESIGN.md).
+pub fn ablations(scale: Scale) -> String {
+    ablation::report(1024, scale.iters)
+}
+
+/// The host-staged-vs-GPUDirect extension experiment.
+pub fn staging(scale: Scale) -> String {
+    tc_putget::bench::staging::report(scale.bw_messages)
+}
+
+/// The one-sided vs two-sided extension experiment.
+pub fn twosided(scale: Scale) -> String {
+    tc_putget::bench::twosided::report(scale.iters)
+}
+
+/// The VELO-vs-RMA extension experiment.
+pub fn velo(scale: Scale) -> String {
+    tc_putget::bench::velo::report(scale.iters)
+}
+
+/// The single-put timeline (trace of one GPU-controlled put).
+pub fn timeline(_scale: Scale) -> String {
+    tc_putget::bench::timeline::report(1024)
+}
+
+/// The multi-node ring all-reduce scaling experiment.
+pub fn scaling(_scale: Scale) -> String {
+    tc_putget::bench::scaling::report(1024)
+}
+
+/// The calibration-sensitivity sweep.
+pub fn sensitivity(scale: Scale) -> String {
+    tc_putget::bench::sensitivity::report(scale.iters.min(15))
+}
+
+/// The claims self-check.
+pub fn check(scale: Scale) -> String {
+    let (report, _all) = tc_putget::bench::check::report(scale.iters.min(20));
+    report
+}
+
+/// Every experiment id accepted by the `reproduce` binary.
+pub const ALL_EXPERIMENTS: [&str; 18] = [
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "table1",
+    "table2",
+    "verbs-instr",
+    "ablations",
+    "staging",
+    "twosided",
+    "velo",
+    "timeline",
+    "scaling",
+    "sensitivity",
+    "check",
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, scale: Scale) -> String {
+    match id {
+        "fig1a" => fig1a(scale),
+        "fig1b" => fig1b(scale),
+        "fig2" => fig2(scale),
+        "fig3" => fig3(scale),
+        "fig4a" => fig4a(scale),
+        "fig4b" => fig4b(scale),
+        "fig5" => fig5(scale),
+        "table1" => table1_report(),
+        "table2" => table2_report(),
+        "verbs-instr" => verbs_instr_report(),
+        "ablations" => ablations(scale),
+        "staging" => staging(scale),
+        "twosided" => twosided(scale),
+        "velo" => velo(scale),
+        "timeline" => timeline(scale),
+        "scaling" => scaling(scale),
+        "sensitivity" => sensitivity(scale),
+        "check" => check(scale),
+        other => panic!(
+            "unknown experiment {other:?}; known: {}",
+            ALL_EXPERIMENTS.join(", ")
+        ),
+    }
+}
+
+/// Human-friendly formatting of a simulated duration.
+pub fn fmt_us(t: tc_putget::time::Time) -> String {
+    format!("{:.2} us", time::to_us_f64(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller_than_full() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.iters < f.iters && q.rate_msgs < f.rate_msgs);
+    }
+
+    #[test]
+    fn bw_msgs_caps_total_volume() {
+        let s = Scale::quick();
+        assert_eq!(bw_msgs(s, 1), s.bw_messages);
+        assert!(bw_msgs(s, 64 << 20) >= 8);
+        assert!(bw_msgs(s, 16 << 20) <= s.bw_messages);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = parallel_map(16, |i| i * i);
+        assert_eq!(v, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn verbs_instr_report_contains_both_counts() {
+        let r = verbs_instr_report();
+        assert!(r.contains("ibv_post_send"));
+        assert!(r.contains("442") && r.contains("283"));
+    }
+
+    #[test]
+    fn table_reports_include_paper_reference_columns() {
+        let t = table1_report();
+        assert!(t.contains("sysmem(paper)"));
+        assert!(t.contains("4368")); // paper's headline value
+        let t2 = table2_report();
+        assert!(t2.contains("123297"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Performance-counter experiments: Table I, Table II, Fig. 3 and the
+//! §V-B.3 verbs instruction micro-measurements.
+
+use tc_desim::time::Time;
+use tc_gpu::CounterSnapshot;
+
+use super::pingpong::{extoll_pingpong, ib_pingpong};
+use super::{ExtollMode, IbMode};
+
+/// Iterations of the counter experiments (the paper uses 100).
+pub const COUNTER_ITERS: u32 = 100;
+/// Payload of the counter experiments (the paper uses 1 KiB).
+pub const COUNTER_PAYLOAD: u64 = 1024;
+
+/// Table I: node-0 GPU counters of a 100-iteration, 1 KiB EXTOLL
+/// ping-pong. Returns `(system_memory_polling, device_memory_polling)`.
+pub fn table1() -> (CounterSnapshot, CounterSnapshot) {
+    let sysmem = extoll_pingpong(
+        ExtollMode::Dev2DevDirect,
+        COUNTER_PAYLOAD,
+        COUNTER_ITERS,
+        0,
+    );
+    let devmem = extoll_pingpong(
+        ExtollMode::Dev2DevPollOnGpu,
+        COUNTER_PAYLOAD,
+        COUNTER_ITERS,
+        0,
+    );
+    (sysmem.counters, devmem.counters)
+}
+
+/// Table II: node-0 GPU counters of a 100-iteration Infiniband ping-pong.
+/// Returns `(buffers_on_host, buffers_on_gpu)`.
+pub fn table2() -> (CounterSnapshot, CounterSnapshot) {
+    let host = ib_pingpong(
+        IbMode::Dev2DevBufOnHost,
+        COUNTER_PAYLOAD,
+        COUNTER_ITERS,
+        0,
+    );
+    let gpu = ib_pingpong(IbMode::Dev2DevBufOnGpu, COUNTER_PAYLOAD, COUNTER_ITERS, 0);
+    (host.counters, gpu.counters)
+}
+
+/// One point of Fig. 3: per-iteration WR-generation time and polling time
+/// for both polling approaches at `size` bytes.
+/// Returns `((put, poll) for system memory, (put, poll) for device memory)`.
+pub fn fig3_point(size: u64, iters: u32) -> ((Time, Time), (Time, Time)) {
+    let sysmem = extoll_pingpong(ExtollMode::Dev2DevDirect, size, iters, 1);
+    let devmem = extoll_pingpong(ExtollMode::Dev2DevPollOnGpu, size, iters, 1);
+    (
+        (sysmem.put_time, sysmem.poll_time),
+        (devmem.put_time, devmem.poll_time),
+    )
+}
+
+/// §V-B.3: instructions for one `ibv_post_send` and one successful
+/// `ibv_poll_cq` on the GPU. Paper: 442 and 283.
+pub fn verbs_instruction_counts() -> (u64, u64) {
+    use crate::cluster::{Backend, Cluster};
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use tc_ib::{Access, BufLoc, IbvContext, SendOpcode, SendWr};
+
+    let c = Cluster::new(Backend::Infiniband);
+    let ctx0 = IbvContext::new(
+        c.nodes[0].ib().clone(),
+        c.nodes[0].host_heap.clone(),
+        Some(c.nodes[0].gpu.clone()),
+        BufLoc::Gpu,
+    );
+    let ctx1 = IbvContext::new(
+        c.nodes[1].ib().clone(),
+        c.nodes[1].host_heap.clone(),
+        None,
+        BufLoc::Host,
+    );
+    let cq0 = ctx0.create_cq(BufLoc::Gpu);
+    let cq1 = ctx1.create_cq(BufLoc::Host);
+    let qp0 = ctx0.create_qp(cq0.clone(), cq0.clone(), BufLoc::Gpu);
+    let qp1 = ctx1.create_qp(cq1.clone(), cq1.clone(), BufLoc::Host);
+    qp0.connect(qp1.qpn());
+    qp1.connect(qp0.qpn());
+    let src = c.nodes[0].gpu.alloc(64, 64);
+    let dst = c.nodes[1].host_heap.alloc(64, 64);
+    let mr0 = ctx0.reg_mr(src, 64, Access::full());
+    let mr1 = ctx1.reg_mr(dst, 64, Access::full());
+    let gpu = c.nodes[0].gpu.clone();
+    let post = Rc::new(Cell::new(0u64));
+    let poll = Rc::new(Cell::new(0u64));
+    let (post2, poll2) = (post.clone(), poll.clone());
+    let t = gpu.thread();
+    c.sim.spawn("micro", async move {
+        let before = gpu.counters().snapshot();
+        qp0.post_send(
+            &t,
+            &SendWr {
+                opcode: SendOpcode::RdmaWrite,
+                laddr: mr0.addr,
+                lkey: mr0.lkey,
+                raddr: mr1.addr,
+                rkey: mr1.rkey,
+                len: 64,
+                imm: 0,
+                signaled: true,
+            },
+        )
+        .await;
+        post2.set(gpu.counters().snapshot().delta(&before).instructions);
+        // Wait until the CQE is certainly there, then measure exactly one
+        // successful poll.
+        let sim_h = t.gpu().sim().clone();
+        loop {
+            sim_h.delay(tc_desim::time::us(1)).await;
+            let probe = gpu.counters().snapshot();
+            if let Some(_wc) = cq0.poll(&t).await {
+                poll2.set(gpu.counters().snapshot().delta(&probe).instructions);
+                break;
+            }
+        }
+    });
+    c.sim.run();
+    (post.get(), poll.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_micro_counts_match_paper() {
+        let (post, poll) = verbs_instruction_counts();
+        assert!((420..=465).contains(&post), "post = {post}");
+        assert!((260..=310).contains(&poll), "poll = {poll}");
+    }
+
+    #[test]
+    fn table1_contrast_sysmem_vs_devmem() {
+        let (sys, dev) = table1();
+        // The defining contrast of Table I: system-memory polling does
+        // thousands of sysmem reads; device-memory polling does none.
+        assert!(sys.sysmem_reads > 1000, "sys reads = {}", sys.sysmem_reads);
+        assert_eq!(dev.sysmem_reads, 0, "dev reads = {}", dev.sysmem_reads);
+        // Device-memory polling posts WRs only: ~3 sysmem writes/iteration.
+        assert!(
+            dev.sysmem_writes >= 300 && dev.sysmem_writes <= 450,
+            "dev writes = {}",
+            dev.sysmem_writes
+        );
+        // Device-memory polling hits the L2; system-memory polling cannot.
+        assert_eq!(sys.l2_read_hits, 0);
+        assert!(dev.l2_read_hits > 1000);
+        // Far fewer instructions when polling device memory.
+        assert!(dev.instructions < sys.instructions);
+    }
+}

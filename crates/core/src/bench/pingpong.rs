@@ -1,0 +1,723 @@
+//! Ping-pong latency microbenchmarks (Figs. 1a and 4a) and the polling
+//! time-split instrumentation behind Table I and Fig. 3.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use tc_desim::time::{self, Time};
+use tc_gpu::CounterSnapshot;
+use tc_ib::{BufLoc, IbvContext, SendOpcode, SendWr};
+use tc_mem::Addr;
+use tc_pcie::Processor;
+
+use crate::api::{create_pair, PutGetEndpoint, QueueLoc};
+use crate::cluster::{Backend, Cluster};
+use crate::flag::{AssistChannel, ARRIVED, DONE, REQUEST};
+
+use super::{ExtollMode, IbMode};
+
+/// Result of one ping-pong run.
+#[derive(Debug, Clone)]
+pub struct PingPongResult {
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Half round-trip time (the paper's "latency").
+    pub half_rtt: Time,
+    /// Node-0 GPU counters over the timed region.
+    pub counters: CounterSnapshot,
+    /// Average time node 0 spent generating/posting work requests per
+    /// iteration.
+    pub put_time: Time,
+    /// Average time node 0 spent polling for completion/arrival per
+    /// iteration.
+    pub poll_time: Time,
+}
+
+impl PingPongResult {
+    /// Latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        time::to_us_f64(self.half_rtt)
+    }
+}
+
+/// Write the iteration marker into the tail of a payload buffer.
+pub(crate) async fn write_marker<P: Processor>(p: &P, buf: Addr, size: u64, v: u64) {
+    if size >= 8 {
+        p.st_u64(buf + size - 8, v).await;
+    } else {
+        p.st_u32(buf + size.max(4) - 4, v as u32).await;
+    }
+}
+
+/// Spin until the marker at the tail of `buf` reaches `v`.
+pub(crate) async fn poll_marker<P: Processor>(p: &P, buf: Addr, size: u64, v: u64) {
+    loop {
+        let cur = if size >= 8 {
+            p.ld_u64(buf + size - 8).await
+        } else {
+            p.ld_u32(buf + size.max(4) - 4).await as u64
+        };
+        // Compare, branch, recompute the volatile pointer.
+        p.instr(4).await;
+        if cur == v {
+            return;
+        }
+    }
+}
+
+struct Timing {
+    t_start: Rc<Cell<Time>>,
+    t_end: Rc<Cell<Time>>,
+    put_sum: Rc<Cell<Time>>,
+    poll_sum: Rc<Cell<Time>>,
+    counters_at_start: Rc<RefCell<Option<CounterSnapshot>>>,
+}
+
+impl Timing {
+    fn new() -> Self {
+        Timing {
+            t_start: Rc::new(Cell::new(0)),
+            t_end: Rc::new(Cell::new(0)),
+            put_sum: Rc::new(Cell::new(0)),
+            poll_sum: Rc::new(Cell::new(0)),
+            counters_at_start: Rc::new(RefCell::new(None)),
+        }
+    }
+}
+
+/// Run the EXTOLL ping-pong of Fig. 1a.
+///
+/// `warmup` untimed iterations precede `iters` timed ones. Both GPUs hold
+/// their payload buffers in device memory; what varies per [`ExtollMode`]
+/// is who posts the put and how completion/arrival is detected.
+pub fn extoll_pingpong(mode: ExtollMode, size: u64, iters: u32, warmup: u32) -> PingPongResult {
+    extoll_pingpong_cfg(
+        crate::cluster::ClusterConfig::extoll(),
+        mode,
+        size,
+        iters,
+        warmup,
+    )
+}
+
+/// [`extoll_pingpong`] with an explicit cluster configuration (used by the
+/// ablation experiments).
+pub fn extoll_pingpong_cfg(
+    cluster_cfg: crate::cluster::ClusterConfig,
+    mode: ExtollMode,
+    size: u64,
+    iters: u32,
+    warmup: u32,
+) -> PingPongResult {
+    assert_eq!(cluster_cfg.backend, Backend::Extoll);
+    let c = Cluster::with_config(cluster_cfg);
+    let buf_len = size.max(8);
+    let tx0 = c.nodes[0].gpu.alloc(buf_len, 256);
+    let rx0 = c.nodes[0].gpu.alloc(buf_len, 256);
+    let tx1 = c.nodes[1].gpu.alloc(buf_len, 256);
+    let rx1 = c.nodes[1].gpu.alloc(buf_len, 256);
+    // Pair "a" is the ping path (node0 tx0 -> node1 rx1): a0 posts, a1
+    // observes arrival. Pair "b" is the pong path (node1 tx1 -> node0 rx0):
+    // b1 posts, b0 observes arrival.
+    let (a0, a1) = create_pair(&c, tx0, rx1, buf_len, QueueLoc::Host);
+    let (b0, b1) = create_pair(&c, rx0, tx1, buf_len, QueueLoc::Host);
+    let total = warmup + iters;
+    let tm = Timing::new();
+    let gpu0 = c.nodes[0].gpu.clone();
+
+    match mode {
+        ExtollMode::Dev2DevDirect | ExtollMode::HostControlled => {
+            // Same protocol, different processor.
+            let a0 = Rc::new(a0);
+            let b0 = Rc::new(b0);
+            {
+                let a0 = a0.clone();
+                let b0 = b0.clone();
+                let (ts, te, ps, qs, cs) = (
+                    tm.t_start.clone(),
+                    tm.t_end.clone(),
+                    tm.put_sum.clone(),
+                    tm.poll_sum.clone(),
+                    tm.counters_at_start.clone(),
+                );
+                let sim = c.sim.clone();
+                let gpu = gpu0.clone();
+                let cpu0 = c.nodes[0].cpu.clone();
+                let host = mode == ExtollMode::HostControlled;
+                c.sim.spawn("pp.node0", async move {
+                    let gt = gpu.thread();
+                    for i in 0..total {
+                        if i == warmup {
+                            ts.set(sim.now());
+                            *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                        }
+                        let timed = i >= warmup;
+                        let t0 = sim.now();
+                        if host {
+                            a0.put(&cpu0, 0, 0, size as u32, true).await;
+                        } else {
+                            // The device kernel refreshes its payload before
+                            // sending (as the paper's benchmark does).
+                            write_marker(&gt, tx0, buf_len, i as u64 + 1).await;
+                            gt.fence_system().await;
+                            a0.put(&gt, 0, 0, size as u32, true).await;
+                        }
+                        let t1 = sim.now();
+                        if host {
+                            a0.quiet(&cpu0).await.unwrap();
+                            b0.wait_arrival(&cpu0).await.unwrap();
+                        } else {
+                            a0.quiet(&gt).await.unwrap();
+                            b0.wait_arrival(&gt).await.unwrap();
+                        }
+                        let t2 = sim.now();
+                        if timed {
+                            ps.set(ps.get() + (t1 - t0));
+                            qs.set(qs.get() + (t2 - t1));
+                        }
+                    }
+                    te.set(sim.now());
+                });
+            }
+            {
+                let cpu1 = c.nodes[1].cpu.clone();
+                let gpu1 = c.nodes[1].gpu.clone();
+                let host = mode == ExtollMode::HostControlled;
+                c.sim.spawn("pp.node1", async move {
+                    let gt = gpu1.thread();
+                    for _ in 0..total {
+                        if host {
+                            a1.wait_arrival(&cpu1).await.unwrap();
+                            b1_put(&b1, &cpu1, size).await;
+                            b1.quiet(&cpu1).await.unwrap();
+                        } else {
+                            a1.wait_arrival(&gt).await.unwrap();
+                            b1_put(&b1, &gt, size).await;
+                            b1.quiet(&gt).await.unwrap();
+                        }
+                    }
+                });
+            }
+        }
+        ExtollMode::Dev2DevPollOnGpu => {
+            // No notifications at all: poll the last payload element.
+            let p0 = a0.extoll_port().clone();
+            let p1 = b1.extoll_port().clone();
+            let (nla_tx0, nla_rx1) = extoll_nlas(&c, tx0, rx1, buf_len);
+            let (nla_tx1, nla_rx0) = extoll_nlas(&c, tx1, rx0, buf_len);
+            let peer0 = a1.extoll_port().index();
+            let peer1 = b0.extoll_port().index();
+            {
+                let (ts, te, ps, qs, cs) = (
+                    tm.t_start.clone(),
+                    tm.t_end.clone(),
+                    tm.put_sum.clone(),
+                    tm.poll_sum.clone(),
+                    tm.counters_at_start.clone(),
+                );
+                let sim = c.sim.clone();
+                let gpu = gpu0.clone();
+                c.sim.spawn("pp.node0", async move {
+                    let gt = gpu.thread();
+                    for i in 0..total {
+                        if i == warmup {
+                            ts.set(sim.now());
+                            *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                        }
+                        let timed = i >= warmup;
+                        let marker = i as u64 + 1;
+                        let t0 = sim.now();
+                        write_marker(&gt, tx0, buf_len, marker).await;
+                        gt.fence_system().await;
+                        p0.post_put(
+                            &gt,
+                            peer0,
+                            nla_tx0,
+                            nla_rx1,
+                            buf_len as u32,
+                            tc_extoll::WrFlags::default(),
+                        )
+                        .await;
+                        let t1 = sim.now();
+                        poll_marker(&gt, rx0, buf_len, marker).await;
+                        let t2 = sim.now();
+                        if timed {
+                            ps.set(ps.get() + (t1 - t0));
+                            qs.set(qs.get() + (t2 - t1));
+                        }
+                    }
+                    te.set(sim.now());
+                });
+            }
+            {
+                let gpu1 = c.nodes[1].gpu.clone();
+                c.sim.spawn("pp.node1", async move {
+                    let gt = gpu1.thread();
+                    for i in 0..total {
+                        let marker = i as u64 + 1;
+                        poll_marker(&gt, rx1, buf_len, marker).await;
+                        write_marker(&gt, tx1, buf_len, marker).await;
+                        gt.fence_system().await;
+                        p1.post_put(
+                            &gt,
+                            peer1,
+                            nla_tx1,
+                            nla_rx0,
+                            buf_len as u32,
+                            tc_extoll::WrFlags::default(),
+                        )
+                        .await;
+                    }
+                });
+            }
+        }
+        ExtollMode::Dev2DevAssisted => {
+            let a0 = Rc::new(a0);
+            let a1 = Rc::new(a1);
+            let b0 = Rc::new(b0);
+            let b1 = Rc::new(b1);
+            let stop = Rc::new(Cell::new(false));
+            // One proxy per node: services put requests and forwards
+            // arrival notifications.
+            for node in 0..2 {
+                let cpu = c.nodes[node].cpu.clone();
+                let (snd, arr) = (
+                    AssistChannel::new(&c.nodes[node].host_heap),
+                    AssistChannel::new(&c.nodes[node].host_heap),
+                );
+                // Stash the channels where the GPU loops can find them.
+                if node == 0 {
+                    CH0.with(|c| c.set(Some((snd, arr))));
+                } else {
+                    CH1.with(|c| c.set(Some((snd, arr))));
+                }
+                let put_ep = if node == 0 { a0.clone() } else { b1.clone() };
+                let arr_ep = if node == 0 { b0.clone() } else { a1.clone() };
+                let stop = stop.clone();
+                let sim = c.sim.clone();
+                c.sim.spawn(&format!("pp.proxy{node}"), async move {
+                    loop {
+                        if stop.get() {
+                            break;
+                        }
+                        if let Some(arg) = snd.probe(&cpu, REQUEST).await {
+                            put_ep.put(&cpu, 0, 0, arg as u32, true).await;
+                            put_ep.quiet(&cpu).await.unwrap();
+                            snd.respond(&cpu, 0, DONE).await;
+                        }
+                        if let Some(r) = arr_ep.try_arrival(&cpu).await {
+                            let len = r.unwrap();
+                            arr.respond(&cpu, len as u64, ARRIVED).await;
+                        }
+                        sim.delay(time::ns(60)).await;
+                    }
+                });
+            }
+            let (snd0, arr0) = CH0.with(|c| c.get().unwrap());
+            let (snd1, arr1) = CH1.with(|c| c.get().unwrap());
+            {
+                let (ts, te, ps, qs, cs) = (
+                    tm.t_start.clone(),
+                    tm.t_end.clone(),
+                    tm.put_sum.clone(),
+                    tm.poll_sum.clone(),
+                    tm.counters_at_start.clone(),
+                );
+                let sim = c.sim.clone();
+                let gpu = gpu0.clone();
+                let stop = stop.clone();
+                c.sim.spawn("pp.node0", async move {
+                    let gt = gpu.thread();
+                    for i in 0..total {
+                        if i == warmup {
+                            ts.set(sim.now());
+                            *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                        }
+                        let timed = i >= warmup;
+                        let t0 = sim.now();
+                        snd0.request(&gt, size, REQUEST).await;
+                        let t1 = sim.now();
+                        snd0.wait_state(&gt, DONE).await;
+                        arr0.wait_state(&gt, ARRIVED).await;
+                        let t2 = sim.now();
+                        if timed {
+                            ps.set(ps.get() + (t1 - t0));
+                            qs.set(qs.get() + (t2 - t1));
+                        }
+                    }
+                    te.set(sim.now());
+                    stop.set(true);
+                });
+            }
+            {
+                let gpu1 = c.nodes[1].gpu.clone();
+                c.sim.spawn("pp.node1", async move {
+                    let gt = gpu1.thread();
+                    for _ in 0..total {
+                        arr1.wait_state(&gt, ARRIVED).await;
+                        snd1.request(&gt, size, REQUEST).await;
+                        snd1.wait_state(&gt, DONE).await;
+                    }
+                });
+            }
+        }
+    }
+
+    c.sim.run();
+    finish(&tm, &gpu0, size, iters)
+}
+
+thread_local! {
+    static CH0: Cell<Option<(AssistChannel, AssistChannel)>> = const { Cell::new(None) };
+    static CH1: Cell<Option<(AssistChannel, AssistChannel)>> = const { Cell::new(None) };
+}
+
+async fn b1_put<P: Processor>(ep: &PutGetEndpoint, p: &P, size: u64) {
+    ep.put(p, 0, 0, size as u32, true).await;
+}
+
+fn extoll_nlas(c: &Cluster, local: Addr, remote: Addr, len: u64) -> (u64, u64) {
+    let n0 = c.nodes[0].extoll();
+    let n1 = c.nodes[1].extoll();
+    let (ln, rn) = if tc_mem::layout::node_of(local) == 0 {
+        (n0.register_memory(local, len), n1.register_memory(remote, len))
+    } else {
+        (n1.register_memory(local, len), n0.register_memory(remote, len))
+    };
+    (ln, rn)
+}
+
+fn finish(tm: &Timing, gpu0: &tc_gpu::Gpu, size: u64, iters: u32) -> PingPongResult {
+    let span = tm.t_end.get().saturating_sub(tm.t_start.get());
+    let start = tm
+        .counters_at_start
+        .borrow()
+        .unwrap_or_default();
+    PingPongResult {
+        size,
+        iters,
+        half_rtt: span / (iters as u64) / 2,
+        counters: gpu0.counters().snapshot().delta(&start),
+        put_time: tm.put_sum.get() / iters as u64,
+        poll_time: tm.poll_sum.get() / iters as u64,
+    }
+}
+
+/// Run the Infiniband ping-pong of Fig. 4a.
+pub fn ib_pingpong(mode: IbMode, size: u64, iters: u32, warmup: u32) -> PingPongResult {
+    let c = Cluster::new(Backend::Infiniband);
+    let buf_len = size.max(8);
+    let tx0 = c.nodes[0].gpu.alloc(buf_len, 256);
+    let rx0 = c.nodes[0].gpu.alloc(buf_len, 256);
+    let tx1 = c.nodes[1].gpu.alloc(buf_len, 256);
+    let rx1 = c.nodes[1].gpu.alloc(buf_len, 256);
+    let total = warmup + iters;
+    let tm = Timing::new();
+    let gpu0 = c.nodes[0].gpu.clone();
+
+    match mode {
+        IbMode::Dev2DevBufOnGpu | IbMode::Dev2DevBufOnHost => {
+            let loc = if mode == IbMode::Dev2DevBufOnGpu {
+                BufLoc::Gpu
+            } else {
+                BufLoc::Host
+            };
+            // GPU-driven contexts: software state lives in device memory.
+            let ctx0 = IbvContext::new(
+                c.nodes[0].ib().clone(),
+                c.nodes[0].host_heap.clone(),
+                Some(c.nodes[0].gpu.clone()),
+                BufLoc::Gpu,
+            );
+            let ctx1 = IbvContext::new(
+                c.nodes[1].ib().clone(),
+                c.nodes[1].host_heap.clone(),
+                Some(c.nodes[1].gpu.clone()),
+                BufLoc::Gpu,
+            );
+            let cq0 = ctx0.create_cq(loc);
+            let cq1 = ctx1.create_cq(loc);
+            let qp0 = Rc::new(ctx0.create_qp(cq0.clone(), cq0.clone(), loc));
+            let qp1 = Rc::new(ctx1.create_qp(cq1.clone(), cq1.clone(), loc));
+            qp0.connect(qp1.qpn());
+            qp1.connect(qp0.qpn());
+            let mr_tx0 = ctx0.reg_mr(tx0, buf_len, tc_ib::Access::full());
+            let mr_rx0 = ctx0.reg_mr(rx0, buf_len, tc_ib::Access::full());
+            let mr_tx1 = ctx1.reg_mr(tx1, buf_len, tc_ib::Access::full());
+            let mr_rx1 = ctx1.reg_mr(rx1, buf_len, tc_ib::Access::full());
+            {
+                let (ts, te, ps, qs, cs) = (
+                    tm.t_start.clone(),
+                    tm.t_end.clone(),
+                    tm.put_sum.clone(),
+                    tm.poll_sum.clone(),
+                    tm.counters_at_start.clone(),
+                );
+                let sim = c.sim.clone();
+                let gpu = gpu0.clone();
+                let (qp0, cq0) = (qp0.clone(), cq0.clone());
+                c.sim.spawn("pp.node0", async move {
+                    let gt = gpu.thread();
+                    for i in 0..total {
+                        if i == warmup {
+                            ts.set(sim.now());
+                            *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                        }
+                        let timed = i >= warmup;
+                        let marker = i as u64 + 1;
+                        let t0 = sim.now();
+                        write_marker(&gt, tx0, buf_len, marker).await;
+                        gt.fence_system().await;
+                        qp0.post_send(
+                            &gt,
+                            &SendWr {
+                                opcode: SendOpcode::RdmaWrite,
+                                laddr: mr_tx0.addr,
+                                lkey: mr_tx0.lkey,
+                                raddr: mr_rx1.addr,
+                                rkey: mr_rx1.rkey,
+                                len: buf_len as u32,
+                                imm: 0,
+                                signaled: true,
+                            },
+                        )
+                        .await;
+                        let t1 = sim.now();
+                        let wc = cq0.wait(&gt).await;
+                        assert_eq!(wc.status, tc_ib::CqeStatus::Success);
+                        poll_marker(&gt, rx0, buf_len, marker).await;
+                        let t2 = sim.now();
+                        if timed {
+                            ps.set(ps.get() + (t1 - t0));
+                            qs.set(qs.get() + (t2 - t1));
+                        }
+                    }
+                    te.set(sim.now());
+                });
+            }
+            {
+                let gpu1 = c.nodes[1].gpu.clone();
+                c.sim.spawn("pp.node1", async move {
+                    let gt = gpu1.thread();
+                    for i in 0..total {
+                        let marker = i as u64 + 1;
+                        poll_marker(&gt, rx1, buf_len, marker).await;
+                        write_marker(&gt, tx1, buf_len, marker).await;
+                        gt.fence_system().await;
+                        qp1.post_send(
+                            &gt,
+                            &SendWr {
+                                opcode: SendOpcode::RdmaWrite,
+                                laddr: mr_tx1.addr,
+                                lkey: mr_tx1.lkey,
+                                raddr: mr_rx0.addr,
+                                rkey: mr_rx0.rkey,
+                                len: buf_len as u32,
+                                imm: 0,
+                                signaled: true,
+                            },
+                        )
+                        .await;
+                        let wc = cq1.wait(&gt).await;
+                        assert_eq!(wc.status, tc_ib::CqeStatus::Success);
+                    }
+                });
+            }
+        }
+        IbMode::Dev2DevAssisted => {
+            // CPU-driven verbs (host queues), GPU triggers via flags and
+            // polls arrival in its device memory.
+            let (a0, _a1) = create_pair(&c, tx0, rx1, buf_len, QueueLoc::Host);
+            let (_b0, b1) = create_pair(&c, rx0, tx1, buf_len, QueueLoc::Host);
+            let a0 = Rc::new(a0);
+            let b1 = Rc::new(b1);
+            let stop = Rc::new(Cell::new(false));
+            let snd0 = AssistChannel::new(&c.nodes[0].host_heap);
+            let snd1 = AssistChannel::new(&c.nodes[1].host_heap);
+            for node in 0..2 {
+                let cpu = c.nodes[node].cpu.clone();
+                let ep = if node == 0 { a0.clone() } else { b1.clone() };
+                let ch = if node == 0 { snd0 } else { snd1 };
+                let stop = stop.clone();
+                let sim = c.sim.clone();
+                c.sim.spawn(&format!("pp.proxy{node}"), async move {
+                    loop {
+                        if stop.get() {
+                            break;
+                        }
+                        if let Some(arg) = ch.probe(&cpu, REQUEST).await {
+                            ep.put(&cpu, 0, 0, arg as u32, false).await;
+                            ep.quiet(&cpu).await.unwrap();
+                            ch.respond(&cpu, 0, DONE).await;
+                        }
+                        sim.delay(time::ns(60)).await;
+                    }
+                });
+            }
+            {
+                let (ts, te, ps, qs, cs) = (
+                    tm.t_start.clone(),
+                    tm.t_end.clone(),
+                    tm.put_sum.clone(),
+                    tm.poll_sum.clone(),
+                    tm.counters_at_start.clone(),
+                );
+                let sim = c.sim.clone();
+                let gpu = gpu0.clone();
+                let stop = stop.clone();
+                c.sim.spawn("pp.node0", async move {
+                    let gt = gpu.thread();
+                    for i in 0..total {
+                        if i == warmup {
+                            ts.set(sim.now());
+                            *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                        }
+                        let timed = i >= warmup;
+                        let marker = i as u64 + 1;
+                        let t0 = sim.now();
+                        write_marker(&gt, tx0, buf_len, marker).await;
+                        gt.fence_system().await;
+                        snd0.request(&gt, buf_len, REQUEST).await;
+                        let t1 = sim.now();
+                        snd0.wait_state(&gt, DONE).await;
+                        poll_marker(&gt, rx0, buf_len, marker).await;
+                        let t2 = sim.now();
+                        if timed {
+                            ps.set(ps.get() + (t1 - t0));
+                            qs.set(qs.get() + (t2 - t1));
+                        }
+                    }
+                    te.set(sim.now());
+                    stop.set(true);
+                });
+            }
+            {
+                let gpu1 = c.nodes[1].gpu.clone();
+                c.sim.spawn("pp.node1", async move {
+                    let gt = gpu1.thread();
+                    for i in 0..total {
+                        let marker = i as u64 + 1;
+                        poll_marker(&gt, rx1, buf_len, marker).await;
+                        write_marker(&gt, tx1, buf_len, marker).await;
+                        gt.fence_system().await;
+                        snd1.request(&gt, buf_len, REQUEST).await;
+                        snd1.wait_state(&gt, DONE).await;
+                    }
+                });
+            }
+        }
+        IbMode::HostControlled => {
+            // CPU-driven with write-with-immediate synchronization, since
+            // the GPUDirect patch does not let the host poll GPU memory.
+            let (a0, a1) = create_pair(&c, tx0, rx1, buf_len, QueueLoc::Host);
+            let (b0, b1) = create_pair(&c, rx0, tx1, buf_len, QueueLoc::Host);
+            {
+                let (ts, te, ps, qs, cs) = (
+                    tm.t_start.clone(),
+                    tm.t_end.clone(),
+                    tm.put_sum.clone(),
+                    tm.poll_sum.clone(),
+                    tm.counters_at_start.clone(),
+                );
+                let sim = c.sim.clone();
+                let gpu = gpu0.clone();
+                let cpu0 = c.nodes[0].cpu.clone();
+                c.sim.spawn("pp.node0", async move {
+                    // Arm the first pong arrival.
+                    b0.arm_arrival(&cpu0).await;
+                    for i in 0..total {
+                        if i == warmup {
+                            ts.set(sim.now());
+                            *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                        }
+                        let timed = i >= warmup;
+                        let t0 = sim.now();
+                        a0.put(&cpu0, 0, 0, buf_len as u32, true).await;
+                        let t1 = sim.now();
+                        a0.quiet(&cpu0).await.unwrap();
+                        b0.wait_arrival(&cpu0).await.unwrap();
+                        b0.arm_arrival(&cpu0).await;
+                        let t2 = sim.now();
+                        if timed {
+                            ps.set(ps.get() + (t1 - t0));
+                            qs.set(qs.get() + (t2 - t1));
+                        }
+                    }
+                    te.set(sim.now());
+                });
+            }
+            {
+                let cpu1 = c.nodes[1].cpu.clone();
+                c.sim.spawn("pp.node1", async move {
+                    a1.arm_arrival(&cpu1).await;
+                    for _ in 0..total {
+                        a1.wait_arrival(&cpu1).await.unwrap();
+                        a1.arm_arrival(&cpu1).await;
+                        b1.put(&cpu1, 0, 0, buf_len as u32, true).await;
+                        b1.quiet(&cpu1).await.unwrap();
+                    }
+                });
+            }
+        }
+    }
+
+    c.sim.run();
+    finish(&tm, &gpu0, size, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extoll_direct_latency_reasonable() {
+        let r = extoll_pingpong(ExtollMode::Dev2DevDirect, 4, 20, 2);
+        // Single-digit-to-tens of microseconds for tiny messages.
+        assert!(r.latency_us() > 1.0 && r.latency_us() < 50.0, "{}", r.latency_us());
+        assert!(r.counters.sysmem_writes > 0);
+    }
+
+    #[test]
+    fn extoll_pollongpu_beats_direct() {
+        let direct = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 20, 2);
+        let poll = extoll_pingpong(ExtollMode::Dev2DevPollOnGpu, 1024, 20, 2);
+        assert!(
+            poll.half_rtt < direct.half_rtt,
+            "pollOnGPU {} vs direct {}",
+            poll.latency_us(),
+            direct.latency_us()
+        );
+    }
+
+    #[test]
+    fn extoll_host_controlled_beats_gpu_direct() {
+        let direct = extoll_pingpong(ExtollMode::Dev2DevDirect, 64, 20, 2);
+        let host = extoll_pingpong(ExtollMode::HostControlled, 64, 20, 2);
+        assert!(host.half_rtt < direct.half_rtt);
+    }
+
+    #[test]
+    fn ib_gpu_latency_much_higher_than_host() {
+        let gpu = ib_pingpong(IbMode::Dev2DevBufOnGpu, 4, 15, 2);
+        let host = ib_pingpong(IbMode::HostControlled, 4, 15, 2);
+        assert!(
+            gpu.half_rtt > 2 * host.half_rtt,
+            "gpu {} vs host {}",
+            gpu.latency_us(),
+            host.latency_us()
+        );
+    }
+
+    #[test]
+    fn ib_buffer_placement_makes_small_difference() {
+        let on_gpu = ib_pingpong(IbMode::Dev2DevBufOnGpu, 1024, 15, 2);
+        let on_host = ib_pingpong(IbMode::Dev2DevBufOnHost, 1024, 15, 2);
+        let ratio = on_gpu.half_rtt as f64 / on_host.half_rtt as f64;
+        assert!(
+            (0.5..1.05).contains(&ratio),
+            "bufOnGPU/bufOnHost latency ratio {ratio}"
+        );
+    }
+}

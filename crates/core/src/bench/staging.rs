@@ -1,0 +1,189 @@
+//! Extension experiment: the classic **host-staged** pipeline vs GPUDirect.
+//!
+//! Before GPUDirect RDMA, GPU communication staged through host memory:
+//! `cudaMemcpy(D2H)` → NIC sends from a host buffer → remote
+//! `cudaMemcpy(H2D)`. The paper's configurations all use GPUDirect; this
+//! module adds the historical baseline so the trade-off is visible in the
+//! same harness. Two effects compete:
+//!
+//! * staging pays **two extra PCIe copies** and host-buffer latency, but
+//! * the NIC then reads *host* memory — dodging the peer-to-peer read
+//!   anomaly that throttles GPUDirect past 1 MiB (Figs. 1b/4b).
+//!
+//! So GPUDirect should win small/medium messages while staging can win
+//! very large ones — which is exactly what the harness shows.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tc_desim::time::Time;
+
+use crate::api::{create_pair, QueueLoc};
+use crate::cluster::{Backend, Cluster};
+
+/// Result of one staged-vs-direct comparison point.
+#[derive(Debug, Clone)]
+pub struct StagingResult {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Messages streamed.
+    pub messages: u32,
+    /// Elapsed time of the GPUDirect pipeline.
+    pub direct: Time,
+    /// Elapsed time of the host-staged pipeline.
+    pub staged: Time,
+}
+
+impl StagingResult {
+    /// Bandwidth of the GPUDirect pipeline in MB/s.
+    pub fn direct_mbs(&self) -> f64 {
+        self.size as f64 * self.messages as f64 / tc_desim::time::to_sec_f64(self.direct) / 1e6
+    }
+
+    /// Bandwidth of the host-staged pipeline in MB/s.
+    pub fn staged_mbs(&self) -> f64 {
+        self.size as f64 * self.messages as f64 / tc_desim::time::to_sec_f64(self.staged) / 1e6
+    }
+}
+
+/// Stream `messages` puts of `size` bytes from GPU to GPU, host-controlled,
+/// once through GPUDirect and once through host staging. Returns both
+/// elapsed times (receiver-confirmed).
+pub fn staged_vs_direct(backend: Backend, size: u64, messages: u32) -> StagingResult {
+    let direct = run_once(backend, size, messages, false);
+    let staged = run_once(backend, size, messages, true);
+    StagingResult {
+        size,
+        messages,
+        direct,
+        staged,
+    }
+}
+
+fn run_once(backend: Backend, size: u64, messages: u32, staged: bool) -> Time {
+    let c = Cluster::new(backend);
+    let buf_len = size.max(8);
+    // GPU source/sink on both nodes; host bounce buffers for staging.
+    let dev_tx = c.nodes[0].gpu.alloc(buf_len, 256);
+    let dev_rx = c.nodes[1].gpu.alloc(buf_len, 256);
+    let host_tx = c.nodes[0].host_heap.alloc(buf_len, 256);
+    let host_rx = c.nodes[1].host_heap.alloc(buf_len, 256);
+
+    // Register the buffers the NIC will actually touch.
+    let (ep0, ep1) = if staged {
+        create_pair(&c, host_tx, host_rx, buf_len, QueueLoc::Host)
+    } else {
+        create_pair(&c, dev_tx, dev_rx, buf_len, QueueLoc::Host)
+    };
+    let (done, started) = (Rc::new(Cell::new(0u64)), Rc::new(Cell::new(0u64)));
+    let (d2, s2) = (done.clone(), started.clone());
+    let gpu0 = c.nodes[0].gpu.clone();
+    let gpu1 = c.nodes[1].gpu.clone();
+    let cpu0 = c.nodes[0].cpu.clone();
+    let cpu1 = c.nodes[1].cpu.clone();
+    let sim = c.sim.clone();
+    c.sim.spawn("staging.sender", async move {
+        s2.set(sim.now());
+        for _ in 0..messages {
+            if staged {
+                // D2H stage, then the NIC reads host memory.
+                gpu0.copy_to_host(dev_tx, host_tx, buf_len).await;
+            }
+            ep0.put(&cpu0, 0, 0, buf_len as u32, true).await;
+            ep0.quiet(&cpu0).await.unwrap();
+        }
+    });
+    let sim = c.sim.clone();
+    c.sim.spawn("staging.receiver", async move {
+        // Pre-arm arrivals for the Infiniband write-with-immediate path.
+        for _ in 0..messages {
+            ep1.arm_arrival(&cpu1).await;
+        }
+        for _ in 0..messages {
+            ep1.wait_arrival(&cpu1).await.unwrap();
+            if staged {
+                gpu1.copy_from_host(host_rx, dev_rx, buf_len).await;
+            }
+        }
+        d2.set(sim.now());
+    });
+    c.sim.run();
+    (done.get() - started.get()).max(1)
+}
+
+/// Render the extension experiment as a text report.
+pub fn report(messages: u32) -> String {
+    let mut out = String::from(
+        "# extension: host-staged pipeline vs GPUDirect (host-controlled, EXTOLL)\n",
+    );
+    out.push_str(&format!(
+        "{:>10} {:>16} {:>16} {:>10}\n",
+        "bytes", "GPUDirect MB/s", "staged MB/s", "winner"
+    ));
+    let mut size = 4096u64;
+    while size <= (16 << 20) {
+        let msgs = messages.min(((64u64 << 20) / size).max(4) as u32);
+        let r = staged_vs_direct(Backend::Extoll, size, msgs);
+        out.push_str(&format!(
+            "{:>10} {:>16.1} {:>16.1} {:>10}\n",
+            size,
+            r.direct_mbs(),
+            r.staged_mbs(),
+            if r.direct < r.staged { "direct" } else { "staged" }
+        ));
+        size *= 4;
+    }
+    out.push_str(
+        "Throughput is cable-bound below the 1 MiB knee (the pipelines tie);\n\
+         past the knee the staged pipeline's extra copies beat degraded P2P\n\
+         reads by a wide margin. GPUDirect's unambiguous win is per-message\n\
+         latency (no staging copies) - the trade-off the GPUDirect-era papers\n\
+         [14,15] documented.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_beats_staged_for_small_messages() {
+        let r = staged_vs_direct(Backend::Extoll, 16 * 1024, 12);
+        assert!(
+            r.direct < r.staged,
+            "direct {} vs staged {}",
+            r.direct,
+            r.staged
+        );
+    }
+
+    #[test]
+    fn staged_competitive_or_better_for_huge_messages() {
+        let r = staged_vs_direct(Backend::Extoll, 8 << 20, 4);
+        // Past the P2P knee the staged pipeline must at least close most of
+        // the gap (and typically win).
+        assert!(
+            (r.staged as f64) < 1.15 * r.direct as f64,
+            "staged {} should be within 15% of (or beat) direct {}",
+            r.staged,
+            r.direct
+        );
+    }
+
+    #[test]
+    fn staging_works_on_infiniband_too() {
+        // On FDR the P2P read path is only ~1.5 GB/s against 6 GB/s for
+        // host reads, so staging breaks even on *throughput* almost
+        // immediately; GPUDirect's clear win is single-message latency,
+        // where the two staging copies are pure overhead.
+        let r = staged_vs_direct(Backend::Infiniband, 512, 1);
+        assert!(r.direct > 0 && r.staged > 0);
+        assert!(
+            r.direct < r.staged,
+            "single-message latency: direct {} vs staged {}",
+            r.direct,
+            r.staged
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Extension experiment for §II-B: one-sided vs two-sided communication.
+//!
+//! The paper motivates put/get by the overhead of two-sided messaging:
+//! "this two-sided communication ... normally adds a lot of overhead to the
+//! communication, due to tag matching or data buffering", while one-sided
+//! transfers "only need the origin to issue a data transfer". This module
+//! measures both styles in the same harness (Infiniband, host-driven):
+//!
+//! * **one-sided**: RDMA write; the receiver polls the last payload element
+//!   (no receiver-side posting at all);
+//! * **two-sided**: send/receive; the receiver must keep receives posted,
+//!   and every message pays the receive-WQE fetch on the wire-to-memory
+//!   path plus the receive-side completion.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tc_desim::time::Time;
+use tc_ib::{Access, BufLoc, IbvContext, SendOpcode, SendWr};
+
+use crate::cluster::{Backend, Cluster};
+
+/// Result of the one-sided vs two-sided comparison.
+#[derive(Debug, Clone)]
+pub struct TwoSidedResult {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Half round trip using RDMA write + payload polling.
+    pub one_sided: Time,
+    /// Half round trip using send/receive.
+    pub two_sided: Time,
+}
+
+/// Run both ping-pong styles at `size` bytes for `iters` iterations.
+pub fn one_vs_two_sided(size: u64, iters: u32) -> TwoSidedResult {
+    TwoSidedResult {
+        size,
+        one_sided: run(size, iters, false),
+        two_sided: run(size, iters, true),
+    }
+}
+
+fn run(size: u64, iters: u32, two_sided: bool) -> Time {
+    let c = Cluster::new(Backend::Infiniband);
+    let buf_len = size.max(8);
+    // Host-resident buffers: this experiment isolates the *communication
+    // style*, so the receiver can poll payload memory directly.
+    let tx0 = c.nodes[0].host_heap.alloc(buf_len, 256);
+    let rx0 = c.nodes[0].host_heap.alloc(buf_len, 256);
+    let tx1 = c.nodes[1].host_heap.alloc(buf_len, 256);
+    let rx1 = c.nodes[1].host_heap.alloc(buf_len, 256);
+    let ctx0 = IbvContext::new(c.nodes[0].ib().clone(), c.nodes[0].host_heap.clone(), None, BufLoc::Host);
+    let ctx1 = IbvContext::new(c.nodes[1].ib().clone(), c.nodes[1].host_heap.clone(), None, BufLoc::Host);
+    let cq0 = ctx0.create_cq(BufLoc::Host);
+    let cq1 = ctx1.create_cq(BufLoc::Host);
+    let qp0 = Rc::new(ctx0.create_qp(cq0.clone(), cq0.clone(), BufLoc::Host));
+    let qp1 = Rc::new(ctx1.create_qp(cq1.clone(), cq1.clone(), BufLoc::Host));
+    qp0.connect(qp1.qpn());
+    qp1.connect(qp0.qpn());
+    let m_tx0 = ctx0.reg_mr(tx0, buf_len, Access::full());
+    let m_rx0 = ctx0.reg_mr(rx0, buf_len, Access::full());
+    let m_tx1 = ctx1.reg_mr(tx1, buf_len, Access::full());
+    let m_rx1 = ctx1.reg_mr(rx1, buf_len, Access::full());
+    let warmup = 2u32;
+    let total = iters + warmup;
+    let t_start = Rc::new(Cell::new(0u64));
+    let t_end = Rc::new(Cell::new(0u64));
+    let (ts, te) = (t_start.clone(), t_end.clone());
+    let cpu0 = c.nodes[0].cpu.clone();
+    let cpu1 = c.nodes[1].cpu.clone();
+    let sim = c.sim.clone();
+
+    if two_sided {
+        c.sim.spawn("ts.node0", async move {
+            // Keep one receive pre-posted at all times.
+            qp0.post_recv(&cpu0, m_rx0.addr, m_rx0.lkey, buf_len as u32).await;
+            for i in 0..total {
+                if i == warmup {
+                    ts.set(sim.now());
+                }
+                qp0.post_send(
+                    &cpu0,
+                    &SendWr {
+                        opcode: SendOpcode::Send,
+                        laddr: m_tx0.addr,
+                        lkey: m_tx0.lkey,
+                        raddr: 0,
+                        rkey: 0,
+                        len: size as u32,
+                        imm: 0,
+                        signaled: true,
+                    },
+                )
+                .await;
+                // Local send completion + the pong's receive completion.
+                cq0.wait(&cpu0).await;
+                cq0.wait(&cpu0).await;
+                qp0.post_recv(&cpu0, m_rx0.addr, m_rx0.lkey, buf_len as u32).await;
+            }
+            te.set(sim.now());
+        });
+        c.sim.spawn("ts.node1", async move {
+            qp1.post_recv(&cpu1, m_rx1.addr, m_rx1.lkey, buf_len as u32).await;
+            for _ in 0..total {
+                // Wait for the ping's receive completion.
+                cq1.wait(&cpu1).await;
+                qp1.post_recv(&cpu1, m_rx1.addr, m_rx1.lkey, buf_len as u32).await;
+                qp1.post_send(
+                    &cpu1,
+                    &SendWr {
+                        opcode: SendOpcode::Send,
+                        laddr: m_tx1.addr,
+                        lkey: m_tx1.lkey,
+                        raddr: 0,
+                        rkey: 0,
+                        len: size as u32,
+                        imm: 0,
+                        signaled: true,
+                    },
+                )
+                .await;
+                cq1.wait(&cpu1).await; // local send completion
+            }
+        });
+    } else {
+        // One-sided: plain RDMA write; the receiver polls the last payload
+        // element — no receive posting, no matching, no receive CQEs.
+        use super::pingpong::{poll_marker, write_marker};
+        c.sim.spawn("os.node0", async move {
+            for i in 0..total {
+                if i == warmup {
+                    ts.set(sim.now());
+                }
+                let marker = i as u64 + 1;
+                write_marker(&cpu0, tx0, buf_len, marker).await;
+                qp0.post_send(
+                    &cpu0,
+                    &SendWr {
+                        opcode: SendOpcode::RdmaWrite,
+                        laddr: m_tx0.addr,
+                        lkey: m_tx0.lkey,
+                        raddr: m_rx1.addr,
+                        rkey: m_rx1.rkey,
+                        len: buf_len as u32,
+                        imm: 0,
+                        signaled: true,
+                    },
+                )
+                .await;
+                cq0.wait(&cpu0).await; // send completion
+                poll_marker(&cpu0, rx0, buf_len, marker).await;
+            }
+            te.set(sim.now());
+        });
+        c.sim.spawn("os.node1", async move {
+            for i in 0..total {
+                let marker = i as u64 + 1;
+                poll_marker(&cpu1, rx1, buf_len, marker).await;
+                write_marker(&cpu1, tx1, buf_len, marker).await;
+                qp1.post_send(
+                    &cpu1,
+                    &SendWr {
+                        opcode: SendOpcode::RdmaWrite,
+                        laddr: m_tx1.addr,
+                        lkey: m_tx1.lkey,
+                        raddr: m_rx0.addr,
+                        rkey: m_rx0.rkey,
+                        len: buf_len as u32,
+                        imm: 0,
+                        signaled: true,
+                    },
+                )
+                .await;
+                cq1.wait(&cpu1).await;
+            }
+        });
+    }
+    c.sim.run();
+    (t_end.get() - t_start.get()) / iters as u64 / 2
+}
+
+/// Render the extension experiment as a text report.
+pub fn report(iters: u32) -> String {
+    let mut out = String::from(
+        "# extension: one-sided (RDMA write) vs two-sided (send/recv), host-driven IB\n",
+    );
+    out.push_str(&format!(
+        "{:>10} {:>16} {:>16} {:>12}\n",
+        "bytes", "one-sided us", "two-sided us", "overhead"
+    ));
+    let mut size = 4u64;
+    while size <= (256 << 10) {
+        let r = one_vs_two_sided(size, iters);
+        out.push_str(&format!(
+            "{:>10} {:>16.2} {:>16.2} {:>11.1}%\n",
+            size,
+            tc_desim::time::to_us_f64(r.one_sided),
+            tc_desim::time::to_us_f64(r.two_sided),
+            100.0 * (r.two_sided as f64 / r.one_sided as f64 - 1.0),
+        ));
+        size *= 16;
+    }
+    out.push_str(
+        "Two-sided messaging pays the receive-WQE management on every message\n\
+         (SII-B: 'this normally adds a lot of overhead'); one-sided transfers\n\
+         need nothing from the receiver's CPU on the data path.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sided_is_slower_than_one_sided_for_small_messages() {
+        let r = one_vs_two_sided(16, 15);
+        assert!(
+            r.two_sided > r.one_sided,
+            "two-sided {} should exceed one-sided {}",
+            r.two_sided,
+            r.one_sided
+        );
+    }
+
+    #[test]
+    fn overhead_shrinks_for_large_messages() {
+        let small = one_vs_two_sided(16, 10);
+        let large = one_vs_two_sided(64 << 10, 10);
+        let oh = |r: &TwoSidedResult| r.two_sided as f64 / r.one_sided as f64;
+        assert!(
+            oh(&large) < oh(&small),
+            "relative overhead should shrink: small {:.3} vs large {:.3}",
+            oh(&small),
+            oh(&large)
+        );
+    }
+}

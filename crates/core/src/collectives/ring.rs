@@ -1,0 +1,221 @@
+//! N-node ring collectives over one-sided puts.
+//!
+//! The classic two-phase ring all-reduce: `N-1` reduce-scatter steps then
+//! `N-1` all-gather steps, each step one chunk-put to the right neighbour
+//! plus a device-memory tag poll. Inboxes are double-buffered by epoch
+//! parity so a fast neighbour can never overwrite a chunk that is still
+//! being accumulated.
+
+use tc_mem::Addr;
+use tc_pcie::Processor;
+
+use crate::api::{create_pair_between, PutGetEndpoint, QueueLoc};
+use crate::cluster::Cluster;
+
+/// Memory layout of one rank's ring buffer:
+/// `[vector | inbox A | inbox B | tag_out | tag_in]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RingLayout {
+    /// Number of ranks in the ring.
+    pub nodes: u64,
+    /// Vector length in bytes (must be `nodes * chunk_bytes`).
+    pub vec_bytes: u64,
+    /// One chunk in bytes.
+    pub chunk_bytes: u64,
+}
+
+impl RingLayout {
+    /// Layout for `elements` u64 values across `nodes` ranks.
+    pub fn for_u64(nodes: usize, elements: usize) -> Self {
+        assert!(
+            elements.is_multiple_of(nodes),
+            "elements must divide evenly across the ring"
+        );
+        RingLayout {
+            nodes: nodes as u64,
+            vec_bytes: (elements * 8) as u64,
+            chunk_bytes: (elements / nodes * 8) as u64,
+        }
+    }
+
+    /// Total buffer bytes a rank must allocate.
+    pub fn buffer_bytes(&self) -> u64 {
+        self.vec_bytes + 2 * self.chunk_bytes + 16
+    }
+
+    fn inbox(&self, epoch: u64) -> u64 {
+        self.vec_bytes + (epoch % 2) * self.chunk_bytes
+    }
+
+    fn tag_out(&self) -> u64 {
+        self.vec_bytes + 2 * self.chunk_bytes
+    }
+
+    fn tag_in(&self) -> u64 {
+        self.tag_out() + 8
+    }
+}
+
+/// Build the ring's endpoint pairs: `to_right[n]` sends from rank `n` into
+/// rank `(n+1) % N`'s buffer. `bufs[n]` must be `layout.buffer_bytes()`
+/// long.
+pub fn build_ring(
+    cluster: &Cluster,
+    bufs: &[Addr],
+    layout: RingLayout,
+) -> Vec<PutGetEndpoint> {
+    let n = bufs.len();
+    assert_eq!(n as u64, layout.nodes);
+    (0..n)
+        .map(|rank| {
+            let right = (rank + 1) % n;
+            let (ep_tx, _ep_rx) = create_pair_between(
+                cluster,
+                (rank, bufs[rank]),
+                (right, bufs[right]),
+                layout.buffer_bytes(),
+                QueueLoc::Host,
+            );
+            ep_tx
+        })
+        .collect()
+}
+
+async fn ring_step<P: Processor>(
+    t: &P,
+    ep: &PutGetEndpoint,
+    my_buf: Addr,
+    layout: RingLayout,
+    send_chunk: u64,
+    epoch: u64,
+) {
+    t.st_u64(my_buf + layout.tag_out(), epoch).await;
+    t.fence().await;
+    ep.put(
+        t,
+        send_chunk * layout.chunk_bytes,
+        layout.inbox(epoch),
+        layout.chunk_bytes as u32,
+        false,
+    )
+    .await;
+    ep.put(t, layout.tag_out(), layout.tag_in(), 8, false).await;
+    ep.quiet(t).await.unwrap();
+    ep.quiet(t).await.unwrap();
+    loop {
+        let tag = t.ld_u64(my_buf + layout.tag_in()).await;
+        t.instr(4).await;
+        if tag >= epoch {
+            return;
+        }
+    }
+}
+
+/// Rank `rank`'s side of a ring all-reduce (u64 sum). Every rank must call
+/// this concurrently with its own endpoint from [`build_ring`]; afterwards
+/// all vectors hold the element-wise sums.
+pub async fn ring_allreduce_sum_u64<P: Processor>(
+    t: &P,
+    ep: &PutGetEndpoint,
+    my_buf: Addr,
+    rank: usize,
+    layout: RingLayout,
+) {
+    let n = layout.nodes;
+    let rank = rank as u64;
+    let mut epoch = 0u64;
+    // Phase 1: reduce-scatter.
+    for s in 0..n - 1 {
+        epoch += 1;
+        let send_chunk = (rank + n - s) % n;
+        let recv_chunk = (rank + n - s - 1) % n;
+        ring_step(t, ep, my_buf, layout, send_chunk, epoch).await;
+        let inbox = my_buf + layout.inbox(epoch);
+        for i in 0..(layout.chunk_bytes / 8) {
+            let dst = my_buf + recv_chunk * layout.chunk_bytes + i * 8;
+            let a = t.ld_u64(dst).await;
+            let b = t.ld_u64(inbox + i * 8).await;
+            t.instr(2).await;
+            t.st_u64(dst, a.wrapping_add(b)).await;
+        }
+    }
+    // Phase 2: all-gather.
+    for s in 0..n - 1 {
+        epoch += 1;
+        let send_chunk = (rank + 1 + n - s) % n;
+        let recv_chunk = (rank + n - s) % n;
+        ring_step(t, ep, my_buf, layout, send_chunk, epoch).await;
+        let inbox = my_buf + layout.inbox(epoch);
+        for i in 0..(layout.chunk_bytes / 8) {
+            let v = t.ld_u64(inbox + i * 8).await;
+            t.st_u64(my_buf + recv_chunk * layout.chunk_bytes + i * 8, v)
+                .await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Backend;
+
+    fn run_ring(backend: Backend, nodes: usize, elements: usize) {
+        let c = Cluster::with_nodes(backend, nodes);
+        let layout = RingLayout::for_u64(nodes, elements);
+        let bufs: Vec<Addr> = (0..nodes)
+            .map(|n| c.nodes[n].gpu.alloc(layout.buffer_bytes(), 256))
+            .collect();
+        let mut reference = vec![0u64; elements];
+        for (n, &buf) in bufs.iter().enumerate() {
+            for (i, r) in reference.iter_mut().enumerate() {
+                let v = (n as u64 + 1) * 7 + i as u64 * 3;
+                c.bus.write_u64(buf + (i * 8) as u64, v);
+                *r += v;
+            }
+        }
+        let eps = build_ring(&c, &bufs, layout);
+        for (rank, ep) in eps.into_iter().enumerate() {
+            let gpu = c.nodes[rank].gpu.clone();
+            let buf = bufs[rank];
+            c.sim.spawn(&format!("rank{rank}"), async move {
+                ring_allreduce_sum_u64(&gpu.thread(), &ep, buf, rank, layout).await;
+            });
+        }
+        c.sim.run();
+        for (n, &buf) in bufs.iter().enumerate() {
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(
+                    c.bus.read_u64(buf + (i * 8) as u64),
+                    *want,
+                    "{backend:?} node {n} element {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_on_two_nodes() {
+        run_ring(Backend::Extoll, 2, 32);
+    }
+
+    #[test]
+    fn ring_allreduce_on_four_nodes_extoll() {
+        run_ring(Backend::Extoll, 4, 64);
+    }
+
+    #[test]
+    fn ring_allreduce_on_four_nodes_infiniband() {
+        run_ring(Backend::Infiniband, 4, 64);
+    }
+
+    #[test]
+    fn ring_allreduce_on_six_nodes_uneven_values() {
+        run_ring(Backend::Extoll, 6, 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_partition_is_rejected() {
+        RingLayout::for_u64(3, 100);
+    }
+}

@@ -1,0 +1,571 @@
+//! The single-threaded cooperative process executor.
+//!
+//! Processes are `Future<Output = ()>` values polled by [`Sim::run`]. The
+//! executor never uses real wakers: every wake-up is explicit through the
+//! simulation's own data structures (timer events or the primitives in
+//! [`crate::sync`]), which keeps scheduling fully deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::sync::Signal;
+use crate::time::Time;
+
+/// Identifier of a spawned process. Stable for the lifetime of the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub(crate) usize);
+
+type BoxedProc = Pin<Box<dyn Future<Output = ()>>>;
+
+struct ProcSlot {
+    fut: Option<BoxedProc>,
+    name: String,
+    /// Set while the process is on the runnable queue, to avoid duplicates.
+    queued: bool,
+}
+
+/// A timer that fires at a given simulated time.
+struct TimerState {
+    fired: Cell<bool>,
+    waiter: Cell<Option<ProcId>>,
+}
+
+struct Ev {
+    at: Time,
+    seq: u64,
+    timer: Rc<TimerState>,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+pub(crate) struct Inner {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Ev>>,
+    runnable: VecDeque<ProcId>,
+    procs: Vec<Option<ProcSlot>>,
+    free: Vec<usize>,
+    live: usize,
+    current: Option<ProcId>,
+    trace: Option<Vec<(Time, String)>>,
+}
+
+/// Handle to a simulation. Cheap to clone; all clones refer to the same
+/// simulated world.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(RefCell::new(Inner {
+                now: 0,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                runnable: VecDeque::new(),
+                procs: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                current: None,
+                trace: None,
+            })),
+        }
+    }
+
+    /// Current simulated time in picoseconds.
+    pub fn now(&self) -> Time {
+        self.inner.borrow().now
+    }
+
+    /// Number of processes that have been spawned and not yet finished.
+    pub fn live_processes(&self) -> usize {
+        self.inner.borrow().live
+    }
+
+    /// Spawn a process. It becomes runnable at the current simulated time.
+    pub fn spawn<F>(&self, name: &str, fut: F) -> ProcId
+    where
+        F: Future<Output = ()> + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        let slot = ProcSlot {
+            fut: Some(Box::pin(fut)),
+            name: name.to_string(),
+            queued: true,
+        };
+        let id = match inner.free.pop() {
+            Some(i) => {
+                inner.procs[i] = Some(slot);
+                ProcId(i)
+            }
+            None => {
+                inner.procs.push(Some(slot));
+                ProcId(inner.procs.len() - 1)
+            }
+        };
+        inner.live += 1;
+        inner.runnable.push_back(id);
+        id
+    }
+
+    /// Mark `pid` runnable at the current time (no-op if already queued or
+    /// finished). Used by the sync primitives.
+    pub(crate) fn make_runnable(&self, pid: ProcId) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(Some(slot)) = inner.procs.get_mut(pid.0) {
+            if !slot.queued {
+                slot.queued = true;
+                inner.runnable.push_back(pid);
+            }
+        }
+    }
+
+    pub(crate) fn current_proc(&self) -> ProcId {
+        self.inner
+            .borrow()
+            .current
+            .expect("sim primitive awaited outside of a simulation process")
+    }
+
+    fn poll_proc(&self, pid: ProcId) {
+        // Move the future out of the slab so polling can re-borrow `inner`.
+        let mut fut = {
+            let mut inner = self.inner.borrow_mut();
+            let slot = match inner.procs.get_mut(pid.0) {
+                Some(Some(s)) => s,
+                _ => return,
+            };
+            slot.queued = false;
+            match slot.fut.take() {
+                Some(f) => {
+                    inner.current = Some(pid);
+                    f
+                }
+                None => return,
+            }
+        };
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let done = fut.as_mut().poll(&mut cx).is_ready();
+        let mut inner = self.inner.borrow_mut();
+        inner.current = None;
+        if done {
+            inner.procs[pid.0] = None;
+            inner.free.push(pid.0);
+            inner.live -= 1;
+        } else if let Some(Some(slot)) = inner.procs.get_mut(pid.0) {
+            slot.fut = Some(fut);
+        }
+    }
+
+    /// Run until no runnable processes and no pending events remain.
+    /// Returns the final simulated time.
+    pub fn run(&self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    /// Run until the event queue is exhausted or the clock would pass
+    /// `deadline`. Returns the simulated time when the run stopped.
+    pub fn run_until(&self, deadline: Time) -> Time {
+        loop {
+            // Drain everything runnable at the current instant.
+            loop {
+                let next = self.inner.borrow_mut().runnable.pop_front();
+                match next {
+                    Some(pid) => self.poll_proc(pid),
+                    None => break,
+                }
+            }
+            // Advance to the next timer event.
+            let timer = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.queue.pop() {
+                    Some(Reverse(ev)) => {
+                        if ev.at > deadline {
+                            inner.queue.push(Reverse(ev));
+                            inner.now = deadline;
+                            return deadline;
+                        }
+                        debug_assert!(ev.at >= inner.now, "time went backwards");
+                        inner.now = ev.at;
+                        ev.timer
+                    }
+                    None => return inner.now,
+                }
+            };
+            timer.fired.set(true);
+            if let Some(pid) = timer.waiter.take() {
+                self.make_runnable(pid);
+            }
+        }
+    }
+
+    /// A future that completes `dur` picoseconds after it is first polled.
+    pub fn delay(&self, dur: Time) -> Delay {
+        Delay {
+            sim: self.clone(),
+            dur,
+            timer: None,
+        }
+    }
+
+    /// A future that yields once, letting every other currently-runnable
+    /// process run before resuming at the same simulated time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow {
+            sim: self.clone(),
+            yielded: false,
+        }
+    }
+
+    /// Create a new [`Signal`] bound to this simulation.
+    pub fn signal(&self) -> Signal {
+        Signal::new(self.clone())
+    }
+
+    /// Start recording trace events (see [`Sim::trace`]). Any previously
+    /// recorded events are discarded.
+    pub fn trace_enable(&self) {
+        self.inner.borrow_mut().trace = Some(Vec::new());
+    }
+
+    /// Record a timestamped trace event. A no-op unless
+    /// [`Sim::trace_enable`] was called — hardware models sprinkle these at
+    /// interesting points and pay nothing when tracing is off.
+    pub fn trace(&self, label: impl FnOnce() -> String) {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.now;
+        if let Some(t) = inner.trace.as_mut() {
+            t.push((now, label()));
+        }
+    }
+
+    /// Whether tracing is currently enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.borrow().trace.is_some()
+    }
+
+    /// Take the recorded trace, leaving tracing enabled with an empty log.
+    pub fn take_trace(&self) -> Vec<(Time, String)> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Names of processes that are still alive (useful to diagnose
+    /// deadlocks after [`Sim::run`] returns with live processes).
+    pub fn stuck_processes(&self) -> Vec<String> {
+        self.inner
+            .borrow()
+            .procs
+            .iter()
+            .flatten()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    fn schedule_timer(&self, at: Time) -> Rc<TimerState> {
+        let timer = Rc::new(TimerState {
+            fired: Cell::new(false),
+            waiter: Cell::new(None),
+        });
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.queue.push(Reverse(Ev {
+            at,
+            seq,
+            timer: timer.clone(),
+        }));
+        timer
+    }
+}
+
+/// Future returned by [`Sim::delay`].
+pub struct Delay {
+    sim: Sim,
+    dur: Time,
+    timer: Option<Rc<TimerState>>,
+}
+
+impl Future for Delay {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match &this.timer {
+            None => {
+                if this.dur == 0 {
+                    return Poll::Ready(());
+                }
+                let at = this.sim.now() + this.dur;
+                let timer = this.sim.schedule_timer(at);
+                timer.waiter.set(Some(this.sim.current_proc()));
+                this.timer = Some(timer);
+                Poll::Pending
+            }
+            Some(t) => {
+                if t.fired.get() {
+                    Poll::Ready(())
+                } else {
+                    // Re-polled spuriously; re-register.
+                    t.waiter.set(Some(this.sim.current_proc()));
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    sim: Sim,
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.yielded {
+            Poll::Ready(())
+        } else {
+            this.yielded = true;
+            let pid = this.sim.current_proc();
+            // Requeue ourselves behind everything currently runnable.
+            let mut inner = this.sim.inner.borrow_mut();
+            if let Some(Some(slot)) = inner.procs.get_mut(pid.0) {
+                if !slot.queued {
+                    slot.queued = true;
+                    inner.runnable.push_back(pid);
+                }
+            }
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{ns, us};
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run(), 0);
+    }
+
+    #[test]
+    fn delay_advances_clock() {
+        let sim = Sim::new();
+        let h = sim.clone();
+        let t = Rc::new(Cell::new(0));
+        let t2 = t.clone();
+        sim.spawn("d", async move {
+            h.delay(ns(250)).await;
+            t2.set(h.now());
+        });
+        assert_eq!(sim.run(), ns(250));
+        assert_eq!(t.get(), ns(250));
+    }
+
+    #[test]
+    fn zero_delay_completes_immediately() {
+        let sim = Sim::new();
+        let h = sim.clone();
+        sim.spawn("d", async move {
+            h.delay(0).await;
+            assert_eq!(h.now(), 0);
+        });
+        assert_eq!(sim.run(), 0);
+        assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn sequential_delays_accumulate() {
+        let sim = Sim::new();
+        let h = sim.clone();
+        sim.spawn("d", async move {
+            h.delay(ns(10)).await;
+            h.delay(ns(20)).await;
+            h.delay(ns(30)).await;
+            assert_eq!(h.now(), ns(60));
+        });
+        assert_eq!(sim.run(), ns(60));
+    }
+
+    #[test]
+    fn processes_interleave_by_timestamp() {
+        let sim = Sim::new();
+        let order = Rc::new(StdRefCell::new(Vec::new()));
+        for (name, d) in [("a", 30u64), ("b", 10), ("c", 20)] {
+            let h = sim.clone();
+            let ord = order.clone();
+            sim.spawn(name, async move {
+                h.delay(ns(d)).await;
+                ord.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn ties_broken_by_spawn_order() {
+        let sim = Sim::new();
+        let order = Rc::new(StdRefCell::new(Vec::new()));
+        for name in ["x", "y", "z"] {
+            let h = sim.clone();
+            let ord = order.clone();
+            sim.spawn(name, async move {
+                h.delay(us(1)).await;
+                ord.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn spawn_from_within_process_runs_same_time() {
+        let sim = Sim::new();
+        let h = sim.clone();
+        let hits = Rc::new(Cell::new(0u32));
+        let hits2 = hits.clone();
+        sim.spawn("parent", async move {
+            h.delay(ns(5)).await;
+            let hh = h.clone();
+            let hits3 = hits2.clone();
+            h.spawn("child", async move {
+                assert_eq!(hh.now(), ns(5));
+                hits3.set(hits3.get() + 1);
+            });
+        });
+        sim.run();
+        assert_eq!(hits.get(), 1);
+        assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run_first() {
+        let sim = Sim::new();
+        let order = Rc::new(StdRefCell::new(Vec::new()));
+        let h = sim.clone();
+        let ord = order.clone();
+        sim.spawn("first", async move {
+            ord.borrow_mut().push("first-before");
+            h.yield_now().await;
+            ord.borrow_mut().push("first-after");
+        });
+        let ord = order.clone();
+        sim.spawn("second", async move {
+            ord.borrow_mut().push("second");
+        });
+        sim.run();
+        assert_eq!(
+            *order.borrow(),
+            vec!["first-before", "second", "first-after"]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new();
+        let h = sim.clone();
+        sim.spawn("slow", async move {
+            h.delay(us(100)).await;
+        });
+        let t = sim.run_until(us(10));
+        assert_eq!(t, us(10));
+        assert_eq!(sim.live_processes(), 1);
+        assert_eq!(sim.stuck_processes(), vec!["slow".to_string()]);
+        // Resuming finishes the process.
+        let t = sim.run();
+        assert_eq!(t, us(100));
+        assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn tracing_records_in_time_order_and_is_free_when_off() {
+        let sim = Sim::new();
+        // Off: no-op.
+        sim.trace(|| "ignored".to_string());
+        assert!(sim.take_trace().is_empty());
+        sim.trace_enable();
+        let h = sim.clone();
+        sim.spawn("t", async move {
+            h.trace(|| "start".to_string());
+            h.delay(ns(100)).await;
+            h.trace(|| "after-delay".to_string());
+        });
+        sim.run();
+        let t = sim.take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], (0, "start".to_string()));
+        assert_eq!(t[1], (ns(100), "after-delay".to_string()));
+        // take_trace drained it but kept tracing on.
+        assert!(sim.trace_enabled());
+        assert!(sim.take_trace().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn one_run() -> Vec<(u64, &'static str)> {
+            let sim = Sim::new();
+            let log = Rc::new(StdRefCell::new(Vec::new()));
+            for (name, start, period) in
+                [("p1", 3u64, 7u64), ("p2", 1, 5), ("p3", 4, 7), ("p4", 2, 3)]
+            {
+                let h = sim.clone();
+                let log2 = log.clone();
+                sim.spawn(name, async move {
+                    h.delay(ns(start)).await;
+                    for _ in 0..50 {
+                        h.delay(ns(period)).await;
+                        log2.borrow_mut().push((h.now(), name));
+                    }
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        let a = one_run();
+        let b = one_run();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests of the DES kernel: determinism, FIFO channels, and
+//! monotone time under arbitrary process populations.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use tc_desim::sync::Channel;
+use tc_desim::time::ns;
+use tc_desim::Sim;
+
+fn run_population(procs: &[(u16, u16, u8)]) -> Vec<(u64, usize)> {
+    let sim = Sim::new();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    for (idx, &(start, period, count)) in procs.iter().enumerate() {
+        let h = sim.clone();
+        let log = log.clone();
+        sim.spawn(&format!("p{idx}"), async move {
+            h.delay(ns(start as u64)).await;
+            for _ in 0..count {
+                h.delay(ns(period as u64 + 1)).await;
+                log.borrow_mut().push((h.now(), idx));
+            }
+        });
+    }
+    sim.run();
+    Rc::try_unwrap(log).unwrap().into_inner()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Two identical populations produce bit-identical event logs.
+    #[test]
+    fn arbitrary_populations_are_deterministic(
+        procs in proptest::collection::vec((0u16..1000, 0u16..100, 0u8..20), 1..12)
+    ) {
+        let a = run_population(&procs);
+        let b = run_population(&procs);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The event log is sorted by time (the clock never goes backwards).
+    #[test]
+    fn time_is_monotone(
+        procs in proptest::collection::vec((0u16..1000, 0u16..100, 0u8..20), 1..12)
+    ) {
+        let log = run_population(&procs);
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    /// Whatever the interleaving of producers' delays, a channel delivers
+    /// each producer's items in its send order.
+    #[test]
+    fn channels_are_fifo_per_producer(
+        delays in proptest::collection::vec((0u16..200, 0u16..200), 2..6),
+        items_each in 1u8..15,
+    ) {
+        let sim = Sim::new();
+        let ch: Channel<(usize, u8)> = Channel::new(&sim, 3);
+        for (p, &(start, gap)) in delays.iter().enumerate() {
+            let h = sim.clone();
+            let tx = ch.clone();
+            sim.spawn(&format!("prod{p}"), async move {
+                h.delay(ns(start as u64)).await;
+                for i in 0..items_each {
+                    tx.send((p, i)).await;
+                    h.delay(ns(gap as u64)).await;
+                }
+            });
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        let rx = ch.clone();
+        let total = delays.len() * items_each as usize;
+        sim.spawn("consumer", async move {
+            for _ in 0..total {
+                let item = rx.recv().await.unwrap();
+                g.borrow_mut().push(item);
+            }
+        });
+        sim.run();
+        let got = got.borrow();
+        prop_assert_eq!(got.len(), total);
+        for p in 0..delays.len() {
+            let seq: Vec<u8> = got.iter().filter(|(q, _)| *q == p).map(|(_, i)| *i).collect();
+            prop_assert_eq!(seq, (0..items_each).collect::<Vec<_>>());
+        }
+    }
+
+    /// A semaphore never admits more holders than permits under arbitrary
+    /// contention patterns.
+    #[test]
+    fn semaphore_invariant_holds(
+        permits in 1usize..4,
+        tasks in proptest::collection::vec((0u16..50, 1u16..50), 1..16),
+    ) {
+        use std::cell::Cell;
+        let sim = Sim::new();
+        let sem = tc_desim::sync::Semaphore::new(&sim, permits);
+        let active = Rc::new(Cell::new(0usize));
+        let peak = Rc::new(Cell::new(0usize));
+        for (i, &(start, hold)) in tasks.iter().enumerate() {
+            let h = sim.clone();
+            let s = sem.clone();
+            let a = active.clone();
+            let p = peak.clone();
+            sim.spawn(&format!("t{i}"), async move {
+                h.delay(ns(start as u64)).await;
+                s.acquire().await;
+                a.set(a.get() + 1);
+                p.set(p.get().max(a.get()));
+                h.delay(ns(hold as u64)).await;
+                a.set(a.get() - 1);
+                s.release();
+            });
+        }
+        sim.run();
+        prop_assert!(peak.get() <= permits);
+        prop_assert_eq!(sem.available(), permits);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! `tc-extoll` — a functional model of the EXTOLL RMA unit and its
+//! software API, extended for GPU-controlled communication as in §III of
+//! the paper.
+//!
+//! # Architecture (mirrors §III-A/B)
+//!
+//! * **Work requests** are 192-bit descriptors posted by writing three
+//!   64-bit words to a per-port *requester page* on the PCIe BAR
+//!   ([`wr`], [`bar`]); the last store starts the transfer.
+//! * The **requester** sources the payload (via DMA — peer-to-peer from the
+//!   GPU BAR when the buffer was registered through GPUDirect), the
+//!   **completer** sinks inbound puts/get-responses, and the **responder**
+//!   answers gets ([`engine`]).
+//! * The **ATU** translates Network Logical Addresses; registering GPU
+//!   memory goes through the BAR aperture, emulating the paper's driver
+//!   patch ([`atu`]).
+//! * **Notifications** are 128-bit records DMA-written into queues that the
+//!   kernel driver pre-allocates in *host* memory — they cannot move to GPU
+//!   memory, which is the central EXTOLL limitation the paper identifies
+//!   ([`notif`], §VI).
+//! * The user-space API ([`api`]) is generic over the executing
+//!   [`tc_pcie::Processor`], so the identical code path runs from the CPU
+//!   or from a GPU thread.
+
+pub mod api;
+pub mod atu;
+pub mod bar;
+pub mod engine;
+pub mod notif;
+pub mod velo;
+pub mod wr;
+
+pub use api::{NotifConsumer, RmaPort};
+pub use atu::Atu;
+pub use engine::{ExtollNic, NicStats, RmaConfig, RmaFrame};
+pub use notif::{Notification, NotifyUnit};
+pub use velo::{velo_send, MailboxConsumer, VeloMsg, VELO_MAX_PAYLOAD};
+pub use wr::{RmaCommand, WorkRequest, WrFlags};

@@ -1,0 +1,143 @@
+//! EXTOLL notifications: 128-bit records the RMA units DMA into
+//! pre-allocated queues in host (kernel) memory.
+//!
+//! The queues are allocated in kernel space at driver load time and merely
+//! *assigned* when a port is opened — which is exactly why they cannot be
+//! relocated to GPU memory and why polling them from the GPU is so costly
+//! (§VI). Consumers must free notifications (zero the record and advance the
+//! read pointer) before the queue overflows; the hardware stalls otherwise.
+
+use tc_mem::{Addr, Ring};
+
+/// Which RMA unit produced a notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyUnit {
+    /// The requester accepted and started a work request.
+    Requester,
+    /// The completer delivered inbound data.
+    Completer,
+    /// The responder served a remote get.
+    Responder,
+}
+
+/// A decoded notification record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// Which RMA unit produced the record.
+    pub unit: NotifyUnit,
+    /// Originating port.
+    pub port: u16,
+    /// Payload size of the operation.
+    pub len: u32,
+    /// NLA the operation touched.
+    pub nla: u64,
+}
+
+/// Size of one notification record in bytes (128 bits).
+pub const NOTIF_BYTES: u64 = 16;
+
+impl Notification {
+    /// Encode to the two queue words. Word 0 is non-zero for any valid
+    /// record, which is what consumers poll on (records are zeroed when
+    /// freed).
+    pub fn encode(&self) -> [u64; 2] {
+        let unit = match self.unit {
+            NotifyUnit::Requester => 1u64,
+            NotifyUnit::Completer => 2,
+            NotifyUnit::Responder => 3,
+        };
+        [
+            unit | (1 << 8) | ((self.port as u64) << 16) | ((self.len as u64) << 32),
+            self.nla,
+        ]
+    }
+
+    /// Decode from the two queue words; `None` if the slot is free.
+    pub fn decode(words: [u64; 2]) -> Option<Self> {
+        if words[0] == 0 {
+            return None;
+        }
+        let unit = match words[0] & 0xFF {
+            1 => NotifyUnit::Requester,
+            2 => NotifyUnit::Completer,
+            3 => NotifyUnit::Responder,
+            _ => return None,
+        };
+        Some(Notification {
+            unit,
+            port: ((words[0] >> 16) & 0xFFFF) as u16,
+            len: (words[0] >> 32) as u32,
+            nla: words[1],
+        })
+    }
+}
+
+/// Memory layout of one notification queue: the record ring plus the
+/// consumer-owned read-pointer word the hardware checks for overflow.
+#[derive(Debug, Clone, Copy)]
+pub struct NotifQueueLayout {
+    /// The record ring (16-byte entries) in host kernel memory.
+    pub ring: Ring,
+    /// Address of the 32-bit read pointer, updated by the consumer.
+    pub rp_addr: Addr,
+}
+
+impl NotifQueueLayout {
+    /// Lay out a queue of `entries` records at `base` (ring first, read
+    /// pointer word right after).
+    pub fn at(base: Addr, entries: u64) -> Self {
+        let ring = Ring::new(base, NOTIF_BYTES, entries);
+        NotifQueueLayout {
+            ring,
+            rp_addr: base + ring.byte_len(),
+        }
+    }
+
+    /// Total footprint in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.ring.byte_len() + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for unit in [NotifyUnit::Requester, NotifyUnit::Completer, NotifyUnit::Responder] {
+            let n = Notification {
+                unit,
+                port: 31,
+                len: 4096,
+                nla: 0xFEED_F000,
+            };
+            assert_eq!(Notification::decode(n.encode()), Some(n));
+        }
+    }
+
+    #[test]
+    fn zeroed_slot_decodes_as_free() {
+        assert_eq!(Notification::decode([0, 0]), None);
+    }
+
+    #[test]
+    fn valid_records_are_never_all_zero_in_word0() {
+        // Even a minimal record must poll as "present".
+        let n = Notification {
+            unit: NotifyUnit::Requester,
+            port: 0,
+            len: 0,
+            nla: 0,
+        };
+        assert_ne!(n.encode()[0], 0);
+    }
+
+    #[test]
+    fn layout_places_rp_after_ring() {
+        let q = NotifQueueLayout::at(0x1000, 64);
+        assert_eq!(q.ring.base(), 0x1000);
+        assert_eq!(q.rp_addr, 0x1000 + 64 * 16);
+        assert_eq!(q.byte_len(), 64 * 16 + 4);
+    }
+}

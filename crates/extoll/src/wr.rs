@@ -1,0 +1,155 @@
+//! The EXTOLL RMA work request: 192 bits, written as three 64-bit words to
+//! the port's requester page on the PCIe BAR. Writing the last word starts
+//! the transfer — this single-step posting is EXTOLL's key advantage over
+//! Infiniband's two-step queue+doorbell scheme (§VI).
+
+/// RMA command type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmaCommand {
+    /// One-sided write to remote memory.
+    Put,
+    /// One-sided read from remote memory.
+    Get,
+}
+
+/// Work-request flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WrFlags {
+    /// Generate a requester notification when the transfer has started.
+    pub notify_requester: bool,
+    /// Generate a completer notification at the data sink.
+    pub notify_completer: bool,
+    /// Generate a responder notification at the data source (gets only).
+    pub notify_responder: bool,
+}
+
+/// A decoded RMA work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkRequest {
+    /// Put or get.
+    pub command: RmaCommand,
+    /// Notification requests.
+    pub flags: WrFlags,
+    /// Destination node (the routing field; up to 32 nodes).
+    pub dst_node: u8,
+    /// Destination port on the remote node (routes remote notifications).
+    pub dst_port: u16,
+    /// Payload size in bytes.
+    pub len: u32,
+    /// Network Logical Address of the local buffer (source for put,
+    /// destination for get).
+    pub local_nla: u64,
+    /// NLA of the remote buffer.
+    pub remote_nla: u64,
+}
+
+impl WorkRequest {
+    /// Encode into the three BAR words.
+    pub fn encode(&self) -> [u64; 3] {
+        let cmd = match self.command {
+            RmaCommand::Put => 1u64,
+            RmaCommand::Get => 2u64,
+        };
+        let mut flags = 0u64;
+        if self.flags.notify_requester {
+            flags |= 1;
+        }
+        if self.flags.notify_completer {
+            flags |= 2;
+        }
+        if self.flags.notify_responder {
+            flags |= 4;
+        }
+        assert!(self.dst_node < 32, "routing field holds 32 nodes");
+        let w0 = cmd
+            | (flags << 8)
+            | ((self.dst_node as u64) << 11)
+            | ((self.dst_port as u64) << 16)
+            | ((self.len as u64) << 32);
+        [w0, self.local_nla, self.remote_nla]
+    }
+
+    /// Decode from the three BAR words. Returns `None` on a malformed
+    /// command field (hardware would raise an error interrupt).
+    pub fn decode(words: [u64; 3]) -> Option<Self> {
+        let command = match words[0] & 0xFF {
+            1 => RmaCommand::Put,
+            2 => RmaCommand::Get,
+            _ => return None,
+        };
+        let f = (words[0] >> 8) & 0x7;
+        Some(WorkRequest {
+            command,
+            flags: WrFlags {
+                notify_requester: f & 1 != 0,
+                notify_completer: f & 2 != 0,
+                notify_responder: f & 4 != 0,
+            },
+            dst_node: ((words[0] >> 11) & 0x1F) as u8,
+            dst_port: ((words[0] >> 16) & 0xFFFF) as u16,
+            len: (words[0] >> 32) as u32,
+            local_nla: words[1],
+            remote_nla: words[2],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkRequest {
+        WorkRequest {
+            command: RmaCommand::Put,
+            flags: WrFlags {
+                notify_requester: true,
+                notify_completer: true,
+                notify_responder: false,
+            },
+            dst_node: 1,
+            dst_port: 17,
+            len: 65536,
+            local_nla: 0xABCD_0000,
+            remote_nla: 0x1234_5000,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let wr = sample();
+        assert_eq!(WorkRequest::decode(wr.encode()), Some(wr));
+        let get = WorkRequest {
+            command: RmaCommand::Get,
+            flags: WrFlags {
+                notify_responder: true,
+                ..Default::default()
+            },
+            ..sample()
+        };
+        assert_eq!(WorkRequest::decode(get.encode()), Some(get));
+    }
+
+    #[test]
+    fn malformed_command_rejected() {
+        assert_eq!(WorkRequest::decode([0, 0, 0]), None);
+        assert_eq!(WorkRequest::decode([99, 0, 0]), None);
+    }
+
+    #[test]
+    fn fields_do_not_clobber_each_other() {
+        let wr = WorkRequest {
+            command: RmaCommand::Get,
+            flags: WrFlags {
+                notify_requester: true,
+                notify_completer: true,
+                notify_responder: true,
+            },
+            dst_node: 31,
+            dst_port: u16::MAX,
+            len: u32::MAX,
+            local_nla: u64::MAX,
+            remote_nla: 1,
+        };
+        assert_eq!(WorkRequest::decode(wr.encode()), Some(wr));
+    }
+}

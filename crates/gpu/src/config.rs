@@ -1,0 +1,111 @@
+//! GPU timing parameters.
+
+use tc_desim::time::{self, Freq, Time};
+
+/// Timing model of the GPU. Defaults approximate a Kepler K20c, the class of
+/// device used in the paper's testbed.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Device memory size in bytes.
+    pub dram_bytes: u64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 line size in bytes.
+    pub l2_line_bytes: u64,
+    /// Core clock.
+    pub core_clock: Freq,
+    /// Dependent-issue latency of one instruction for a single thread, in
+    /// core cycles. A lone GPU thread issues roughly one instruction per
+    /// ~10 cycles because nothing hides the pipeline latency.
+    pub instr_cycles: u64,
+    /// Latency of a global load served from L2, core cycles.
+    pub l2_hit_cycles: u64,
+    /// Latency of a global load served from device DRAM, core cycles.
+    pub dram_cycles: u64,
+    /// Store cost to device memory (fire-and-forget into the L2), cycles.
+    pub store_cycles: u64,
+    /// Extra issuer-side cost of a store that crosses PCIe (uncached
+    /// sysmem/BAR store draining through the store path), picoseconds.
+    /// The PCIe posted-write issue cost is charged on top by `tc-pcie`.
+    pub pcie_store_issue: Time,
+    /// Extra latency of a zero-copy load from system memory on top of the
+    /// raw PCIe round trip (UVA translation + uncached load replay on
+    /// Kepler; measured zero-copy loads are ~1.5 us).
+    pub sysmem_read_extra: Time,
+    /// Cost of `__threadfence_system()`, picoseconds.
+    pub fence_sys: Time,
+    /// Host-side cost of launching a kernel (driver + PCIe + scheduling).
+    pub kernel_launch: Time,
+    /// Maximum concurrently resident blocks (SMs x blocks/SM).
+    pub max_resident_blocks: usize,
+}
+
+impl GpuConfig {
+    /// A Kepler K20c-like device.
+    pub fn kepler_k20() -> Self {
+        let core_clock = Freq::mhz(706);
+        GpuConfig {
+            dram_bytes: 5 << 30,
+            l2_bytes: 1536 << 10,
+            l2_line_bytes: 128,
+            core_clock,
+            instr_cycles: 10,
+            l2_hit_cycles: 220,
+            dram_cycles: 470,
+            store_cycles: 40,
+            pcie_store_issue: time::ns(380),
+            sysmem_read_extra: time::ns(850),
+            fence_sys: time::ns(180),
+            kernel_launch: time::us(6),
+            max_resident_blocks: 13 * 16,
+        }
+    }
+
+    /// Duration of `n` dependent instructions for one thread.
+    #[inline]
+    pub fn instr_time(&self, n: u64) -> Time {
+        self.core_clock.cycles(n * self.instr_cycles)
+    }
+
+    /// Duration of an L2 hit.
+    #[inline]
+    pub fn l2_hit_time(&self) -> Time {
+        self.core_clock.cycles(self.l2_hit_cycles)
+    }
+
+    /// Duration of a DRAM access.
+    #[inline]
+    pub fn dram_time(&self) -> Time {
+        self.core_clock.cycles(self.dram_cycles)
+    }
+
+    /// Duration of a device-memory store (to L2).
+    #[inline]
+    pub fn store_time(&self) -> Time {
+        self.core_clock.cycles(self.store_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20_instruction_time_is_about_14ns() {
+        let c = GpuConfig::kepler_k20();
+        let t = c.instr_time(1);
+        assert!((13_000..16_000).contains(&t), "t={t}ps");
+        // Scales linearly up to rounding of the cycle time.
+        let t100 = c.instr_time(100);
+        assert!(t100.abs_diff(100 * t) <= 100, "t100={t100} vs {}", 100 * t);
+    }
+
+    #[test]
+    fn memory_hierarchy_ordering_holds() {
+        let c = GpuConfig::kepler_k20();
+        assert!(c.store_time() < c.l2_hit_time());
+        assert!(c.l2_hit_time() < c.dram_time());
+        // A sysmem access (PCIe RTT, ~600ns) must dwarf a DRAM access.
+        assert!(c.dram_time() < tc_desim::time::ns(700));
+    }
+}

@@ -1,0 +1,322 @@
+//! The device-code execution context.
+//!
+//! A [`GpuThread`] stands for one GPU thread (the paper's API code is
+//! single-threaded per connection; warp-collaborative variants model a warp
+//! cooperating via [`GpuThread::instr_parallel`]). Device code is ordinary
+//! Rust `async` control flow; every operation charges simulated time *and*
+//! the `nvprof`-style counters, routed by the kind of memory it touches.
+
+use tc_mem::{Addr, RegionKind};
+
+use crate::counters::GpuCounters;
+use crate::Gpu;
+
+/// Granularity of sysmem transactions in the nvprof counters the paper uses.
+const SYSMEM_TX_BYTES: u64 = 32;
+
+/// One GPU thread's execution context.
+#[derive(Clone)]
+pub struct GpuThread {
+    gpu: Gpu,
+}
+
+impl GpuThread {
+    pub(crate) fn new(gpu: Gpu) -> Self {
+        GpuThread { gpu }
+    }
+
+    /// The GPU this thread runs on.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The shared GPU counters.
+    pub fn counters(&self) -> &GpuCounters {
+        self.gpu.counters()
+    }
+
+    #[inline]
+    fn sectors(len: u64) -> u64 {
+        len.div_ceil(SYSMEM_TX_BYTES).max(1)
+    }
+
+    /// Execute `n` dependent arithmetic/control instructions.
+    pub async fn instr(&self, n: u64) {
+        let c = self.counters();
+        GpuCounters::bump(&c.instructions, n);
+        self.gpu.sim().delay(self.gpu.config().instr_time(n)).await;
+    }
+
+    /// Execute `n` instructions that a warp of `width` threads can execute
+    /// cooperatively (wall time shrinks, instruction *count* per thread is
+    /// `n / width` on the counting thread; the counters track the whole
+    /// warp as `n`).
+    pub async fn instr_parallel(&self, n: u64, width: u64) {
+        let c = self.counters();
+        GpuCounters::bump(&c.instructions, n);
+        let serial = n.div_ceil(width.max(1));
+        self.gpu
+            .sim()
+            .delay(self.gpu.config().instr_time(serial))
+            .await;
+    }
+
+    async fn load(&self, addr: Addr, buf: &mut [u8]) {
+        let gpu = &self.gpu;
+        let cfg = gpu.config();
+        let c = self.counters();
+        let len = buf.len() as u64;
+        GpuCounters::bump(&c.instructions, 1);
+        GpuCounters::bump(&c.mem_accesses, 1);
+        match gpu.bus().classify(addr) {
+            RegionKind::GpuDram { node } | RegionKind::GpuBar { node } => {
+                assert_eq!(node, gpu.node(), "GPU load from remote device memory");
+                GpuCounters::bump(&c.globmem64_reads, len.div_ceil(8));
+                let (hits, misses) = gpu.l2().read(addr, len);
+                GpuCounters::bump(&c.l2_read_requests, hits + misses);
+                GpuCounters::bump(&c.l2_read_hits, hits);
+                GpuCounters::bump(&c.l2_read_misses, misses);
+                let lat = if misses > 0 {
+                    cfg.dram_time()
+                } else {
+                    cfg.l2_hit_time()
+                };
+                // Additional lines stream behind the first one.
+                let extra = (hits + misses).saturating_sub(1) * tc_desim::time::ns(4);
+                gpu.sim().delay(lat + extra).await;
+                gpu.bus().read(addr, buf);
+            }
+            RegionKind::HostDram { .. } | RegionKind::Mmio { .. } => {
+                let sectors = Self::sectors(len);
+                GpuCounters::bump(&c.sysmem_reads, sectors);
+                GpuCounters::bump(&c.l2_read_requests, sectors);
+                GpuCounters::bump(&c.l2_read_misses, sectors);
+                gpu.sim().delay(cfg.sysmem_read_extra).await;
+                gpu.endpoint().read(addr, buf).await;
+            }
+        }
+    }
+
+    async fn store(&self, addr: Addr, data: &[u8]) {
+        let gpu = &self.gpu;
+        let cfg = gpu.config();
+        let c = self.counters();
+        let len = data.len() as u64;
+        GpuCounters::bump(&c.instructions, 1);
+        GpuCounters::bump(&c.mem_accesses, 1);
+        match gpu.bus().classify(addr) {
+            RegionKind::GpuDram { node } | RegionKind::GpuBar { node } => {
+                assert_eq!(node, gpu.node(), "GPU store to remote device memory");
+                GpuCounters::bump(&c.globmem64_writes, len.div_ceil(8));
+                gpu.l2().write(addr, len);
+                GpuCounters::bump(&c.l2_write_requests, len.div_ceil(32).max(1));
+                gpu.bus().write(addr, data);
+                gpu.sim().delay(cfg.store_time()).await;
+            }
+            RegionKind::HostDram { .. } | RegionKind::Mmio { .. } => {
+                let sectors = Self::sectors(len);
+                GpuCounters::bump(&c.sysmem_writes, sectors);
+                GpuCounters::bump(&c.l2_write_requests, sectors);
+                // All threads share one store path to PCIe.
+                gpu.store_path().transfer(cfg.pcie_store_issue).await;
+                gpu.endpoint().posted_write(addr, data.to_vec()).await;
+            }
+        }
+    }
+
+    /// 64-bit global load.
+    pub async fn ld_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.load(addr, &mut b).await;
+        u64::from_le_bytes(b)
+    }
+
+    /// 32-bit global load.
+    pub async fn ld_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.load(addr, &mut b).await;
+        u32::from_le_bytes(b)
+    }
+
+    /// 128-bit global load (one `ld.v2.u64`).
+    pub async fn ld_u128(&self, addr: Addr) -> u128 {
+        let mut b = [0u8; 16];
+        self.load(addr, &mut b).await;
+        u128::from_le_bytes(b)
+    }
+
+    /// 64-bit global store.
+    pub async fn st_u64(&self, addr: Addr, v: u64) {
+        self.store(addr, &v.to_le_bytes()).await;
+    }
+
+    /// 32-bit global store.
+    pub async fn st_u32(&self, addr: Addr, v: u32) {
+        self.store(addr, &v.to_le_bytes()).await;
+    }
+
+    /// 128-bit global store (one `st.v2.u64`).
+    pub async fn st_u128(&self, addr: Addr, v: u128) {
+        self.store(addr, &v.to_le_bytes()).await;
+    }
+
+    /// Bulk load (e.g. touching a received payload).
+    pub async fn ld_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        self.load(addr, buf).await;
+    }
+
+    /// Bulk store (e.g. initializing a payload buffer).
+    pub async fn st_bytes(&self, addr: Addr, data: &[u8]) {
+        self.store(addr, data).await;
+    }
+
+    /// `__threadfence_system()`: order device writes w.r.t. the host/PCIe.
+    pub async fn fence_system(&self) {
+        let c = self.counters();
+        GpuCounters::bump(&c.instructions, 1);
+        self.gpu.sim().delay(self.gpu.config().fence_sys).await;
+    }
+}
+
+impl tc_pcie::Processor for GpuThread {
+    fn sim(&self) -> &tc_desim::Sim {
+        self.gpu.sim()
+    }
+
+    async fn instr(&self, n: u64) {
+        GpuThread::instr(self, n).await;
+    }
+
+    async fn ld_u64(&self, addr: Addr) -> u64 {
+        GpuThread::ld_u64(self, addr).await
+    }
+
+    async fn st_u64(&self, addr: Addr, v: u64) {
+        GpuThread::st_u64(self, addr, v).await;
+    }
+
+    async fn ld_u32(&self, addr: Addr) -> u32 {
+        GpuThread::ld_u32(self, addr).await
+    }
+
+    async fn st_u32(&self, addr: Addr, v: u32) {
+        GpuThread::st_u32(self, addr, v).await;
+    }
+
+    async fn ld_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        GpuThread::ld_bytes(self, addr, buf).await;
+    }
+
+    async fn st_bytes(&self, addr: Addr, data: &[u8]) {
+        GpuThread::st_bytes(self, addr, data).await;
+    }
+
+    async fn fence(&self) {
+        self.fence_system().await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::test_gpu;
+    use tc_mem::layout;
+
+    #[test]
+    fn devmem_load_counts_globmem_and_l2() {
+        let (sim, _bus, gpu) = test_gpu();
+        let a = gpu.alloc(64, 64);
+        let g = gpu.clone();
+        sim.spawn("t", async move {
+            let t = g.thread();
+            t.st_u64(a, 7).await;
+            assert_eq!(t.ld_u64(a).await, 7);
+            assert_eq!(t.ld_u64(a).await, 7);
+        });
+        sim.run();
+        let s = gpu.counters().snapshot();
+        assert_eq!(s.globmem64_writes, 1);
+        assert_eq!(s.globmem64_reads, 2);
+        // Store write-allocates the line, so both reads hit.
+        assert_eq!(s.l2_read_hits, 2);
+        assert_eq!(s.l2_read_misses, 0);
+        assert_eq!(s.sysmem_reads, 0);
+        assert_eq!(s.mem_accesses, 3);
+        assert_eq!(s.instructions, 3);
+    }
+
+    #[test]
+    fn sysmem_load_counts_32b_transactions_and_stalls() {
+        let (sim, bus, gpu) = test_gpu();
+        bus.write_u64(layout::host_dram(0) + 0x40, 42);
+        let g = gpu.clone();
+        let sim2 = sim.clone();
+        sim.spawn("t", async move {
+            let t = g.thread();
+            let t0 = sim2.now();
+            let v = t.ld_u64(layout::host_dram(0) + 0x40).await;
+            assert_eq!(v, 42);
+            // A sysmem read stalls for a PCIe round trip (>= 600ns).
+            assert!(sim2.now() - t0 >= tc_desim::time::ns(600));
+            // A 16-byte notification read is still one 32B transaction.
+            let _ = t.ld_u128(layout::host_dram(0) + 0x80).await;
+            // A 40-byte read needs two.
+            let mut buf = [0u8; 40];
+            t.ld_bytes(layout::host_dram(0) + 0x100, &mut buf).await;
+        });
+        sim.run();
+        let s = gpu.counters().snapshot();
+        assert_eq!(s.sysmem_reads, 1 + 1 + 2);
+        assert_eq!(s.l2_read_hits, 0);
+        assert_eq!(s.globmem64_reads, 0);
+    }
+
+    #[test]
+    fn sysmem_store_is_posted_and_cheaper_than_read() {
+        let (sim, bus, gpu) = test_gpu();
+        let g = gpu.clone();
+        let sim2 = sim.clone();
+        let h = std::rc::Rc::new(std::cell::Cell::new((0u64, 0u64)));
+        let h2 = h.clone();
+        sim.spawn("t", async move {
+            let t = g.thread();
+            let t0 = sim2.now();
+            t.st_u64(layout::host_dram(0), 1).await;
+            let w = sim2.now() - t0;
+            let t0 = sim2.now();
+            let _ = t.ld_u64(layout::host_dram(0) + 0x200).await;
+            let r = sim2.now() - t0;
+            h2.set((w, r));
+        });
+        sim.run();
+        let (w, r) = h.get();
+        assert!(w < r, "posted write {w} should beat read rtt {r}");
+        assert_eq!(bus.read_u64(layout::host_dram(0)), 1);
+        assert_eq!(gpu.counters().sysmem_writes.get(), 1);
+    }
+
+    #[test]
+    fn instr_charges_time_and_count() {
+        let (sim, _bus, gpu) = test_gpu();
+        let g = gpu.clone();
+        let sim2 = sim.clone();
+        sim.spawn("t", async move {
+            g.thread().instr(100).await;
+            assert_eq!(sim2.now(), g.config().instr_time(100));
+        });
+        sim.run();
+        assert_eq!(gpu.counters().instructions.get(), 100);
+    }
+
+    #[test]
+    fn instr_parallel_shrinks_wall_time_not_count() {
+        let (sim, _bus, gpu) = test_gpu();
+        let g = gpu.clone();
+        let sim2 = sim.clone();
+        sim.spawn("t", async move {
+            g.thread().instr_parallel(320, 32).await;
+            assert_eq!(sim2.now(), g.config().instr_time(10));
+        });
+        sim.run();
+        assert_eq!(gpu.counters().instructions.get(), 320);
+    }
+}

@@ -1,0 +1,217 @@
+//! Memory regions: lkey/rkey protection.
+//!
+//! Unlike EXTOLL's NLA space, Infiniband addresses remote memory with the
+//! *virtual* address plus a key pair (§IV-A). The HCA validates every access
+//! against the registered region and its access flags.
+
+use std::cell::RefCell;
+
+use tc_mem::Addr;
+
+/// Access rights of a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The owner may write through the lkey.
+    pub local_write: bool,
+    /// Remote peers may RDMA-read through the rkey.
+    pub remote_read: bool,
+    /// Remote peers may RDMA-write through the rkey.
+    pub remote_write: bool,
+}
+
+impl Access {
+    /// Everything allowed (typical for benchmark buffers).
+    pub fn full() -> Self {
+        Access {
+            local_write: true,
+            remote_read: true,
+            remote_write: true,
+        }
+    }
+
+    /// Local-only.
+    pub fn local() -> Self {
+        Access {
+            local_write: true,
+            remote_read: false,
+            remote_write: false,
+        }
+    }
+}
+
+/// A registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegion {
+    /// DMA-able base address of the registration.
+    pub addr: Addr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Key for local accesses.
+    pub lkey: u32,
+    /// Key remote peers present.
+    pub rkey: u32,
+    /// Granted rights.
+    pub access: Access,
+}
+
+/// Why an MR check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrError {
+    /// The key does not name a live registration.
+    BadKey,
+    /// The access leaves the registered range.
+    OutOfBounds,
+    /// The registration does not grant this right.
+    AccessDenied,
+}
+
+/// The HCA's protection table.
+#[derive(Default)]
+pub struct MrTable {
+    regions: RefCell<Vec<MemoryRegion>>,
+}
+
+impl MrTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `[addr, addr+len)`; returns the region with fresh keys.
+    pub fn register(&self, addr: Addr, len: u64, access: Access) -> MemoryRegion {
+        assert!(len > 0);
+        let mut regions = self.regions.borrow_mut();
+        let idx = regions.len() as u32;
+        // Key layout mimics real verbs: index | nonce byte.
+        let mr = MemoryRegion {
+            addr,
+            len,
+            lkey: (idx << 8) | 0x11,
+            rkey: (idx << 8) | 0x22,
+            access,
+        };
+        regions.push(mr);
+        mr
+    }
+
+    fn lookup(&self, key: u32, is_rkey: bool) -> Result<MemoryRegion, MrError> {
+        let idx = (key >> 8) as usize;
+        let nonce = key & 0xFF;
+        let expected = if is_rkey { 0x22 } else { 0x11 };
+        let regions = self.regions.borrow();
+        match regions.get(idx) {
+            Some(mr) if nonce == expected => Ok(*mr),
+            _ => Err(MrError::BadKey),
+        }
+    }
+
+    fn check_range(mr: &MemoryRegion, addr: Addr, len: u64) -> Result<(), MrError> {
+        if addr < mr.addr || addr.saturating_add(len) > mr.addr + mr.len {
+            Err(MrError::OutOfBounds)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Validate a local access through `lkey`.
+    pub fn check_local(&self, lkey: u32, addr: Addr, len: u64) -> Result<MemoryRegion, MrError> {
+        let mr = self.lookup(lkey, false)?;
+        Self::check_range(&mr, addr, len)?;
+        Ok(mr)
+    }
+
+    /// Validate a remote write through `rkey`.
+    pub fn check_remote_write(
+        &self,
+        rkey: u32,
+        addr: Addr,
+        len: u64,
+    ) -> Result<MemoryRegion, MrError> {
+        let mr = self.lookup(rkey, true)?;
+        if !mr.access.remote_write {
+            return Err(MrError::AccessDenied);
+        }
+        Self::check_range(&mr, addr, len)?;
+        Ok(mr)
+    }
+
+    /// Validate a remote read through `rkey`.
+    pub fn check_remote_read(
+        &self,
+        rkey: u32,
+        addr: Addr,
+        len: u64,
+    ) -> Result<MemoryRegion, MrError> {
+        let mr = self.lookup(rkey, true)?;
+        if !mr.access.remote_read {
+            return Err(MrError::AccessDenied);
+        }
+        Self::check_range(&mr, addr, len)?;
+        Ok(mr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_check_happy_path() {
+        let t = MrTable::new();
+        let mr = t.register(0x1000, 4096, Access::full());
+        assert!(t.check_local(mr.lkey, 0x1000, 4096).is_ok());
+        assert!(t.check_remote_write(mr.rkey, 0x1800, 8).is_ok());
+        assert!(t.check_remote_read(mr.rkey, 0x1FF8, 8).is_ok());
+    }
+
+    #[test]
+    fn keys_are_not_interchangeable() {
+        let t = MrTable::new();
+        let mr = t.register(0x1000, 4096, Access::full());
+        assert_eq!(t.check_local(mr.rkey, 0x1000, 8), Err(MrError::BadKey));
+        assert_eq!(
+            t.check_remote_write(mr.lkey, 0x1000, 8),
+            Err(MrError::BadKey)
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let t = MrTable::new();
+        let mr = t.register(0x1000, 100, Access::full());
+        assert_eq!(
+            t.check_local(mr.lkey, 0x1000, 101),
+            Err(MrError::OutOfBounds)
+        );
+        assert_eq!(
+            t.check_remote_write(mr.rkey, 0xFFF, 8),
+            Err(MrError::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn access_flags_enforced() {
+        let t = MrTable::new();
+        let mr = t.register(0x1000, 64, Access::local());
+        assert_eq!(
+            t.check_remote_write(mr.rkey, 0x1000, 8),
+            Err(MrError::AccessDenied)
+        );
+        assert_eq!(
+            t.check_remote_read(mr.rkey, 0x1000, 8),
+            Err(MrError::AccessDenied)
+        );
+        assert!(t.check_local(mr.lkey, 0x1000, 8).is_ok());
+    }
+
+    #[test]
+    fn distinct_registrations_distinct_keys() {
+        let t = MrTable::new();
+        let a = t.register(0x1000, 64, Access::full());
+        let b = t.register(0x2000, 64, Access::full());
+        assert_ne!(a.lkey, b.lkey);
+        assert_ne!(a.rkey, b.rkey);
+        // Keys resolve to their own regions.
+        assert_eq!(t.check_local(b.lkey, 0x2000, 8).unwrap().addr, 0x2000);
+    }
+}

@@ -1,0 +1,134 @@
+//! Hardware-side queue pair and completion queue state.
+
+use std::cell::Cell;
+
+use tc_mem::{Addr, Ring};
+
+/// Queue pair states (the RC subset the paper uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpState {
+    /// Freshly created; nothing is allowed.
+    Reset,
+    /// Initialized (keys/ports assigned).
+    Init,
+    /// Ready to receive.
+    Rtr,
+    /// Ready to send.
+    Rts,
+}
+
+/// Where a queue's buffer lives — the independent variable of the paper's
+/// Table II experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufLoc {
+    /// Host DRAM (the default for CPU-driven verbs).
+    Host,
+    /// GPU device memory (requires the GPUDirect driver patch).
+    Gpu,
+}
+
+/// Hardware view of one queue pair.
+pub struct Qp {
+    /// Queue pair number.
+    pub qpn: u32,
+    /// Current verb state.
+    pub state: Cell<QpState>,
+    /// Connected peer QP, once in RTR.
+    pub dest_qpn: Cell<Option<u32>>,
+    /// The node (fabric port / LID) the connected peer QP lives on.
+    pub dest_node: Cell<usize>,
+    /// Send queue ring buffer (64 B strides) in host or GPU memory.
+    pub sq: Ring,
+    /// Receive queue ring buffer (16 B strides).
+    pub rq: Ring,
+    /// Hardware consumer index of the SQ (WQEs fetched so far).
+    pub sq_head: Cell<u64>,
+    /// Hardware consumer index of the RQ (recv WQEs consumed so far).
+    pub rq_head: Cell<u64>,
+    /// Software RQ producer doorbell record (a u32 the software updates).
+    pub rq_db_record: Addr,
+    /// CQ for send completions.
+    pub send_cqn: u32,
+    /// CQ for receive completions.
+    pub recv_cqn: u32,
+}
+
+impl Qp {
+    /// True once the QP may post sends.
+    pub fn can_send(&self) -> bool {
+        self.state.get() == QpState::Rts
+    }
+
+    /// True once the QP may absorb inbound traffic.
+    pub fn can_recv(&self) -> bool {
+        matches!(self.state.get(), QpState::Rtr | QpState::Rts)
+    }
+
+    /// Apply a state transition, enforcing the verbs ordering
+    /// Reset -> Init -> RTR -> RTS.
+    pub fn modify(&self, to: QpState) {
+        use QpState::*;
+        let from = self.state.get();
+        let ok = matches!(
+            (from, to),
+            (Reset, Init) | (Init, Rtr) | (Rtr, Rts) | (_, Reset)
+        );
+        assert!(ok, "invalid QP transition {from:?} -> {to:?}");
+        self.state.set(to);
+    }
+}
+
+/// Hardware view of one completion queue.
+pub struct Cq {
+    /// Completion queue number.
+    pub cqn: u32,
+    /// CQE ring (32 B strides) in host or GPU memory.
+    pub ring: Ring,
+    /// Hardware producer index.
+    pub pi: Cell<u64>,
+    /// Address of the software consumer-index doorbell record (overflow
+    /// protection).
+    pub ci_db_record: Addr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp() -> Qp {
+        Qp {
+            qpn: 1,
+            state: Cell::new(QpState::Reset),
+            dest_qpn: Cell::new(None),
+            dest_node: Cell::new(0),
+            sq: Ring::new(0x1000, 64, 16),
+            rq: Ring::new(0x2000, 16, 16),
+            sq_head: Cell::new(0),
+            rq_head: Cell::new(0),
+            rq_db_record: 0x3000,
+            send_cqn: 0,
+            recv_cqn: 0,
+        }
+    }
+
+    #[test]
+    fn legal_state_ladder() {
+        let q = qp();
+        assert!(!q.can_send() && !q.can_recv());
+        q.modify(QpState::Init);
+        q.modify(QpState::Rtr);
+        assert!(q.can_recv() && !q.can_send());
+        q.modify(QpState::Rts);
+        assert!(q.can_send() && q.can_recv());
+        q.modify(QpState::Reset); // always legal
+        assert!(!q.can_send());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid QP transition")]
+    fn skipping_rtr_is_illegal() {
+        let q = qp();
+        q.modify(QpState::Init);
+        q.modify(QpState::Rts);
+    }
+}

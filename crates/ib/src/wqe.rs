@@ -1,0 +1,418 @@
+//! Byte-accurate work-queue-element and completion-queue-element codecs.
+//!
+//! Everything on an mlx4-class HCA is **big-endian**: building a WQE from
+//! little-endian GPU registers costs a byte swap per field, which the paper
+//! singles out as a major source of the ~442 instructions per
+//! `ibv_post_send` (§V-B.3). The codecs here are used by both the software
+//! side (`verbs`, charging per-field conversion instructions) and the
+//! hardware side (`hca`, decoding fetched WQEs), so a format mismatch is
+//! impossible to hide.
+
+/// Stride of one send-queue WQE in bytes.
+pub const SQ_STRIDE: u64 = 64;
+/// Stride of one receive-queue WQE in bytes.
+pub const RQ_STRIDE: u64 = 16;
+/// Stride of one CQE in bytes.
+pub const CQ_STRIDE: u64 = 32;
+
+/// Send opcodes (subset the paper exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOpcode {
+    /// One-sided remote write.
+    RdmaWrite,
+    /// One-sided remote read.
+    RdmaRead,
+    /// Two-sided send (requires a posted receive).
+    Send,
+    /// Remote write with immediate: one-sided data path, but consumes a
+    /// receive WQE and completes on both sides.
+    RdmaWriteImm,
+}
+
+impl SendOpcode {
+    fn to_byte(self) -> u8 {
+        match self {
+            SendOpcode::RdmaWrite => 0x08,
+            SendOpcode::RdmaRead => 0x10,
+            SendOpcode::Send => 0x0A,
+            SendOpcode::RdmaWriteImm => 0x09,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0x08 => SendOpcode::RdmaWrite,
+            0x10 => SendOpcode::RdmaRead,
+            0x0A => SendOpcode::Send,
+            0x09 => SendOpcode::RdmaWriteImm,
+            _ => return None,
+        })
+    }
+}
+
+/// Maximum inline payload a 64-byte-stride WQE can carry.
+pub const MAX_INLINE: usize = 24;
+
+/// A decoded send WQE (ctrl + raddr + one data segment).
+///
+/// Layout (big-endian fields), 48 bytes used of the 64-byte stride —
+/// unless the WR is **inline**, in which case bytes 40..40+len carry the
+/// payload itself (up to [`MAX_INLINE`] bytes) instead of a local address:
+///
+/// ```text
+///  0: u8  valid (0xA5 when owned by HW)   1: u8  opcode
+///  2: u16 wqe index (sanity)              4: u32 flags (bit0 = signaled,
+///                                                       bit1 = inline)
+///  8: u32 immediate                      12: u32 reserved
+/// 16: u64 remote address                 24: u32 rkey   28: u32 reserved
+/// 32: u32 byte count                     36: u32 lkey
+/// 40: u64 local address | inline payload
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendWqe {
+    /// Operation to perform.
+    pub opcode: SendOpcode,
+    /// Producer index of this WQE (sanity/completion bookkeeping).
+    pub index: u16,
+    /// Generate a completion when the operation finishes.
+    pub signaled: bool,
+    /// Immediate value (write-with-immediate only).
+    pub imm: u32,
+    /// Remote virtual address.
+    pub raddr: u64,
+    /// Remote protection key.
+    pub rkey: u32,
+    /// Payload length in bytes.
+    pub byte_count: u32,
+    /// Local protection key.
+    pub lkey: u32,
+    /// Local buffer address (source for writes/sends, sink for reads).
+    pub laddr: u64,
+    /// Payload carried inside the WQE itself (writes/sends only; when set,
+    /// `laddr`/`lkey` are ignored and the HCA performs no payload DMA).
+    pub inline: Option<[u8; MAX_INLINE]>,
+}
+
+/// Marker byte for a hardware-owned WQE.
+pub const WQE_VALID: u8 = 0xA5;
+/// Stamp byte written over invalidated/unused WQEs so the HCA prefetcher
+/// never misreads stale entries (§V-B.3: "older queue elements have to be
+/// stamped").
+pub const WQE_STAMP: u8 = 0xFF;
+
+impl SendWqe {
+    /// Encode to the wire/queue format.
+    pub fn encode(&self) -> [u8; SQ_STRIDE as usize] {
+        let mut b = [0u8; SQ_STRIDE as usize];
+        b[0] = WQE_VALID;
+        b[1] = self.opcode.to_byte();
+        b[2..4].copy_from_slice(&self.index.to_be_bytes());
+        let mut flags = self.signaled as u32;
+        if self.inline.is_some() {
+            assert!(
+                self.byte_count as usize <= MAX_INLINE,
+                "inline payload exceeds MAX_INLINE"
+            );
+            flags |= 2;
+        }
+        b[4..8].copy_from_slice(&flags.to_be_bytes());
+        b[8..12].copy_from_slice(&self.imm.to_be_bytes());
+        b[16..24].copy_from_slice(&self.raddr.to_be_bytes());
+        b[24..28].copy_from_slice(&self.rkey.to_be_bytes());
+        b[32..36].copy_from_slice(&self.byte_count.to_be_bytes());
+        b[36..40].copy_from_slice(&self.lkey.to_be_bytes());
+        match &self.inline {
+            Some(data) => b[40..40 + MAX_INLINE].copy_from_slice(data),
+            None => b[40..48].copy_from_slice(&self.laddr.to_be_bytes()),
+        }
+        b
+    }
+
+    /// Decode from the queue; `None` if the valid byte is missing (stamped
+    /// or stale entry).
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < SQ_STRIDE as usize || b[0] != WQE_VALID {
+            return None;
+        }
+        let flags = u32::from_be_bytes(b[4..8].try_into().unwrap());
+        let inline = if flags & 2 != 0 {
+            let mut data = [0u8; MAX_INLINE];
+            data.copy_from_slice(&b[40..40 + MAX_INLINE]);
+            Some(data)
+        } else {
+            None
+        };
+        Some(SendWqe {
+            opcode: SendOpcode::from_byte(b[1])?,
+            index: u16::from_be_bytes(b[2..4].try_into().unwrap()),
+            signaled: flags & 1 != 0,
+            imm: u32::from_be_bytes(b[8..12].try_into().unwrap()),
+            raddr: u64::from_be_bytes(b[16..24].try_into().unwrap()),
+            rkey: u32::from_be_bytes(b[24..28].try_into().unwrap()),
+            byte_count: u32::from_be_bytes(b[32..36].try_into().unwrap()),
+            lkey: u32::from_be_bytes(b[36..40].try_into().unwrap()),
+            laddr: if flags & 2 != 0 {
+                0
+            } else {
+                u64::from_be_bytes(b[40..48].try_into().unwrap())
+            },
+            inline,
+        })
+    }
+}
+
+/// A decoded receive WQE: one data segment.
+///
+/// ```text
+///  0: u32 byte count (with valid bit 31)   4: u32 lkey   8: u64 local addr
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvWqe {
+    /// Receive buffer capacity in bytes.
+    pub byte_count: u32,
+    /// Local protection key of the receive buffer.
+    pub lkey: u32,
+    /// Receive buffer address.
+    pub laddr: u64,
+}
+
+const RQ_VALID_BIT: u32 = 1 << 31;
+
+impl RecvWqe {
+    /// Encode to the queue format.
+    pub fn encode(&self) -> [u8; RQ_STRIDE as usize] {
+        assert!(self.byte_count & RQ_VALID_BIT == 0, "byte count too large");
+        let mut b = [0u8; RQ_STRIDE as usize];
+        b[0..4].copy_from_slice(&(self.byte_count | RQ_VALID_BIT).to_be_bytes());
+        b[4..8].copy_from_slice(&self.lkey.to_be_bytes());
+        b[8..16].copy_from_slice(&self.laddr.to_be_bytes());
+        b
+    }
+
+    /// Decode; `None` if the slot is empty.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < 16 {
+            return None;
+        }
+        let bc = u32::from_be_bytes(b[0..4].try_into().unwrap());
+        if bc & RQ_VALID_BIT == 0 {
+            return None;
+        }
+        Some(RecvWqe {
+            byte_count: bc & !RQ_VALID_BIT,
+            lkey: u32::from_be_bytes(b[4..8].try_into().unwrap()),
+            laddr: u64::from_be_bytes(b[8..16].try_into().unwrap()),
+        })
+    }
+}
+
+/// Completion opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeOpcode {
+    /// A send-queue WQE completed.
+    SendComplete,
+    /// A receive-queue WQE completed (send or write-with-imm arrived).
+    RecvComplete,
+}
+
+/// Completion status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeStatus {
+    /// The operation completed successfully.
+    Success,
+    /// Remote access error (bad rkey / out of bounds).
+    RemoteAccessError,
+    /// Receiver not ready (send without a posted receive).
+    RnrRetryExceeded,
+    /// Local protection error (bad lkey).
+    LocalProtectionError,
+}
+
+impl CqeStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            CqeStatus::Success => 0,
+            CqeStatus::RemoteAccessError => 0x10,
+            CqeStatus::RnrRetryExceeded => 0x20,
+            CqeStatus::LocalProtectionError => 0x30,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => CqeStatus::Success,
+            0x10 => CqeStatus::RemoteAccessError,
+            0x20 => CqeStatus::RnrRetryExceeded,
+            0x30 => CqeStatus::LocalProtectionError,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded CQE.
+///
+/// ```text
+///  0: u8 valid (0xC3)   1: u8 opcode (0=send,1=recv)   2: u8 status
+///  4: u32 qpn           8: u32 byte count             12: u32 immediate
+/// 16: u16 wqe index
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cqe {
+    /// What kind of work completed.
+    pub opcode: CqeOpcode,
+    /// Success or the error class.
+    pub status: CqeStatus,
+    /// The queue pair the completion belongs to.
+    pub qpn: u32,
+    /// Bytes the operation moved.
+    pub byte_count: u32,
+    /// Immediate value (receive completions of write-with-immediate).
+    pub imm: u32,
+    /// Index of the completed WQE.
+    pub wqe_index: u16,
+}
+
+/// Marker byte of a valid CQE (slots are zeroed when consumed).
+pub const CQE_VALID: u8 = 0xC3;
+
+impl Cqe {
+    /// Encode to the queue format.
+    pub fn encode(&self) -> [u8; CQ_STRIDE as usize] {
+        let mut b = [0u8; CQ_STRIDE as usize];
+        b[0] = CQE_VALID;
+        b[1] = match self.opcode {
+            CqeOpcode::SendComplete => 0,
+            CqeOpcode::RecvComplete => 1,
+        };
+        b[2] = self.status.to_byte();
+        b[4..8].copy_from_slice(&self.qpn.to_be_bytes());
+        b[8..12].copy_from_slice(&self.byte_count.to_be_bytes());
+        b[12..16].copy_from_slice(&self.imm.to_be_bytes());
+        b[16..18].copy_from_slice(&self.wqe_index.to_be_bytes());
+        b
+    }
+
+    /// Decode; `None` if the slot is free.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < 18 || b[0] != CQE_VALID {
+            return None;
+        }
+        Some(Cqe {
+            opcode: if b[1] == 0 {
+                CqeOpcode::SendComplete
+            } else {
+                CqeOpcode::RecvComplete
+            },
+            status: CqeStatus::from_byte(b[2])?,
+            qpn: u32::from_be_bytes(b[4..8].try_into().unwrap()),
+            byte_count: u32::from_be_bytes(b[8..12].try_into().unwrap()),
+            imm: u32::from_be_bytes(b[12..16].try_into().unwrap()),
+            wqe_index: u16::from_be_bytes(b[16..18].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_wqe_round_trip_all_opcodes() {
+        for op in [
+            SendOpcode::RdmaWrite,
+            SendOpcode::RdmaRead,
+            SendOpcode::Send,
+            SendOpcode::RdmaWriteImm,
+        ] {
+            let w = SendWqe {
+                opcode: op,
+                index: 777,
+                signaled: true,
+                imm: 0xDEAD_BEEF,
+                raddr: 0x1122_3344_5566_7788,
+                rkey: 0xAABB_CCDD,
+                byte_count: 65536,
+                lkey: 0x0102_0304,
+                laddr: 0x8877_6655_4433_2211,
+                inline: None,
+            };
+            assert_eq!(SendWqe::decode(&w.encode()), Some(w));
+        }
+    }
+
+    #[test]
+    fn wqe_fields_are_big_endian_on_the_wire() {
+        let w = SendWqe {
+            opcode: SendOpcode::RdmaWrite,
+            index: 0,
+            signaled: false,
+            imm: 0,
+            raddr: 0x0102_0304_0506_0708,
+            rkey: 0,
+            byte_count: 0,
+            lkey: 0,
+            laddr: 0,
+            inline: None,
+        };
+        let b = w.encode();
+        assert_eq!(&b[16..24], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn stamped_wqe_does_not_decode() {
+        let w = SendWqe {
+            opcode: SendOpcode::Send,
+            index: 0,
+            signaled: true,
+            imm: 0,
+            raddr: 0,
+            rkey: 0,
+            byte_count: 8,
+            lkey: 1,
+            laddr: 0x1000,
+            inline: None,
+        };
+        let mut b = w.encode();
+        b[0] = WQE_STAMP;
+        assert_eq!(SendWqe::decode(&b), None);
+    }
+
+    #[test]
+    fn recv_wqe_round_trip_and_empty_detection() {
+        let r = RecvWqe {
+            byte_count: 4096,
+            lkey: 42,
+            laddr: 0x2000,
+        };
+        assert_eq!(RecvWqe::decode(&r.encode()), Some(r));
+        assert_eq!(RecvWqe::decode(&[0u8; 16]), None);
+        // Zero-length receives (write-with-imm) are representable.
+        let z = RecvWqe {
+            byte_count: 0,
+            lkey: 0,
+            laddr: 0,
+        };
+        assert_eq!(RecvWqe::decode(&z.encode()), Some(z));
+    }
+
+    #[test]
+    fn cqe_round_trip_success_and_errors() {
+        for status in [
+            CqeStatus::Success,
+            CqeStatus::RemoteAccessError,
+            CqeStatus::RnrRetryExceeded,
+            CqeStatus::LocalProtectionError,
+        ] {
+            let c = Cqe {
+                opcode: CqeOpcode::RecvComplete,
+                status,
+                qpn: 0x00C0_FFEE,
+                byte_count: 123,
+                imm: 7,
+                wqe_index: 65535,
+            };
+            assert_eq!(Cqe::decode(&c.encode()), Some(c));
+        }
+        assert_eq!(Cqe::decode(&[0u8; 32]), None);
+    }
+}

@@ -1,0 +1,371 @@
+//! The fabric bus: routes reads/writes by address to RAM windows, MMIO
+//! devices, or alias windows (e.g. the GPUDirect BAR aperture).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::sparse::SparseMem;
+use crate::Addr;
+
+/// What kind of resource an address resolves to. Timing models use this to
+/// decide which cost to charge for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Host (CPU) DRAM of `node`.
+    HostDram {
+        /// Owning node.
+        node: usize,
+    },
+    /// GPU device memory of `node`.
+    GpuDram {
+        /// Owning node.
+        node: usize,
+    },
+    /// GPUDirect BAR aperture of `node` (aliases that node's GPU DRAM).
+    GpuBar {
+        /// Owning node.
+        node: usize,
+    },
+    /// Memory-mapped device registers of `node` (NIC BARs, doorbells).
+    Mmio {
+        /// Owning node.
+        node: usize,
+    },
+}
+
+impl RegionKind {
+    /// The node that owns the resource.
+    pub fn node(self) -> usize {
+        match self {
+            RegionKind::HostDram { node }
+            | RegionKind::GpuDram { node }
+            | RegionKind::GpuBar { node }
+            | RegionKind::Mmio { node } => node,
+        }
+    }
+}
+
+/// A device with memory-mapped registers. `offset` is relative to the
+/// region base the device was registered at.
+///
+/// MMIO writes are *posted*: side effects are applied immediately on the
+/// data plane, and the device model is expected to hand actual work to a
+/// simulation process through a channel.
+pub trait MmioDevice {
+    /// Handle a write of `data` at `offset`.
+    fn mmio_write(&self, offset: u64, data: &[u8]);
+    /// Handle a read of `buf.len()` bytes at `offset`.
+    fn mmio_read(&self, offset: u64, buf: &mut [u8]);
+}
+
+enum Region {
+    Ram {
+        base: Addr,
+        len: u64,
+        mem: Rc<SparseMem>,
+        kind: RegionKind,
+    },
+    Mmio {
+        base: Addr,
+        len: u64,
+        dev: Rc<dyn MmioDevice>,
+        kind: RegionKind,
+    },
+    /// Redirects `base..base+len` to `target..target+len`.
+    Alias {
+        base: Addr,
+        len: u64,
+        target: Addr,
+        kind: RegionKind,
+    },
+}
+
+impl Region {
+    fn base(&self) -> Addr {
+        match self {
+            Region::Ram { base, .. } | Region::Mmio { base, .. } | Region::Alias { base, .. } => {
+                *base
+            }
+        }
+    }
+    fn len(&self) -> u64 {
+        match self {
+            Region::Ram { len, .. } | Region::Mmio { len, .. } | Region::Alias { len, .. } => *len,
+        }
+    }
+    fn kind(&self) -> RegionKind {
+        match self {
+            Region::Ram { kind, .. } | Region::Mmio { kind, .. } | Region::Alias { kind, .. } => {
+                *kind
+            }
+        }
+    }
+}
+
+/// The fabric bus. Cheap to clone (shared).
+#[derive(Clone, Default)]
+pub struct Bus {
+    regions: Rc<RefCell<Vec<Region>>>,
+}
+
+impl Bus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn insert(&self, r: Region) {
+        let mut regions = self.regions.borrow_mut();
+        let (b, l) = (r.base(), r.len());
+        for other in regions.iter() {
+            let (ob, ol) = (other.base(), other.len());
+            assert!(
+                b + l <= ob || ob + ol <= b,
+                "region [{b:#x};{l:#x}) overlaps existing [{ob:#x};{ol:#x})"
+            );
+        }
+        regions.push(r);
+        // Keep sorted for binary search.
+        regions.sort_by_key(|r| r.base());
+    }
+
+    /// Map a RAM window.
+    pub fn add_ram(&self, mem: Rc<SparseMem>, kind: RegionKind) {
+        self.insert(Region::Ram {
+            base: mem.base(),
+            len: mem.len(),
+            mem,
+            kind,
+        });
+    }
+
+    /// Map an MMIO device at `base..base+len`.
+    pub fn add_mmio(&self, base: Addr, len: u64, dev: Rc<dyn MmioDevice>, kind: RegionKind) {
+        self.insert(Region::Mmio {
+            base,
+            len,
+            dev,
+            kind,
+        });
+    }
+
+    /// Map an alias window redirecting to `target`.
+    pub fn add_alias(&self, base: Addr, len: u64, target: Addr, kind: RegionKind) {
+        self.insert(Region::Alias {
+            base,
+            len,
+            target,
+            kind,
+        });
+    }
+
+    fn with_region<R>(&self, addr: Addr, f: impl FnOnce(&Region) -> R) -> R {
+        let regions = self.regions.borrow();
+        let idx = match regions.binary_search_by(|r| {
+            if addr < r.base() {
+                std::cmp::Ordering::Greater
+            } else if addr >= r.base() + r.len() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => panic!("bus access to unmapped address {addr:#x}"),
+        };
+        f(&regions[idx])
+    }
+
+    /// Classify an address. Alias windows report their own kind (e.g.
+    /// `GpuBar`), not the target's.
+    pub fn classify(&self, addr: Addr) -> RegionKind {
+        self.with_region(addr, |r| r.kind())
+    }
+
+    /// True if the address is mapped.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        let regions = self.regions.borrow();
+        regions
+            .iter()
+            .any(|r| addr >= r.base() && addr < r.base() + r.len())
+    }
+
+    /// Data-plane read. Instantaneous; timing is charged by the caller.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        enum Act {
+            Done,
+            Redirect(Addr),
+        }
+        let act = self.with_region(addr, |r| match r {
+            Region::Ram { mem, .. } => {
+                mem.read(addr, buf);
+                Act::Done
+            }
+            Region::Mmio { base, dev, .. } => {
+                dev.mmio_read(addr - base, buf);
+                Act::Done
+            }
+            Region::Alias { base, target, .. } => Act::Redirect(target + (addr - base)),
+        });
+        if let Act::Redirect(t) = act {
+            self.read(t, buf);
+        }
+    }
+
+    /// Data-plane write. Instantaneous; timing is charged by the caller.
+    pub fn write(&self, addr: Addr, data: &[u8]) {
+        enum Act {
+            Done,
+            Redirect(Addr),
+        }
+        let act = self.with_region(addr, |r| match r {
+            Region::Ram { mem, .. } => {
+                mem.write(addr, data);
+                Act::Done
+            }
+            Region::Mmio { base, dev, .. } => {
+                dev.mmio_write(addr - base, data);
+                Act::Done
+            }
+            Region::Alias { base, target, .. } => Act::Redirect(target + (addr - base)),
+        });
+        if let Act::Redirect(t) = act {
+            self.write(t, data);
+        }
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&self, addr: Addr, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn write_u32(&self, addr: Addr, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+    use std::cell::Cell;
+
+    fn bus_with_ram() -> Bus {
+        let bus = Bus::new();
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::host_dram(0), 1 << 20)),
+            RegionKind::HostDram { node: 0 },
+        );
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::gpu_dram(0), 1 << 20)),
+            RegionKind::GpuDram { node: 0 },
+        );
+        bus
+    }
+
+    #[test]
+    fn routes_by_address() {
+        let bus = bus_with_ram();
+        bus.write_u64(layout::host_dram(0) + 8, 1);
+        bus.write_u64(layout::gpu_dram(0) + 8, 2);
+        assert_eq!(bus.read_u64(layout::host_dram(0) + 8), 1);
+        assert_eq!(bus.read_u64(layout::gpu_dram(0) + 8), 2);
+        assert_eq!(
+            bus.classify(layout::host_dram(0) + 8),
+            RegionKind::HostDram { node: 0 }
+        );
+        assert_eq!(
+            bus.classify(layout::gpu_dram(0) + 8),
+            RegionKind::GpuDram { node: 0 }
+        );
+    }
+
+    #[test]
+    fn alias_window_redirects_and_classifies_as_itself() {
+        let bus = bus_with_ram();
+        bus.add_alias(
+            layout::gpu_bar(0),
+            1 << 20,
+            layout::gpu_dram(0),
+            RegionKind::GpuBar { node: 0 },
+        );
+        // Write via BAR, read via DRAM (and vice versa).
+        bus.write_u64(layout::gpu_bar(0) + 0x40, 0xABCD);
+        assert_eq!(bus.read_u64(layout::gpu_dram(0) + 0x40), 0xABCD);
+        bus.write_u64(layout::gpu_dram(0) + 0x80, 77);
+        assert_eq!(bus.read_u64(layout::gpu_bar(0) + 0x80), 77);
+        assert_eq!(
+            bus.classify(layout::gpu_bar(0) + 0x40),
+            RegionKind::GpuBar { node: 0 }
+        );
+    }
+
+    struct Doorbell {
+        hits: Cell<u32>,
+        last: Cell<u64>,
+    }
+    impl MmioDevice for Doorbell {
+        fn mmio_write(&self, offset: u64, data: &[u8]) {
+            self.hits.set(self.hits.get() + 1);
+            let mut b = [0u8; 8];
+            b[..data.len().min(8)].copy_from_slice(&data[..data.len().min(8)]);
+            self.last.set(u64::from_le_bytes(b) + offset);
+        }
+        fn mmio_read(&self, _offset: u64, buf: &mut [u8]) {
+            buf.fill(0xFF);
+        }
+    }
+
+    #[test]
+    fn mmio_write_reaches_device_with_offset() {
+        let bus = bus_with_ram();
+        let db = Rc::new(Doorbell {
+            hits: Cell::new(0),
+            last: Cell::new(0),
+        });
+        bus.add_mmio(
+            layout::ib_uar(0),
+            4096,
+            db.clone(),
+            RegionKind::Mmio { node: 0 },
+        );
+        bus.write_u64(layout::ib_uar(0) + 0x18, 100);
+        assert_eq!(db.hits.get(), 1);
+        assert_eq!(db.last.get(), 100 + 0x18);
+        let mut b = [0u8; 4];
+        bus.read(layout::ib_uar(0), &mut b);
+        assert_eq!(b, [0xFF; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped address")]
+    fn unmapped_access_panics() {
+        let bus = bus_with_ram();
+        bus.read_u64(layout::host_dram(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_rejected() {
+        let bus = bus_with_ram();
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::host_dram(0) + 0x100, 0x100)),
+            RegionKind::HostDram { node: 0 },
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! A bump allocator over a fabric address window.
+//!
+//! The simulation only ever allocates (buffers live for a whole experiment),
+//! so a bump allocator with alignment support is all that is needed. It
+//! deliberately has no `free`; [`Heap::reset`] recycles the whole window.
+
+use std::cell::Cell;
+
+use crate::Addr;
+
+/// Bump allocator handing out sub-ranges of `[base, base+len)`.
+pub struct Heap {
+    base: Addr,
+    len: u64,
+    next: Cell<u64>,
+}
+
+impl Heap {
+    /// Allocator over `[base, base+len)`.
+    pub fn new(base: Addr, len: u64) -> Self {
+        Heap {
+            base,
+            len,
+            next: Cell::new(0),
+        }
+    }
+
+    /// Allocate `size` bytes with `align` alignment (power of two).
+    ///
+    /// Panics when the window is exhausted — in a simulation that is a
+    /// configuration bug, not a recoverable condition.
+    pub fn alloc(&self, size: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let cur = self.base + self.next.get();
+        let aligned = (cur + align - 1) & !(align - 1);
+        let end = aligned + size - self.base;
+        assert!(
+            end <= self.len,
+            "heap exhausted: need {size} bytes (aligned {align}), {} left",
+            self.len - self.next.get()
+        );
+        self.next.set(end);
+        aligned
+    }
+
+    /// Bytes handed out so far (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.next.get()
+    }
+
+    /// Base address of the window.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Forget all allocations.
+    pub fn reset(&self) {
+        self.next.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocations_do_not_overlap() {
+        let h = Heap::new(0x1000, 0x1000);
+        let a = h.alloc(100, 1);
+        let b = h.alloc(100, 1);
+        assert_eq!(a, 0x1000);
+        assert_eq!(b, 0x1064);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let h = Heap::new(0x1000, 0x1000);
+        h.alloc(3, 1);
+        let a = h.alloc(8, 64);
+        assert_eq!(a % 64, 0);
+        assert!(a >= 0x1003);
+    }
+
+    #[test]
+    fn reset_recycles() {
+        let h = Heap::new(0, 64);
+        let a = h.alloc(64, 1);
+        h.reset();
+        let b = h.alloc(64, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "heap exhausted")]
+    fn exhaustion_panics() {
+        let h = Heap::new(0, 64);
+        h.alloc(65, 1);
+    }
+}

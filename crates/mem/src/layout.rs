@@ -1,0 +1,148 @@
+//! The fabric address map for a simulated multi-node system.
+//!
+//! Each node owns a `1 << NODE_SHIFT` byte window of the flat fabric address
+//! space, subdivided into fixed windows for host DRAM, GPU device memory,
+//! the GPUDirect BAR aperture onto GPU memory, and the NIC BARs. These are
+//! *fabric* (physical-side) addresses; virtual address translation (GPU UVA,
+//! EXTOLL NLAs, IB lkey/rkey regions) is layered on top by the device crates.
+
+use crate::Addr;
+
+/// log2 of the per-node address window.
+pub const NODE_SHIFT: u32 = 44;
+
+/// Offset of host DRAM inside a node window.
+pub const HOST_DRAM_OFF: u64 = 0x0000_0000_0000;
+/// Host DRAM size (8 GiB — enough for any workload in the paper).
+pub const HOST_DRAM_LEN: u64 = 8 << 30;
+
+/// Offset of GPU device memory inside a node window.
+pub const GPU_DRAM_OFF: u64 = 0x0200_0000_0000;
+/// GPU device memory size (12 GiB, the max the paper mentions).
+pub const GPU_DRAM_LEN: u64 = 12 << 30;
+
+/// Offset of the GPUDirect RDMA BAR aperture (PCIe-visible alias of GPU
+/// device memory).
+pub const GPU_BAR_OFF: u64 = 0x0400_0000_0000;
+/// GPUDirect BAR aperture size; aliases the start of GPU DRAM.
+pub const GPU_BAR_LEN: u64 = GPU_DRAM_LEN;
+
+/// Offset of the EXTOLL RMA requester BAR (per-port requester pages).
+pub const EXTOLL_BAR_OFF: u64 = 0x0500_0000_0000;
+/// EXTOLL requester BAR size.
+pub const EXTOLL_BAR_LEN: u64 = 16 << 20;
+
+/// Offset of the InfiniBand HCA UAR/doorbell BAR.
+pub const IB_UAR_OFF: u64 = 0x0600_0000_0000;
+/// InfiniBand UAR BAR size.
+pub const IB_UAR_LEN: u64 = 16 << 20;
+
+/// Base fabric address of node `n`'s window.
+#[inline]
+pub const fn node_base(n: usize) -> Addr {
+    (n as u64) << NODE_SHIFT
+}
+
+/// Which node a fabric address belongs to.
+#[inline]
+pub const fn node_of(addr: Addr) -> usize {
+    (addr >> NODE_SHIFT) as usize
+}
+
+/// Base of node `n`'s host DRAM.
+#[inline]
+pub const fn host_dram(n: usize) -> Addr {
+    node_base(n) + HOST_DRAM_OFF
+}
+
+/// Base of node `n`'s GPU device memory.
+#[inline]
+pub const fn gpu_dram(n: usize) -> Addr {
+    node_base(n) + GPU_DRAM_OFF
+}
+
+/// Base of node `n`'s GPUDirect BAR aperture.
+#[inline]
+pub const fn gpu_bar(n: usize) -> Addr {
+    node_base(n) + GPU_BAR_OFF
+}
+
+/// Base of node `n`'s EXTOLL requester BAR.
+#[inline]
+pub const fn extoll_bar(n: usize) -> Addr {
+    node_base(n) + EXTOLL_BAR_OFF
+}
+
+/// Base of node `n`'s InfiniBand UAR BAR.
+#[inline]
+pub const fn ib_uar(n: usize) -> Addr {
+    node_base(n) + IB_UAR_OFF
+}
+
+/// Translate a GPUDirect BAR address to the underlying GPU DRAM address.
+#[inline]
+pub const fn gpu_bar_to_dram(addr: Addr) -> Addr {
+    let n = node_of(addr);
+    gpu_dram(n) + (addr - gpu_bar(n))
+}
+
+/// Translate a GPU DRAM address to its GPUDirect BAR alias.
+#[inline]
+pub const fn gpu_dram_to_bar(addr: Addr) -> Addr {
+    let n = node_of(addr);
+    gpu_bar(n) + (addr - gpu_dram(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_windows_do_not_overlap() {
+        for n in 0..4 {
+            let lo = node_base(n);
+            let hi = node_base(n + 1);
+            assert!(lo < hi);
+            for (off, len) in [
+                (HOST_DRAM_OFF, HOST_DRAM_LEN),
+                (GPU_DRAM_OFF, GPU_DRAM_LEN),
+                (GPU_BAR_OFF, GPU_BAR_LEN),
+                (EXTOLL_BAR_OFF, EXTOLL_BAR_LEN),
+                (IB_UAR_OFF, IB_UAR_LEN),
+            ] {
+                assert!(lo + off + len <= hi, "window spills into next node");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_within_node_do_not_overlap() {
+        let mut ws = [
+            (HOST_DRAM_OFF, HOST_DRAM_LEN),
+            (GPU_DRAM_OFF, GPU_DRAM_LEN),
+            (GPU_BAR_OFF, GPU_BAR_LEN),
+            (EXTOLL_BAR_OFF, EXTOLL_BAR_LEN),
+            (IB_UAR_OFF, IB_UAR_LEN),
+        ];
+        ws.sort();
+        for pair in ws.windows(2) {
+            assert!(pair[0].0 + pair[0].1 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn node_of_inverts_node_base() {
+        for n in 0..8 {
+            assert_eq!(node_of(node_base(n)), n);
+            assert_eq!(node_of(gpu_dram(n) + 42), n);
+        }
+    }
+
+    #[test]
+    fn bar_alias_round_trip() {
+        let d = gpu_dram(1) + 0x1234;
+        assert_eq!(gpu_bar_to_dram(gpu_dram_to_bar(d)), d);
+        let b = gpu_bar(0) + 0x888;
+        assert_eq!(gpu_dram_to_bar(gpu_bar_to_dram(b)), b);
+    }
+}

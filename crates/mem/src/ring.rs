@@ -1,0 +1,153 @@
+//! Fixed-entry ring buffers laid out in simulated memory.
+//!
+//! Both NIC models use rings: InfiniBand work/completion queues and EXTOLL
+//! notification queues. [`Ring`] does the address arithmetic; producer and
+//! consumer positions are free-running counters (never masked), so fullness
+//! is simply `produced - consumed == capacity`.
+
+use std::cell::Cell;
+
+use crate::Addr;
+
+/// Address layout of a ring of `entries` fixed-size slots at `base`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ring {
+    base: Addr,
+    entry_size: u64,
+    entries: u64,
+}
+
+impl Ring {
+    /// A ring of `entries` slots of `entry_size` bytes at `base`.
+    pub fn new(base: Addr, entry_size: u64, entries: u64) -> Self {
+        assert!(entries > 0 && entry_size > 0);
+        Ring {
+            base,
+            entry_size,
+            entries,
+        }
+    }
+
+    /// Address of the slot for free-running index `idx`.
+    #[inline]
+    pub fn slot(&self, idx: u64) -> Addr {
+        self.base + (idx % self.entries) * self.entry_size
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> u64 {
+        self.entries
+    }
+
+    /// Slot size in bytes.
+    pub fn entry_size(&self) -> u64 {
+        self.entry_size
+    }
+
+    /// Base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Total footprint in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.entries * self.entry_size
+    }
+}
+
+/// Free-running producer/consumer cursors for a ring of a given capacity.
+#[derive(Debug, Default)]
+pub struct Cursors {
+    produced: Cell<u64>,
+    consumed: Cell<u64>,
+}
+
+impl Cursors {
+    /// Fresh cursors at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Free-running produce count.
+    pub fn produced(&self) -> u64 {
+        self.produced.get()
+    }
+
+    /// Free-running consume count.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.get()
+    }
+
+    /// Entries currently in the ring.
+    pub fn level(&self) -> u64 {
+        self.produced.get() - self.consumed.get()
+    }
+
+    /// True if `level() == capacity`.
+    pub fn is_full(&self, capacity: u64) -> bool {
+        self.level() >= capacity
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.level() == 0
+    }
+
+    /// Claim the next produce slot, returning its free-running index.
+    /// Caller must have checked `!is_full`.
+    pub fn produce(&self) -> u64 {
+        let i = self.produced.get();
+        self.produced.set(i + 1);
+        i
+    }
+
+    /// Claim the next consume slot, returning its free-running index.
+    /// Caller must have checked `!is_empty`.
+    pub fn consume(&self) -> u64 {
+        let i = self.consumed.get();
+        self.consumed.set(i + 1);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_addresses_wrap() {
+        let r = Ring::new(0x1000, 16, 4);
+        assert_eq!(r.slot(0), 0x1000);
+        assert_eq!(r.slot(3), 0x1030);
+        assert_eq!(r.slot(4), 0x1000);
+        assert_eq!(r.slot(7), 0x1030);
+        assert_eq!(r.byte_len(), 64);
+    }
+
+    #[test]
+    fn cursors_track_level() {
+        let c = Cursors::new();
+        assert!(c.is_empty());
+        assert!(!c.is_full(2));
+        let i0 = c.produce();
+        let i1 = c.produce();
+        assert_eq!((i0, i1), (0, 1));
+        assert!(c.is_full(2));
+        assert_eq!(c.level(), 2);
+        assert_eq!(c.consume(), 0);
+        assert_eq!(c.level(), 1);
+        assert!(!c.is_full(2));
+    }
+
+    #[test]
+    fn free_running_indices_survive_many_wraps() {
+        let r = Ring::new(0, 8, 3);
+        let c = Cursors::new();
+        for k in 0..100 {
+            let i = c.produce();
+            assert_eq!(i, k);
+            assert_eq!(r.slot(i), (k % 3) * 8);
+            assert_eq!(c.consume(), k);
+        }
+    }
+}

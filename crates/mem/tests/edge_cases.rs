@@ -1,0 +1,65 @@
+//! Edge-case tests of the memory substrate.
+
+use std::rc::Rc;
+use tc_mem::{layout, Bus, Heap, RegionKind, SparseMem};
+
+#[test]
+fn bus_u32_helpers_round_trip() {
+    let bus = Bus::new();
+    bus.add_ram(
+        Rc::new(SparseMem::new(0x1000, 4096)),
+        RegionKind::HostDram { node: 0 },
+    );
+    bus.write_u32(0x1004, 0xCAFE_BABE);
+    assert_eq!(bus.read_u32(0x1004), 0xCAFE_BABE);
+    // u32 writes do not disturb neighbours.
+    bus.write_u32(0x1000, 1);
+    bus.write_u32(0x1008, 2);
+    assert_eq!(bus.read_u32(0x1004), 0xCAFE_BABE);
+}
+
+#[test]
+fn is_mapped_reflects_registered_windows() {
+    let bus = Bus::new();
+    bus.add_ram(
+        Rc::new(SparseMem::new(0x1000, 0x100)),
+        RegionKind::HostDram { node: 0 },
+    );
+    assert!(bus.is_mapped(0x1000));
+    assert!(bus.is_mapped(0x10FF));
+    assert!(!bus.is_mapped(0x1100));
+    assert!(!bus.is_mapped(0xFFF));
+}
+
+#[test]
+fn heap_used_tracks_alignment_padding() {
+    let h = Heap::new(0, 1024);
+    h.alloc(3, 1);
+    assert_eq!(h.used(), 3);
+    h.alloc(8, 64); // pads to 64
+    assert_eq!(h.used(), 72);
+    assert_eq!(h.base(), 0);
+}
+
+#[test]
+fn sparse_mem_contains_is_exact_at_boundaries() {
+    let m = SparseMem::new(0x1000, 0x100);
+    assert!(m.contains(0x1000, 0x100));
+    assert!(!m.contains(0x1000, 0x101));
+    assert!(m.contains(0x10FF, 1));
+    // Zero-length ranges at one-past-the-end are vacuously contained.
+    assert!(m.contains(0x1100, 0));
+    assert!(!m.contains(0x1101, 0));
+    assert!(!m.is_empty());
+    assert_eq!(m.len(), 0x100);
+}
+
+#[test]
+fn gpu_bar_round_trips_through_layout_helpers_for_all_nodes() {
+    for n in 0..4 {
+        let d = layout::gpu_dram(n) + 12345;
+        let b = layout::gpu_dram_to_bar(d);
+        assert_eq!(layout::node_of(b), n);
+        assert_eq!(layout::gpu_bar_to_dram(b), d);
+    }
+}

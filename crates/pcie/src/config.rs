@@ -1,0 +1,152 @@
+//! PCIe timing parameters.
+
+use tc_desim::time::{self, Time};
+
+/// Timing/bandwidth parameters of one node's PCIe fabric.
+///
+/// Defaults correspond to the paper's testbed era: PCIe Gen2 x8 for the
+/// EXTOLL Galibier FPGA card, PCIe Gen3 x8 for the ConnectX-3 FDR HCA and
+/// Kepler GPU. Values are deliberately round; EXPERIMENTS.md records the
+/// calibration.
+#[derive(Debug, Clone)]
+pub struct PcieConfig {
+    /// One-way wire+switch latency of a posted write until it is visible at
+    /// the target (ps).
+    pub posted_write_lat: Time,
+    /// Issuer-visible cost of issuing a small posted write (store buffer +
+    /// serialization), ps.
+    pub posted_write_issue: Time,
+    /// Full round-trip latency of a small non-posted read (ps).
+    pub read_rtt: Time,
+    /// Bulk DMA bandwidth on a device's upstream link, bytes per second.
+    pub dma_bw: u64,
+    /// Max payload per TLP in bytes (segmentation granularity).
+    pub max_payload: u64,
+    /// Per-TLP header/dllp overhead charged in addition to payload bytes.
+    pub tlp_overhead_bytes: u64,
+    /// Fixed setup latency of a bulk DMA transfer (ps).
+    pub dma_setup: Time,
+    /// Peer-to-peer read bandwidth from a GPU BAR before the knee, B/s.
+    pub p2p_read_bw: u64,
+    /// Logical-transfer size beyond which P2P reads degrade, bytes.
+    pub p2p_read_knee: u64,
+    /// Degraded P2P read bandwidth past the knee, B/s.
+    pub p2p_read_degraded_bw: u64,
+    /// Peer-to-peer write bandwidth into a GPU BAR, B/s.
+    pub p2p_write_bw: u64,
+}
+
+impl PcieConfig {
+    /// PCIe Gen2 x8 (EXTOLL Galibier environment).
+    pub fn gen2_x8() -> Self {
+        PcieConfig {
+            posted_write_lat: time::ns(300),
+            posted_write_issue: time::ns(40),
+            read_rtt: time::ns(650),
+            dma_bw: 3_200_000_000, // ~3.2 GB/s effective
+            max_payload: 256,
+            tlp_overhead_bytes: 26,
+            dma_setup: time::ns(250),
+            p2p_read_bw: 1_400_000_000,
+            p2p_read_knee: 1 << 20,
+            p2p_read_degraded_bw: 550_000_000,
+            p2p_write_bw: 1_800_000_000,
+        }
+    }
+
+    /// PCIe Gen3 x8 (Infiniband FDR / Kepler environment).
+    pub fn gen3_x8() -> Self {
+        PcieConfig {
+            posted_write_lat: time::ns(250),
+            posted_write_issue: time::ns(40),
+            read_rtt: time::ns(600),
+            dma_bw: 6_000_000_000, // ~6 GB/s effective
+            max_payload: 256,
+            tlp_overhead_bytes: 26,
+            dma_setup: time::ns(200),
+            p2p_read_bw: 1_500_000_000,
+            p2p_read_knee: 1 << 20,
+            p2p_read_degraded_bw: 600_000_000,
+            p2p_write_bw: 2_200_000_000,
+        }
+    }
+
+    /// Serialization time of `len` payload bytes (plus TLP overheads) on the
+    /// upstream link at `bw` bytes/sec.
+    pub fn wire_time(&self, len: u64, bw: u64) -> Time {
+        let tlps = len.div_ceil(self.max_payload).max(1);
+        let total = len + tlps * self.tlp_overhead_bytes;
+        ((total as u128 * time::SEC as u128) / bw as u128) as Time
+    }
+
+    /// Occupancy of a bulk DMA of `len` bytes on the normal DMA path.
+    pub fn dma_time(&self, len: u64) -> Time {
+        self.dma_setup + self.wire_time(len, self.dma_bw)
+    }
+
+    /// Occupancy of a P2P *read* of `len` bytes from a GPU BAR, applying the
+    /// read-window anomaly: bytes past the knee stream at the degraded rate.
+    pub fn p2p_read_time(&self, len: u64) -> Time {
+        let fast = len.min(self.p2p_read_knee);
+        let slow = len - fast;
+        let mut t = self.dma_setup + self.wire_time(fast, self.p2p_read_bw.min(self.dma_bw));
+        if slow > 0 {
+            t += self.wire_time(slow, self.p2p_read_degraded_bw);
+        }
+        t
+    }
+
+    /// Occupancy of a P2P write of `len` bytes into a GPU BAR.
+    pub fn p2p_write_time(&self, len: u64) -> Time {
+        self.dma_setup + self.wire_time(len, self.p2p_write_bw.min(self.dma_bw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_linearly_with_payload() {
+        let c = PcieConfig::gen2_x8();
+        let t1 = c.wire_time(4096, c.dma_bw);
+        let t2 = c.wire_time(8192, c.dma_bw);
+        // Within TLP-overhead rounding, doubling bytes doubles time.
+        assert!(t2 > t1 && t2 <= 2 * t1 + 1);
+    }
+
+    #[test]
+    fn small_transfers_charge_at_least_one_tlp() {
+        let c = PcieConfig::gen2_x8();
+        assert!(c.wire_time(1, c.dma_bw) > 0);
+        // 1 byte and 200 bytes both fit one TLP; costs are close.
+        let a = c.wire_time(1, c.dma_bw);
+        let b = c.wire_time(200, c.dma_bw);
+        assert!(b < 10 * a);
+    }
+
+    #[test]
+    fn p2p_read_anomaly_kicks_in_past_knee() {
+        let c = PcieConfig::gen2_x8();
+        let below = c.p2p_read_time(1 << 20);
+        let above = c.p2p_read_time(2 << 20);
+        // Effective bandwidth of the second MiB is the degraded rate, so the
+        // 2 MiB transfer takes far more than 2x the 1 MiB transfer.
+        assert!(above > 2 * below);
+        // Effective bandwidth monotonically decreases past the knee.
+        let bw = |len: u64| len as f64 / time::to_sec_f64(c.p2p_read_time(len));
+        assert!(bw(4 << 20) < bw(1 << 20));
+        assert!(bw(64 << 20) < bw(4 << 20));
+        // ... and asymptotically approaches the degraded rate.
+        let huge = bw(512 << 20);
+        assert!(huge < 1.2 * c.p2p_read_degraded_bw as f64);
+    }
+
+    #[test]
+    fn p2p_write_has_no_anomaly() {
+        let c = PcieConfig::gen2_x8();
+        let bw = |len: u64| len as f64 / time::to_sec_f64(c.p2p_write_time(len));
+        // Large-transfer write bandwidth keeps improving (setup amortizes).
+        assert!(bw(16 << 20) >= bw(1 << 20) * 0.99);
+    }
+}

@@ -1,0 +1,294 @@
+//! A device's attachment point to the PCIe fabric.
+
+use std::rc::Rc;
+
+use tc_desim::{time::Time, Sim};
+use tc_mem::{Addr, Bus, RegionKind};
+
+use crate::config::PcieConfig;
+use crate::link::Link;
+use crate::stats::PcieStats;
+
+/// One device's view of the fabric: a private upstream link plus the shared
+/// bus for data movement. GPUs, NICs and the CPU's uncore each own one.
+#[derive(Clone)]
+pub struct Endpoint {
+    sim: Sim,
+    bus: Bus,
+    cfg: Rc<PcieConfig>,
+    stats: Rc<PcieStats>,
+    link: Link,
+    name: Rc<str>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(
+        sim: Sim,
+        bus: Bus,
+        cfg: Rc<PcieConfig>,
+        stats: Rc<PcieStats>,
+        name: &str,
+    ) -> Self {
+        Endpoint {
+            link: Link::new(sim.clone()),
+            sim,
+            bus,
+            cfg,
+            stats,
+            name: name.into(),
+        }
+    }
+
+    /// The device name this endpoint was created for.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared data-plane bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &PcieConfig {
+        &self.cfg
+    }
+
+    /// This device's upstream link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Issue a small **posted write** (doorbell, BAR work request, mapped
+    /// flag). Returns once the write has left the device; delivery to the
+    /// target (and any MMIO side effect) happens `posted_write_lat` later.
+    /// Posted writes from one endpoint are delivered in issue order.
+    pub async fn posted_write(&self, addr: Addr, data: Vec<u8>) {
+        PcieStats::bump(&self.stats.posted_writes, 1);
+        PcieStats::bump(&self.stats.posted_write_bytes, data.len() as u64);
+        let wire = self.cfg.wire_time(data.len() as u64, self.cfg.dma_bw);
+        let issued = self.link.reserve(wire);
+        let deliver_at = issued + self.cfg.posted_write_lat;
+        let bus = self.bus.clone();
+        let sim = self.sim.clone();
+        // Delivery happens asynchronously; `reserve` above hands out
+        // monotonically non-decreasing completion times per endpoint, and the
+        // executor breaks timestamp ties in spawn order, so ordering holds.
+        self.sim.spawn(&format!("{}.pw", self.name), async move {
+            let now = sim.now();
+            sim.delay(deliver_at - now).await;
+            bus.write(addr, &data);
+        });
+        // Issuer pays the issue cost only.
+        self.sim.delay(self.cfg.posted_write_issue).await;
+    }
+
+    /// Issue a small **non-posted read**: stalls the caller for a full PCIe
+    /// round trip; data is sampled at completion time.
+    pub async fn read(&self, addr: Addr, buf: &mut [u8]) {
+        PcieStats::bump(&self.stats.reads, 1);
+        PcieStats::bump(&self.stats.read_bytes, buf.len() as u64);
+        let wire = self.cfg.wire_time(buf.len() as u64, self.cfg.dma_bw);
+        let end = self.link.reserve(wire) + self.cfg.read_rtt;
+        let now = self.sim.now();
+        self.sim.delay(end - now).await;
+        self.bus.read(addr, buf);
+    }
+
+    /// Read a little-endian `u64` with a non-posted read.
+    pub async fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b).await;
+        u64::from_le_bytes(b)
+    }
+
+    /// Bulk DMA read of `len` bytes at `addr` into `buf`. Applies the P2P
+    /// read anomaly when the source is a GPU BAR aperture. Data is sampled
+    /// at completion time.
+    pub async fn dma_read_bulk(&self, addr: Addr, buf: &mut [u8]) {
+        let len = buf.len() as u64;
+        PcieStats::bump(&self.stats.dma_reads, 1);
+        PcieStats::bump(&self.stats.dma_read_bytes, len);
+        let kind = self.bus.classify(addr);
+        let dur = match kind {
+            RegionKind::GpuBar { .. } => {
+                PcieStats::bump(&self.stats.p2p_reads, 1);
+                self.cfg.p2p_read_time(len)
+            }
+            _ => self.cfg.dma_time(len),
+        };
+        self.link.transfer(dur).await;
+        self.bus.read(addr, buf);
+    }
+
+    /// Bulk DMA write of `data` to `addr`. Data lands at completion time.
+    pub async fn dma_write_bulk(&self, addr: Addr, data: &[u8]) {
+        let len = data.len() as u64;
+        PcieStats::bump(&self.stats.dma_writes, 1);
+        PcieStats::bump(&self.stats.dma_write_bytes, len);
+        let kind = self.bus.classify(addr);
+        let dur = match kind {
+            RegionKind::GpuBar { .. } => {
+                PcieStats::bump(&self.stats.p2p_writes, 1);
+                self.cfg.p2p_write_time(len)
+            }
+            _ => self.cfg.dma_time(len),
+        };
+        self.link.transfer(dur).await;
+        self.bus.write(addr, data);
+    }
+
+    /// Duration a non-posted read of `len` bytes would take right now,
+    /// ignoring link contention (used by processor cost models).
+    pub fn read_cost(&self, len: u64) -> Time {
+        self.cfg.read_rtt + self.cfg.wire_time(len, self.cfg.dma_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use tc_desim::time::{ns, to_ns_f64};
+    use tc_mem::{layout, SparseMem};
+
+    fn setup() -> (Sim, Bus, crate::Pcie) {
+        let sim = Sim::new();
+        let bus = Bus::new();
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::host_dram(0), 1 << 24)),
+            RegionKind::HostDram { node: 0 },
+        );
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::gpu_dram(0), 1 << 24)),
+            RegionKind::GpuDram { node: 0 },
+        );
+        bus.add_alias(
+            layout::gpu_bar(0),
+            1 << 24,
+            layout::gpu_dram(0),
+            RegionKind::GpuBar { node: 0 },
+        );
+        let pcie = crate::Pcie::new(sim.clone(), bus.clone(), PcieConfig::gen2_x8());
+        (sim, bus, pcie)
+    }
+
+    #[test]
+    fn posted_write_is_cheap_for_issuer_but_delivered_later() {
+        let (sim, bus, pcie) = setup();
+        let ep = pcie.endpoint("gpu");
+        let issue_done = Rc::new(Cell::new(0u64));
+        let id = issue_done.clone();
+        let h = sim.clone();
+        let b = bus.clone();
+        sim.spawn("writer", async move {
+            ep.posted_write(layout::host_dram(0), vec![7u8; 8]).await;
+            id.set(h.now());
+            // Not yet visible (wire latency is 300ns, issue cost 40ns).
+            assert_eq!(b.read_u64(layout::host_dram(0)), 0);
+        });
+        let end = sim.run();
+        assert_eq!(issue_done.get(), ns(40));
+        assert_eq!(bus.read_u64(layout::host_dram(0)), 0x0707_0707_0707_0707);
+        assert!(end >= ns(300));
+    }
+
+    #[test]
+    fn posted_writes_deliver_in_order() {
+        let (sim, bus, pcie) = setup();
+        let ep = pcie.endpoint("gpu");
+        let b = bus.clone();
+        let final_val = Rc::new(Cell::new(0u64));
+        let fv = final_val.clone();
+        sim.spawn("writer", async move {
+            for i in 1..=5u64 {
+                ep.posted_write(layout::host_dram(0), i.to_le_bytes().to_vec())
+                    .await;
+            }
+        });
+        let h = sim.clone();
+        sim.spawn("checker", async move {
+            h.delay(ns(10_000)).await;
+            fv.set(b.read_u64(layout::host_dram(0)));
+        });
+        sim.run();
+        assert_eq!(final_val.get(), 5);
+    }
+
+    #[test]
+    fn read_stalls_full_round_trip() {
+        let (sim, bus, pcie) = setup();
+        bus.write_u64(layout::host_dram(0) + 64, 99);
+        let ep = pcie.endpoint("gpu");
+        let h = sim.clone();
+        sim.spawn("reader", async move {
+            let v = ep.read_u64(layout::host_dram(0) + 64).await;
+            assert_eq!(v, 99);
+            assert!(h.now() >= ns(650), "read returned too early: {}", h.now());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dma_read_from_gpu_bar_counts_p2p_and_reads_data() {
+        let (sim, bus, pcie) = setup();
+        bus.write(layout::gpu_dram(0), &[0xAB; 4096]);
+        let ep = pcie.endpoint("nic");
+        sim.spawn("dma", async move {
+            let mut buf = vec![0u8; 4096];
+            ep.dma_read_bulk(layout::gpu_bar(0), &mut buf).await;
+            assert!(buf.iter().all(|&b| b == 0xAB));
+        });
+        sim.run();
+        assert_eq!(pcie.stats().p2p_reads.get(), 1);
+        assert_eq!(pcie.stats().dma_read_bytes.get(), 4096);
+    }
+
+    #[test]
+    fn p2p_large_read_slower_than_host_read() {
+        let (sim, _bus, pcie) = setup();
+        let ep = pcie.endpoint("nic");
+        let host_t = Rc::new(Cell::new(0u64));
+        let p2p_t = Rc::new(Cell::new(0u64));
+        let (ht, pt) = (host_t.clone(), p2p_t.clone());
+        let h = sim.clone();
+        sim.spawn("dma", async move {
+            let mut buf = vec![0u8; 4 << 20];
+            let t0 = h.now();
+            ep.dma_read_bulk(layout::host_dram(0), &mut buf).await;
+            ht.set(h.now() - t0);
+            let t1 = h.now();
+            ep.dma_read_bulk(layout::gpu_bar(0), &mut buf).await;
+            pt.set(h.now() - t1);
+        });
+        sim.run();
+        assert!(
+            to_ns_f64(p2p_t.get()) > 2.0 * to_ns_f64(host_t.get()),
+            "p2p {} vs host {}",
+            p2p_t.get(),
+            host_t.get()
+        );
+    }
+
+    #[test]
+    fn separate_endpoints_do_not_contend() {
+        let (sim, _bus, pcie) = setup();
+        let a = pcie.endpoint("a");
+        let b = pcie.endpoint("b");
+        let ta = Rc::new(Cell::new(0u64));
+        let tb = Rc::new(Cell::new(0u64));
+        for (ep, t) in [(a, ta.clone()), (b, tb.clone())] {
+            let h = sim.clone();
+            let name = ep.name().to_string();
+            sim.spawn(&name, async move {
+                let mut buf = vec![0u8; 1 << 20];
+                ep.dma_read_bulk(layout::host_dram(0), &mut buf).await;
+                t.set(h.now());
+            });
+        }
+        sim.run();
+        // Both finish at the same time: private upstream links.
+        assert_eq!(ta.get(), tb.get());
+    }
+}

@@ -1,0 +1,271 @@
+//! The [`Processor`] abstraction and the host CPU cost model.
+//!
+//! The paper's central comparison is *the same API code path executed from
+//! the CPU vs. from the GPU*. To make that literal in the reproduction, the
+//! NIC APIs (`tc-extoll::api`, `tc-ib::verbs`) are written once against the
+//! [`Processor`] trait; `tc-gpu`'s `GpuThread` and this module's
+//! [`CpuThread`] provide the two cost engines. The *instructions executed*
+//! are identical — what differs is what each instruction and memory access
+//! costs, which is precisely the paper's point (§VI).
+
+use std::rc::Rc;
+
+use tc_desim::time::{self, Time};
+use tc_desim::Sim;
+use tc_mem::Addr;
+
+use crate::endpoint::Endpoint;
+
+/// A processor that can execute API code against simulated memory.
+///
+/// Implementations charge their own timing and performance counters.
+#[allow(async_fn_in_trait)]
+pub trait Processor {
+    /// The simulation handle.
+    fn sim(&self) -> &Sim;
+    /// Execute `n` dependent instructions.
+    async fn instr(&self, n: u64);
+    /// 64-bit load.
+    async fn ld_u64(&self, addr: Addr) -> u64;
+    /// 64-bit store.
+    async fn st_u64(&self, addr: Addr, v: u64);
+    /// 32-bit load.
+    async fn ld_u32(&self, addr: Addr) -> u32;
+    /// 32-bit store.
+    async fn st_u32(&self, addr: Addr, v: u32);
+    /// Bulk load.
+    async fn ld_bytes(&self, addr: Addr, buf: &mut [u8]);
+    /// Bulk store.
+    async fn st_bytes(&self, addr: Addr, data: &[u8]);
+    /// Order previous stores system-wide (sfence / `__threadfence_system`).
+    async fn fence(&self);
+
+    /// Load a cache-hot software-structure word (driver state). A CPU
+    /// serves these from its L1; a GPU treats them like any global load
+    /// (device-memory L2 for GPU-driven contexts). Default: plain load.
+    async fn ld_state(&self, addr: Addr) -> u64 {
+        self.ld_u64(addr).await
+    }
+
+    /// Store to a cache-hot software-structure word. Default: plain store.
+    async fn st_state(&self, addr: Addr, v: u64) {
+        self.st_u64(addr, v).await;
+    }
+}
+
+/// Host CPU timing parameters.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Cost of one dependent instruction (ps). A ~3 GHz Xeon retires
+    /// dependent scalar ops every cycle or two.
+    pub instr: Time,
+    /// DRAM access latency from the CPU (ps). Cached accesses are cheaper,
+    /// but API hot paths touch freshly DMA-written lines.
+    pub dram: Time,
+    /// Cached access latency (ps) — queue state the CPU itself maintains.
+    pub cached: Time,
+    /// Issue cost of an MMIO posted write (write-combining drain), ps.
+    pub mmio_store_issue: Time,
+    /// Cost of a store fence, ps.
+    pub fence: Time,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            instr: time::ps(400),
+            dram: time::ns(75),
+            cached: time::ns(4),
+            mmio_store_issue: time::ns(90),
+            fence: time::ns(25),
+        }
+    }
+}
+
+/// A host CPU hardware thread.
+///
+/// Loads/stores to host DRAM cost DRAM/cache latency; accesses that cross
+/// PCIe (NIC BARs, GPU BAR apertures) go through the CPU's root-port
+/// [`Endpoint`].
+#[derive(Clone)]
+pub struct CpuThread {
+    sim: Sim,
+    cfg: Rc<CpuConfig>,
+    endpoint: Endpoint,
+    node: usize,
+}
+
+impl CpuThread {
+    /// A CPU thread on `node` attached through `endpoint` (the root port).
+    pub fn new(sim: Sim, node: usize, cfg: CpuConfig, endpoint: Endpoint) -> Self {
+        CpuThread {
+            sim,
+            cfg: Rc::new(cfg),
+            endpoint,
+            node,
+        }
+    }
+
+    /// The node this CPU belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The CPU's root-port endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    fn is_local_dram(&self, addr: Addr) -> bool {
+        matches!(
+            self.endpoint.bus().classify(addr),
+            tc_mem::RegionKind::HostDram { node } if node == self.node
+        )
+    }
+
+    async fn load(&self, addr: Addr, buf: &mut [u8]) {
+        if self.is_local_dram(addr) {
+            self.sim.delay(self.cfg.dram).await;
+            self.endpoint.bus().read(addr, buf);
+        } else {
+            // MMIO / peer read: full PCIe round trip.
+            self.endpoint.read(addr, buf).await;
+        }
+    }
+
+    async fn store(&self, addr: Addr, data: &[u8]) {
+        if self.is_local_dram(addr) {
+            self.sim.delay(self.cfg.cached).await;
+            self.endpoint.bus().write(addr, data);
+        } else {
+            self.sim.delay(self.cfg.mmio_store_issue).await;
+            self.endpoint.posted_write(addr, data.to_vec()).await;
+        }
+    }
+}
+
+impl Processor for CpuThread {
+    fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    async fn instr(&self, n: u64) {
+        self.sim.delay(n * self.cfg.instr).await;
+    }
+
+    async fn ld_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.load(addr, &mut b).await;
+        u64::from_le_bytes(b)
+    }
+
+    async fn st_u64(&self, addr: Addr, v: u64) {
+        self.store(addr, &v.to_le_bytes()).await;
+    }
+
+    async fn ld_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.load(addr, &mut b).await;
+        u32::from_le_bytes(b)
+    }
+
+    async fn st_u32(&self, addr: Addr, v: u32) {
+        self.store(addr, &v.to_le_bytes()).await;
+    }
+
+    async fn ld_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        self.load(addr, buf).await;
+    }
+
+    async fn st_bytes(&self, addr: Addr, data: &[u8]) {
+        self.store(addr, data).await;
+    }
+
+    async fn fence(&self) {
+        self.sim.delay(self.cfg.fence).await;
+    }
+
+    async fn ld_state(&self, addr: Addr) -> u64 {
+        // Hot driver state lives in the L1.
+        self.sim.delay(self.cfg.cached).await;
+        let mut b = [0u8; 8];
+        self.endpoint.bus().read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    async fn st_state(&self, addr: Addr, v: u64) {
+        self.sim.delay(self.cfg.cached).await;
+        self.endpoint.bus().write(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pcie, PcieConfig};
+    use std::cell::Cell;
+    use tc_mem::{layout, Bus, RegionKind, SparseMem};
+
+    fn setup() -> (Sim, Bus, CpuThread) {
+        let sim = Sim::new();
+        let bus = Bus::new();
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::host_dram(0), 1 << 24)),
+            RegionKind::HostDram { node: 0 },
+        );
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::gpu_dram(0), 1 << 24)),
+            RegionKind::GpuDram { node: 0 },
+        );
+        bus.add_alias(
+            layout::gpu_bar(0),
+            1 << 24,
+            layout::gpu_dram(0),
+            RegionKind::GpuBar { node: 0 },
+        );
+        let pcie = Pcie::new(sim.clone(), bus.clone(), PcieConfig::gen3_x8());
+        let cpu = CpuThread::new(sim.clone(), 0, CpuConfig::default(), pcie.endpoint("cpu0"));
+        (sim, bus, cpu)
+    }
+
+    #[test]
+    fn local_dram_access_is_fast() {
+        let (sim, _bus, cpu) = setup();
+        let t = Rc::new(Cell::new(0u64));
+        let t2 = t.clone();
+        let h = sim.clone();
+        sim.spawn("cpu", async move {
+            cpu.st_u64(layout::host_dram(0), 9).await;
+            assert_eq!(cpu.ld_u64(layout::host_dram(0)).await, 9);
+            t2.set(h.now());
+        });
+        sim.run();
+        // Store (cached) + load (DRAM) well under a PCIe round trip.
+        assert!(t.get() < time::ns(200), "took {}", t.get());
+    }
+
+    #[test]
+    fn peer_access_crosses_pcie() {
+        let (sim, bus, cpu) = setup();
+        bus.write_u64(layout::gpu_dram(0) + 8, 5);
+        let h = sim.clone();
+        sim.spawn("cpu", async move {
+            let t0 = h.now();
+            let v = cpu.ld_u64(layout::gpu_bar(0) + 8).await;
+            assert_eq!(v, 5);
+            assert!(h.now() - t0 >= time::ns(600));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn instr_time_is_sub_ns_per_instr() {
+        let (sim, _bus, cpu) = setup();
+        let h = sim.clone();
+        sim.spawn("cpu", async move {
+            cpu.instr(1000).await;
+            assert_eq!(h.now(), 1000 * CpuConfig::default().instr);
+        });
+        sim.run();
+    }
+}

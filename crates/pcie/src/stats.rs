@@ -1,0 +1,49 @@
+//! PCIe traffic statistics.
+
+use std::cell::Cell;
+
+/// Fabric-wide transaction counters (data-plane truth, used by tests and to
+/// cross-check the GPU performance-counter model).
+#[derive(Debug, Default)]
+pub struct PcieStats {
+    /// Small non-posted reads completed.
+    pub reads: Cell<u64>,
+    /// Bytes moved by small non-posted reads.
+    pub read_bytes: Cell<u64>,
+    /// Posted writes issued.
+    pub posted_writes: Cell<u64>,
+    /// Bytes moved by posted writes.
+    pub posted_write_bytes: Cell<u64>,
+    /// Bulk DMA reads.
+    pub dma_reads: Cell<u64>,
+    /// Bytes moved by bulk DMA reads.
+    pub dma_read_bytes: Cell<u64>,
+    /// Bulk DMA reads that targeted a GPU BAR (peer-to-peer).
+    pub p2p_reads: Cell<u64>,
+    /// Bulk DMA writes.
+    pub dma_writes: Cell<u64>,
+    /// Bytes moved by bulk DMA writes.
+    pub dma_write_bytes: Cell<u64>,
+    /// Bulk DMA writes that targeted a GPU BAR (peer-to-peer).
+    pub p2p_writes: Cell<u64>,
+}
+
+impl PcieStats {
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.read_bytes.set(0);
+        self.posted_writes.set(0);
+        self.posted_write_bytes.set(0);
+        self.dma_reads.set(0);
+        self.dma_read_bytes.set(0);
+        self.p2p_reads.set(0);
+        self.dma_writes.set(0);
+        self.dma_write_bytes.set(0);
+        self.p2p_writes.set(0);
+    }
+
+    pub(crate) fn bump(c: &Cell<u64>, by: u64) {
+        c.set(c.get() + by);
+    }
+}

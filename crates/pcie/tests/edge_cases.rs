@@ -1,0 +1,80 @@
+//! Edge-case tests of the PCIe model.
+
+use std::rc::Rc;
+use tc_desim::Sim;
+use tc_mem::{layout, Bus, RegionKind, SparseMem};
+use tc_pcie::{CpuConfig, CpuThread, Pcie, PcieConfig, Processor};
+
+fn fabric() -> (Sim, Bus, Pcie) {
+    let sim = Sim::new();
+    let bus = Bus::new();
+    bus.add_ram(
+        Rc::new(SparseMem::new(layout::host_dram(0), 1 << 24)),
+        RegionKind::HostDram { node: 0 },
+    );
+    let pcie = Pcie::new(sim.clone(), bus.clone(), PcieConfig::gen2_x8());
+    (sim, bus, pcie)
+}
+
+#[test]
+fn stats_reset_clears_every_counter() {
+    let (sim, _bus, pcie) = fabric();
+    let ep = pcie.endpoint("dev");
+    sim.spawn("t", async move {
+        ep.posted_write(layout::host_dram(0), vec![1u8; 8]).await;
+        let mut b = [0u8; 8];
+        ep.read(layout::host_dram(0), &mut b).await;
+        let mut big = vec![0u8; 4096];
+        ep.dma_read_bulk(layout::host_dram(0), &mut big).await;
+        ep.dma_write_bulk(layout::host_dram(0), &big).await;
+    });
+    sim.run();
+    assert!(pcie.stats().posted_writes.get() > 0);
+    assert!(pcie.stats().reads.get() > 0);
+    assert!(pcie.stats().dma_reads.get() > 0);
+    assert!(pcie.stats().dma_writes.get() > 0);
+    pcie.stats().reset();
+    assert_eq!(pcie.stats().posted_writes.get(), 0);
+    assert_eq!(pcie.stats().reads.get(), 0);
+    assert_eq!(pcie.stats().dma_read_bytes.get(), 0);
+    assert_eq!(pcie.stats().dma_write_bytes.get(), 0);
+}
+
+#[test]
+fn read_cost_matches_observed_uncontended_read_time() {
+    let (sim, _bus, pcie) = fabric();
+    let ep = pcie.endpoint("dev");
+    let cost = ep.read_cost(8);
+    let sim2 = sim.clone();
+    sim.spawn("t", async move {
+        let t0 = sim2.now();
+        let mut b = [0u8; 8];
+        ep.read(layout::host_dram(0), &mut b).await;
+        assert_eq!(sim2.now() - t0, cost);
+    });
+    sim.run();
+}
+
+#[test]
+fn cpu_state_accessors_are_much_cheaper_than_dram() {
+    let (sim, _bus, pcie) = fabric();
+    let cpu = CpuThread::new(sim.clone(), 0, CpuConfig::default(), pcie.endpoint("cpu"));
+    let sim2 = sim.clone();
+    sim.spawn("t", async move {
+        let a = layout::host_dram(0);
+        let t0 = sim2.now();
+        let _ = cpu.ld_state(a).await;
+        let cached = sim2.now() - t0;
+        let t0 = sim2.now();
+        let _ = cpu.ld_u64(a).await;
+        let dram = sim2.now() - t0;
+        assert!(cached * 5 < dram, "cached {cached} vs dram {dram}");
+    });
+    sim.run();
+}
+
+#[test]
+fn zero_length_wire_time_is_one_tlp() {
+    let c = PcieConfig::gen2_x8();
+    assert!(c.wire_time(0, c.dma_bw) > 0);
+}

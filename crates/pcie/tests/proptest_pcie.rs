@@ -1,0 +1,53 @@
+//! Property tests of the PCIe timing model and transaction ordering.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use tc_desim::Sim;
+use tc_mem::{layout, Bus, RegionKind, SparseMem};
+use tc_pcie::{Pcie, PcieConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Wire time is monotone in payload length.
+    #[test]
+    fn wire_time_monotone(a in 1u64..(1 << 24), b in 1u64..(1 << 24)) {
+        let c = PcieConfig::gen3_x8();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(c.wire_time(lo, c.dma_bw) <= c.wire_time(hi, c.dma_bw));
+    }
+
+    /// A P2P read is never faster than the equivalent host-memory DMA, and
+    /// its effective bandwidth is monotonically non-increasing past the knee.
+    #[test]
+    fn p2p_read_never_beats_host_dma(len in 1u64..(1 << 26)) {
+        let c = PcieConfig::gen2_x8();
+        prop_assert!(c.p2p_read_time(len) >= c.dma_time(len));
+        let t1 = c.p2p_read_time(len);
+        let t2 = c.p2p_read_time(len * 2);
+        // Doubling the size at least doubles the time past the knee region.
+        prop_assert!(t2 + 1 >= t1);
+    }
+
+    /// Posted writes from one endpoint are delivered in issue order for
+    /// any number of writes.
+    #[test]
+    fn posted_writes_in_order(n in 1usize..40) {
+        let sim = Sim::new();
+        let bus = Bus::new();
+        bus.add_ram(
+            Rc::new(SparseMem::new(layout::host_dram(0), 1 << 16)),
+            RegionKind::HostDram { node: 0 },
+        );
+        let pcie = Pcie::new(sim.clone(), bus.clone(), PcieConfig::gen2_x8());
+        let ep = pcie.endpoint("dev");
+        sim.spawn("writer", async move {
+            for i in 1..=n as u64 {
+                ep.posted_write(layout::host_dram(0), i.to_le_bytes().to_vec()).await;
+            }
+        });
+        sim.run();
+        // The last write wins.
+        prop_assert_eq!(bus.read_u64(layout::host_dram(0)), n as u64);
+    }
+}

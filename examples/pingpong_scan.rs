@@ -1,0 +1,73 @@
+//! Latency scan: side-by-side ping-pong latency of every communication
+//! configuration the paper analyses, on both interconnects.
+//!
+//! ```text
+//! cargo run --release --example pingpong_scan [max_size_bytes]
+//! ```
+//!
+//! This is the motivating experiment of the paper in one screen: who should
+//! control the NIC — the CPU, the GPU, or a CPU proxy — and how should
+//! completion be detected?
+
+use tc_repro::putget::bench::pingpong::{extoll_pingpong, ib_pingpong};
+use tc_repro::putget::bench::{ExtollMode, IbMode};
+
+fn main() {
+    let max_size: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16 * 1024);
+    let iters = 25;
+    let warmup = 3;
+
+    println!("== EXTOLL RMA ping-pong latency [us] ==");
+    println!(
+        "{:>9} {:>16} {:>18} {:>17} {:>22}",
+        "bytes", "dev2dev-direct", "dev2dev-pollOnGPU", "dev2dev-assisted", "dev2dev-hostControlled"
+    );
+    let mut size = 4u64;
+    while size <= max_size {
+        let d = extoll_pingpong(ExtollMode::Dev2DevDirect, size, iters, warmup);
+        let p = extoll_pingpong(ExtollMode::Dev2DevPollOnGpu, size, iters, warmup);
+        let a = extoll_pingpong(ExtollMode::Dev2DevAssisted, size, iters, warmup);
+        let h = extoll_pingpong(ExtollMode::HostControlled, size, iters, warmup);
+        println!(
+            "{:>9} {:>16.2} {:>18.2} {:>17.2} {:>22.2}",
+            size,
+            d.latency_us(),
+            p.latency_us(),
+            a.latency_us(),
+            h.latency_us()
+        );
+        size *= 4;
+    }
+
+    println!("\n== Infiniband Verbs ping-pong latency [us] ==");
+    println!(
+        "{:>9} {:>16} {:>18} {:>17} {:>22}",
+        "bytes", "dev2dev-bufOnGPU", "dev2dev-bufOnHost", "dev2dev-assisted", "dev2dev-hostControlled"
+    );
+    let mut size = 4u64;
+    while size <= max_size {
+        let g = ib_pingpong(IbMode::Dev2DevBufOnGpu, size, iters, warmup);
+        let o = ib_pingpong(IbMode::Dev2DevBufOnHost, size, iters, warmup);
+        let a = ib_pingpong(IbMode::Dev2DevAssisted, size, iters, warmup);
+        let h = ib_pingpong(IbMode::HostControlled, size, iters, warmup);
+        println!(
+            "{:>9} {:>16.2} {:>18.2} {:>17.2} {:>22.2}",
+            size,
+            g.latency_us(),
+            o.latency_us(),
+            a.latency_us(),
+            h.latency_us()
+        );
+        size *= 4;
+    }
+
+    println!(
+        "\nReading the table like the paper does: CPU-controlled wins everywhere;\n\
+         on EXTOLL, polling device memory instead of notifications reclaims most\n\
+         of the GPU-control penalty; on Infiniband the work-request generation\n\
+         cost dominates regardless of buffer placement."
+    );
+}

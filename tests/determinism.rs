@@ -1,0 +1,42 @@
+//! The simulator must be bit-for-bit deterministic: identical runs produce
+//! identical simulated times, counters and data — the property every result
+//! in EXPERIMENTS.md relies on.
+
+use tc_repro::putget::bench::msgrate::extoll_msgrate;
+use tc_repro::putget::bench::pingpong::{extoll_pingpong, ib_pingpong};
+use tc_repro::putget::bench::{ExtollMode, IbMode, RateMode};
+
+#[test]
+fn extoll_pingpong_runs_are_identical() {
+    let a = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 20, 2);
+    let b = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 20, 2);
+    assert_eq!(a.half_rtt, b.half_rtt);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.put_time, b.put_time);
+    assert_eq!(a.poll_time, b.poll_time);
+}
+
+#[test]
+fn ib_pingpong_runs_are_identical() {
+    let a = ib_pingpong(IbMode::Dev2DevBufOnGpu, 256, 15, 2);
+    let b = ib_pingpong(IbMode::Dev2DevBufOnGpu, 256, 15, 2);
+    assert_eq!(a.half_rtt, b.half_rtt);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn multi_agent_message_rate_is_deterministic() {
+    // 16 concurrent blocks contending on the NIC and PCIe: the scheduler
+    // tie-breaking must still make every run identical.
+    let a = extoll_msgrate(RateMode::Dev2DevBlocks, 16, 40);
+    let b = extoll_msgrate(RateMode::Dev2DevBlocks, 16, 40);
+    assert_eq!(a.elapsed, b.elapsed);
+}
+
+#[test]
+fn assisted_mode_with_proxy_races_is_deterministic() {
+    let a = extoll_pingpong(ExtollMode::Dev2DevAssisted, 64, 15, 2);
+    let b = extoll_pingpong(ExtollMode::Dev2DevAssisted, 64, 15, 2);
+    assert_eq!(a.half_rtt, b.half_rtt);
+    assert_eq!(a.counters, b.counters);
+}

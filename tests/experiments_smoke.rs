@@ -1,0 +1,67 @@
+//! Smoke test of the reproduction harness itself: every experiment id runs
+//! at tiny scale and produces plausible output — the guard that keeps
+//! `reproduce` shippable after model changes.
+
+use tc_repro::bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn tiny() -> Scale {
+    Scale {
+        iters: 8,
+        warmup: 1,
+        bw_messages: 8,
+        rate_msgs: 16,
+    }
+}
+
+#[test]
+fn every_experiment_runs_and_produces_its_table() {
+    for id in ALL_EXPERIMENTS {
+        let out = run_experiment(id, tiny());
+        assert!(
+            out.starts_with("# "),
+            "{id}: output must start with a titled header, got {:?}",
+            &out[..out.len().min(40)]
+        );
+        assert!(out.lines().count() >= 4, "{id}: suspiciously short output");
+    }
+}
+
+#[test]
+fn figure_outputs_contain_every_legend_label() {
+    let fig1a = run_experiment("fig1a", tiny());
+    for label in [
+        "dev2dev-direct",
+        "dev2dev-pollOnGPU",
+        "dev2dev-assisted",
+        "dev2dev-hostControlled",
+    ] {
+        assert!(fig1a.contains(label), "fig1a missing {label}");
+    }
+    let fig5 = run_experiment("fig5", tiny());
+    for label in ["dev2dev-blocks", "dev2dev-kernels"] {
+        assert!(fig5.contains(label), "fig5 missing {label}");
+    }
+}
+
+#[test]
+fn table_outputs_carry_the_paper_reference_columns() {
+    let t1 = run_experiment("table1", tiny());
+    assert!(t1.contains("sysmem(paper)") && t1.contains("4368"));
+    let t2 = run_experiment("table2", tiny());
+    assert!(t2.contains("gpu(paper)") && t2.contains("110463"));
+}
+
+#[test]
+fn self_check_passes_at_smoke_scale() {
+    let out = run_experiment("check", tiny());
+    assert!(
+        !out.contains("FAIL"),
+        "self-check failed at smoke scale:\n{out}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment")]
+fn unknown_experiment_id_is_rejected() {
+    run_experiment("fig99", tiny());
+}
