@@ -1,15 +1,14 @@
 //! Bench harness for the DESIGN.md ablation experiments.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::ablation::{ablation_endian, ablation_notify, ablation_warp};
 
-fn bench(c: &mut Criterion) {
-    let (h, g) = ablation_notify(1024, 15);
+fn main() {
+    let (hq, gq) = ablation_notify(1024, 15);
     println!(
         "notify ablation: host queues {:.2} us vs GPU queues {:.2} us",
-        h.latency_us(),
-        g.latency_us()
+        hq.latency_us(),
+        gq.latency_us()
     );
     let w = ablation_warp();
     println!(
@@ -21,15 +20,8 @@ fn bench(c: &mut Criterion) {
         "endian ablation: {} vs {} instructions per post",
         e.convert_instr, e.static_instr
     );
-    let mut grp = c.benchmark_group("ablations");
-    grp.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
-    grp.bench_function("notify", |b| b.iter(|| ablation_notify(1024, 15)));
-    grp.bench_function("warp", |b| b.iter(ablation_warp));
-    grp.bench_function("endian", |b| b.iter(ablation_endian));
-    grp.finish();
+    let mut h = Harness::new("ablations");
+    h.bench("notify", || ablation_notify(1024, 15));
+    h.bench("warp", ablation_warp);
+    h.bench("endian", ablation_endian);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,15 +1,11 @@
 //! Bench harness for Fig. 1b: EXTOLL streaming bandwidth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::bandwidth::extoll_bandwidth;
 use tc_putget::bench::ExtollMode;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1b_extoll_bandwidth");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("fig1b_extoll_bandwidth");
     for mode in [
         ExtollMode::Dev2DevDirect,
         ExtollMode::Dev2DevAssisted,
@@ -17,12 +13,6 @@ fn bench(c: &mut Criterion) {
     ] {
         let r = extoll_bandwidth(mode, 65536, 24);
         println!("{:24} 64 KiB bandwidth = {:8.1} MB/s", mode.label(), r.mbytes_per_s());
-        g.bench_function(mode.label(), |b| {
-            b.iter(|| extoll_bandwidth(mode, 65536, 24).elapsed)
-        });
+        h.bench(mode.label(), || extoll_bandwidth(mode, 65536, 24).elapsed);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,18 +1,14 @@
 //! Bench harness for Fig. 1a: EXTOLL ping-pong latency, one benchmark per
-//! communication configuration. Criterion tracks the harness wall time (a
-//! regression guard for the simulator); the scientific output is the
-//! simulated latency, printed once per configuration.
+//! communication configuration. The harness tracks wall time (a regression
+//! guard for the simulator); the scientific output is the simulated
+//! latency, printed once per configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::pingpong::extoll_pingpong;
 use tc_putget::bench::ExtollMode;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1a_extoll_latency");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("fig1a_extoll_latency");
     for mode in [
         ExtollMode::Dev2DevDirect,
         ExtollMode::Dev2DevPollOnGpu,
@@ -21,12 +17,6 @@ fn bench(c: &mut Criterion) {
     ] {
         let r = extoll_pingpong(mode, 1024, 20, 2);
         println!("{:24} 1 KiB latency = {:8.2} us", mode.label(), r.latency_us());
-        g.bench_function(mode.label(), |b| {
-            b.iter(|| extoll_pingpong(mode, 1024, 20, 2).half_rtt)
-        });
+        h.bench(mode.label(), || extoll_pingpong(mode, 1024, 20, 2).half_rtt);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

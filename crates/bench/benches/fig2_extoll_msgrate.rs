@@ -1,15 +1,11 @@
 //! Bench harness for Fig. 2: EXTOLL message rate at 8 connection pairs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::msgrate::extoll_msgrate;
 use tc_putget::bench::RateMode;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_extoll_msgrate");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("fig2_extoll_msgrate");
     for mode in [
         RateMode::Dev2DevBlocks,
         RateMode::Dev2DevKernels,
@@ -18,10 +14,6 @@ fn bench(c: &mut Criterion) {
     ] {
         let r = extoll_msgrate(mode, 8, 50);
         println!("{:24} 8 pairs = {:10.0} MSGs/s", mode.label(), r.msgs_per_s());
-        g.bench_function(mode.label(), |b| b.iter(|| extoll_msgrate(mode, 8, 50).elapsed));
+        h.bench(mode.label(), || extoll_msgrate(mode, 8, 50).elapsed);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

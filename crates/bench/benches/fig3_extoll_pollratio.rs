@@ -1,15 +1,11 @@
 //! Bench harness for Fig. 3: put-time vs polling-time split.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::counters::fig3_point;
 use tc_putget::time;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_extoll_pollratio");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("fig3_extoll_pollratio");
     for size in [4u64, 65536] {
         let ((sp, sq), (dp, dq)) = fig3_point(size, 15);
         println!(
@@ -17,10 +13,6 @@ fn bench(c: &mut Criterion) {
             time::to_us_f64(sq) / time::to_us_f64(sp),
             time::to_us_f64(dq) / time::to_us_f64(dp)
         );
-        g.bench_function(format!("size_{size}"), |b| b.iter(|| fig3_point(size, 15)));
+        h.bench(&format!("size_{size}"), || fig3_point(size, 15));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

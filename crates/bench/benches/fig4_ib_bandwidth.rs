@@ -1,15 +1,11 @@
 //! Bench harness for Fig. 4b: Infiniband streaming bandwidth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::bandwidth::ib_bandwidth;
 use tc_putget::bench::IbMode;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4b_ib_bandwidth");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("fig4b_ib_bandwidth");
     for mode in [
         IbMode::Dev2DevBufOnGpu,
         IbMode::Dev2DevBufOnHost,
@@ -18,10 +14,6 @@ fn bench(c: &mut Criterion) {
     ] {
         let r = ib_bandwidth(mode, 65536, 24);
         println!("{:24} 64 KiB bandwidth = {:8.1} MB/s", mode.label(), r.mbytes_per_s());
-        g.bench_function(mode.label(), |b| b.iter(|| ib_bandwidth(mode, 65536, 24).elapsed));
+        h.bench(mode.label(), || ib_bandwidth(mode, 65536, 24).elapsed);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,15 +1,11 @@
 //! Bench harness for Fig. 4a: Infiniband ping-pong latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::pingpong::ib_pingpong;
 use tc_putget::bench::IbMode;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4a_ib_latency");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut h = Harness::new("fig4a_ib_latency");
     for mode in [
         IbMode::Dev2DevBufOnGpu,
         IbMode::Dev2DevBufOnHost,
@@ -18,10 +14,6 @@ fn bench(c: &mut Criterion) {
     ] {
         let r = ib_pingpong(mode, 1024, 15, 2);
         println!("{:24} 1 KiB latency = {:8.2} us", mode.label(), r.latency_us());
-        g.bench_function(mode.label(), |b| b.iter(|| ib_pingpong(mode, 1024, 15, 2).half_rtt));
+        h.bench(mode.label(), || ib_pingpong(mode, 1024, 15, 2).half_rtt);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

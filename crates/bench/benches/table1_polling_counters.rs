@@ -1,23 +1,15 @@
 //! Bench harness for Table I: the 100-iteration polling-counter run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::counters::table1;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (sys, dev) = table1();
     println!(
         "table1: sysmem polling {} sysmem reads / {} instructions; \
          devmem polling {} sysmem reads / {} instructions",
         sys.sysmem_reads, sys.instructions, dev.sysmem_reads, dev.instructions
     );
-    let mut g = c.benchmark_group("table1_polling_counters");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    g.bench_function("both_polling_approaches", |b| b.iter(table1));
-    g.finish();
+    let mut h = Harness::new("table1_polling_counters");
+    h.bench("both_polling_approaches", table1);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,23 +1,15 @@
 //! Bench harness for Table II: the buffer-placement counter run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::counters::table2;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (host, gpu) = table2();
     println!(
         "table2: bufOnHost {} sysmem reads / {} instructions; \
          bufOnGPU {} sysmem reads / {} instructions",
         host.sysmem_reads, host.instructions, gpu.sysmem_reads, gpu.instructions
     );
-    let mut g = c.benchmark_group("table2_buffer_placement");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    g.bench_function("both_buffer_placements", |b| b.iter(table2));
-    g.finish();
+    let mut h = Harness::new("table2_buffer_placement");
+    h.bench("both_buffer_placements", table2);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,11 @@
 //! Bench harness for the SV-B.3 verbs instruction micro-measurements.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tc_bench::harness::Harness;
 use tc_putget::bench::counters::verbs_instruction_counts;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (post, poll) = verbs_instruction_counts();
     println!("verbs micro: post_send = {post} instr (paper 442), poll_cq = {poll} instr (paper 283)");
-    let mut g = c.benchmark_group("verbs_micro");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
-    g.bench_function("post_and_poll", |b| b.iter(verbs_instruction_counts));
-    g.finish();
+    let mut h = Harness::new("verbs_micro");
+    h.bench("post_and_poll", verbs_instruction_counts);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The `[[bench]]` targets in this crate are plain `harness = false`
+//! binaries (the workspace builds offline with no external crates, so
+//! criterion is not available). Each target prints its scientific output
+//! (simulated latencies/counters) once, then times the simulator itself
+//! with this harness as a wall-clock regression guard.
+//!
+//! Sample count defaults to 10; override with `TC_BENCH_SAMPLES=n`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group: times closures and prints a min/median/max table.
+pub struct Harness {
+    group: String,
+    samples: u32,
+    header_printed: bool,
+}
+
+impl Harness {
+    /// Create a group named `group` (conventionally the bench target name).
+    pub fn new(group: &str) -> Self {
+        let samples = std::env::var("TC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        Harness {
+            group: group.to_string(),
+            samples,
+            header_printed: false,
+        }
+    }
+
+    /// Time `f` over the group's sample count (after one warm-up call) and
+    /// print a `group/name  min median max` row.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if !self.header_printed {
+            println!(
+                "{:44} {:>12} {:>12} {:>12}  ({} samples)",
+                "benchmark", "min", "median", "max", self.samples
+            );
+            self.header_printed = true;
+        }
+        black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        println!(
+            "{:44} {:>12} {:>12} {:>12}",
+            format!("{}/{}", self.group, name),
+            fmt_duration(times[0]),
+            fmt_duration(times[times.len() / 2]),
+            fmt_duration(times[times.len() - 1]),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_and_prints() {
+        let mut h = Harness::new("selftest");
+        let mut calls = 0u32;
+        h.bench("noop", || calls += 1);
+        // One warm-up plus `samples` timed runs.
+        assert_eq!(calls, h.samples + 1);
+    }
+
+    #[test]
+    fn durations_format_in_adaptive_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.000 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

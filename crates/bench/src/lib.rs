@@ -5,6 +5,8 @@
 //!
 //! Run everything with `cargo run --release -p tc-bench --bin reproduce`.
 
+pub mod harness;
+
 use std::sync::Mutex;
 
 use tc_putget::bench::ablation;
@@ -63,17 +65,17 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    crossbeam::thread::scope(|s| {
+    // std::thread::scope re-raises any worker panic when the scope closes.
+    std::thread::scope(|s| {
         for i in 0..n {
             let out = &out;
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let v = f(i);
                 out.lock().unwrap().push((i, v));
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let mut v = out.into_inner().unwrap();
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, v)| v).collect()

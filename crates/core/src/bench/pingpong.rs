@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use tc_desim::time::{self, Time};
 use tc_gpu::CounterSnapshot;
+use tc_trace::Snapshot;
 use tc_ib::{BufLoc, IbvContext, SendOpcode, SendWr};
 use tc_mem::Addr;
 use tc_pcie::Processor;
@@ -27,6 +28,9 @@ pub struct PingPongResult {
     pub half_rtt: Time,
     /// Node-0 GPU counters over the timed region.
     pub counters: CounterSnapshot,
+    /// Delta of *every* registry counter (all layers, all nodes) over the
+    /// timed region — the cross-layer view behind the Table I/II rows.
+    pub registry: Snapshot,
     /// Average time node 0 spent generating/posting work requests per
     /// iteration.
     pub put_time: Time,
@@ -73,6 +77,7 @@ struct Timing {
     put_sum: Rc<Cell<Time>>,
     poll_sum: Rc<Cell<Time>>,
     counters_at_start: Rc<RefCell<Option<CounterSnapshot>>>,
+    registry_at_start: Rc<RefCell<Option<Snapshot>>>,
 }
 
 impl Timing {
@@ -83,6 +88,7 @@ impl Timing {
             put_sum: Rc::new(Cell::new(0)),
             poll_sum: Rc::new(Cell::new(0)),
             counters_at_start: Rc::new(RefCell::new(None)),
+            registry_at_start: Rc::new(RefCell::new(None)),
         }
     }
 }
@@ -135,12 +141,13 @@ pub fn extoll_pingpong_cfg(
             {
                 let a0 = a0.clone();
                 let b0 = b0.clone();
-                let (ts, te, ps, qs, cs) = (
+                let (ts, te, ps, qs, cs, rs) = (
                     tm.t_start.clone(),
                     tm.t_end.clone(),
                     tm.put_sum.clone(),
                     tm.poll_sum.clone(),
                     tm.counters_at_start.clone(),
+                    tm.registry_at_start.clone(),
                 );
                 let sim = c.sim.clone();
                 let gpu = gpu0.clone();
@@ -152,6 +159,7 @@ pub fn extoll_pingpong_cfg(
                         if i == warmup {
                             ts.set(sim.now());
                             *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                            *rs.borrow_mut() = Some(sim.registry().snapshot());
                         }
                         let timed = i >= warmup;
                         let t0 = sim.now();
@@ -210,12 +218,13 @@ pub fn extoll_pingpong_cfg(
             let peer0 = a1.extoll_port().index();
             let peer1 = b0.extoll_port().index();
             {
-                let (ts, te, ps, qs, cs) = (
+                let (ts, te, ps, qs, cs, rs) = (
                     tm.t_start.clone(),
                     tm.t_end.clone(),
                     tm.put_sum.clone(),
                     tm.poll_sum.clone(),
                     tm.counters_at_start.clone(),
+                    tm.registry_at_start.clone(),
                 );
                 let sim = c.sim.clone();
                 let gpu = gpu0.clone();
@@ -225,6 +234,7 @@ pub fn extoll_pingpong_cfg(
                         if i == warmup {
                             ts.set(sim.now());
                             *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                            *rs.borrow_mut() = Some(sim.registry().snapshot());
                         }
                         let timed = i >= warmup;
                         let marker = i as u64 + 1;
@@ -318,12 +328,13 @@ pub fn extoll_pingpong_cfg(
             let (snd0, arr0) = CH0.with(|c| c.get().unwrap());
             let (snd1, arr1) = CH1.with(|c| c.get().unwrap());
             {
-                let (ts, te, ps, qs, cs) = (
+                let (ts, te, ps, qs, cs, rs) = (
                     tm.t_start.clone(),
                     tm.t_end.clone(),
                     tm.put_sum.clone(),
                     tm.poll_sum.clone(),
                     tm.counters_at_start.clone(),
+                    tm.registry_at_start.clone(),
                 );
                 let sim = c.sim.clone();
                 let gpu = gpu0.clone();
@@ -334,6 +345,7 @@ pub fn extoll_pingpong_cfg(
                         if i == warmup {
                             ts.set(sim.now());
                             *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                            *rs.borrow_mut() = Some(sim.registry().snapshot());
                         }
                         let timed = i >= warmup;
                         let t0 = sim.now();
@@ -395,11 +407,17 @@ fn finish(tm: &Timing, gpu0: &tc_gpu::Gpu, size: u64, iters: u32) -> PingPongRes
         .counters_at_start
         .borrow()
         .unwrap_or_default();
+    let reg_start = tm
+        .registry_at_start
+        .borrow()
+        .clone()
+        .unwrap_or_default();
     PingPongResult {
         size,
         iters,
         half_rtt: span / (iters as u64) / 2,
         counters: gpu0.counters().snapshot().delta(&start),
+        registry: gpu0.sim().registry().snapshot().delta(&reg_start),
         put_time: tm.put_sum.get() / iters as u64,
         poll_time: tm.poll_sum.get() / iters as u64,
     }
@@ -448,12 +466,13 @@ pub fn ib_pingpong(mode: IbMode, size: u64, iters: u32, warmup: u32) -> PingPong
             let mr_tx1 = ctx1.reg_mr(tx1, buf_len, tc_ib::Access::full());
             let mr_rx1 = ctx1.reg_mr(rx1, buf_len, tc_ib::Access::full());
             {
-                let (ts, te, ps, qs, cs) = (
+                let (ts, te, ps, qs, cs, rs) = (
                     tm.t_start.clone(),
                     tm.t_end.clone(),
                     tm.put_sum.clone(),
                     tm.poll_sum.clone(),
                     tm.counters_at_start.clone(),
+                    tm.registry_at_start.clone(),
                 );
                 let sim = c.sim.clone();
                 let gpu = gpu0.clone();
@@ -464,6 +483,7 @@ pub fn ib_pingpong(mode: IbMode, size: u64, iters: u32, warmup: u32) -> PingPong
                         if i == warmup {
                             ts.set(sim.now());
                             *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                            *rs.borrow_mut() = Some(sim.registry().snapshot());
                         }
                         let timed = i >= warmup;
                         let marker = i as u64 + 1;
@@ -557,12 +577,13 @@ pub fn ib_pingpong(mode: IbMode, size: u64, iters: u32, warmup: u32) -> PingPong
                 });
             }
             {
-                let (ts, te, ps, qs, cs) = (
+                let (ts, te, ps, qs, cs, rs) = (
                     tm.t_start.clone(),
                     tm.t_end.clone(),
                     tm.put_sum.clone(),
                     tm.poll_sum.clone(),
                     tm.counters_at_start.clone(),
+                    tm.registry_at_start.clone(),
                 );
                 let sim = c.sim.clone();
                 let gpu = gpu0.clone();
@@ -573,6 +594,7 @@ pub fn ib_pingpong(mode: IbMode, size: u64, iters: u32, warmup: u32) -> PingPong
                         if i == warmup {
                             ts.set(sim.now());
                             *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                            *rs.borrow_mut() = Some(sim.registry().snapshot());
                         }
                         let timed = i >= warmup;
                         let marker = i as u64 + 1;
@@ -614,12 +636,13 @@ pub fn ib_pingpong(mode: IbMode, size: u64, iters: u32, warmup: u32) -> PingPong
             let (a0, a1) = create_pair(&c, tx0, rx1, buf_len, QueueLoc::Host);
             let (b0, b1) = create_pair(&c, rx0, tx1, buf_len, QueueLoc::Host);
             {
-                let (ts, te, ps, qs, cs) = (
+                let (ts, te, ps, qs, cs, rs) = (
                     tm.t_start.clone(),
                     tm.t_end.clone(),
                     tm.put_sum.clone(),
                     tm.poll_sum.clone(),
                     tm.counters_at_start.clone(),
+                    tm.registry_at_start.clone(),
                 );
                 let sim = c.sim.clone();
                 let gpu = gpu0.clone();
@@ -631,6 +654,7 @@ pub fn ib_pingpong(mode: IbMode, size: u64, iters: u32, warmup: u32) -> PingPong
                         if i == warmup {
                             ts.set(sim.now());
                             *cs.borrow_mut() = Some(gpu.counters().snapshot());
+                            *rs.borrow_mut() = Some(sim.registry().snapshot());
                         }
                         let timed = i >= warmup;
                         let t0 = sim.now();

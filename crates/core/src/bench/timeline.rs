@@ -1,15 +1,25 @@
 //! Timeline experiment: where do the microseconds of one GPU-controlled put
-//! go? Runs a single `dev2dev-direct` EXTOLL iteration with DES tracing on
-//! and prints the annotated event sequence — the simulator's answer to the
-//! paper's "detailed reasoning about the issues" goal.
+//! go? Runs a single `dev2dev-direct` EXTOLL iteration with the structured
+//! event recorder on and renders the cross-layer event sequence — the
+//! simulator's answer to the paper's "detailed reasoning about the issues"
+//! goal.
+//!
+//! The events come from every hardware layer (`gpu` warp accesses, `pcie`
+//! MMIO/DMA, `nic` engines, `desim` scheduling) plus `user` markers the
+//! driver drops around the phases of interest. [`chrome_json`] exports the
+//! same run as Chrome trace-event JSON for Perfetto / `chrome://tracing`.
 
-use tc_desim::time::{self, Time};
+use tc_desim::time;
+use tc_trace::{chrome, ArgVal, Phase, TraceEvent};
 use tc_extoll::WrFlags;
 
 use crate::cluster::{Backend, Cluster};
 
-/// Capture the trace of a single put + notification round.
-pub fn put_timeline(size: u64) -> Vec<(Time, String)> {
+/// Capture the structured event trace of a single put + notification round.
+///
+/// Events are returned sorted by simulated start time (ties keep record
+/// order, which is deterministic).
+pub fn put_timeline(size: u64) -> Vec<TraceEvent> {
     let c = Cluster::new(Backend::Extoll);
     let tx = c.nodes[0].gpu.alloc(size.max(8), 256);
     let rx = c.nodes[1].gpu.alloc(size.max(8), 256);
@@ -23,7 +33,7 @@ pub fn put_timeline(size: u64) -> Vec<(Time, String)> {
     c.sim.trace_enable();
     c.sim.spawn("timeline", async move {
         let t = gpu.thread();
-        sim.trace(|| "gpu0: starts building the work request".to_string());
+        sim.trace(|| "wr_build_start".to_string());
         p0.post_put(
             &t,
             peer,
@@ -37,14 +47,39 @@ pub fn put_timeline(size: u64) -> Vec<(Time, String)> {
             },
         )
         .await;
-        sim.trace(|| "gpu0: last BAR store issued".to_string());
+        sim.trace(|| "wr_posted".to_string());
         p0.requester.wait(&t).await;
-        sim.trace(|| "gpu0: requester notification observed".to_string());
+        sim.trace(|| "notification_observed".to_string());
         p0.requester.free(&t).await;
-        sim.trace(|| "gpu0: requester notification freed".to_string());
+        sim.trace(|| "notification_freed".to_string());
     });
     c.sim.run();
-    c.sim.take_trace()
+    // Spans are recorded at completion; sort by start time for the report.
+    // The sort is stable, so same-timestamp events keep deterministic
+    // record order.
+    let mut events = c.sim.recorder().take_events();
+    events.sort_by_key(|e| e.ts);
+    events
+}
+
+/// The same run exported as Chrome trace-event JSON (open in Perfetto or
+/// `chrome://tracing`).
+pub fn chrome_json(size: u64) -> String {
+    chrome::to_chrome_json(&put_timeline(size))
+}
+
+fn fmt_args(args: &[(&'static str, ArgVal)]) -> String {
+    if args.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = args
+        .iter()
+        .map(|(k, v)| match v {
+            ArgVal::U64(n) => format!("{k}={n}"),
+            ArgVal::Str(s) => format!("{k}={s}"),
+        })
+        .collect();
+    format!(" ({})", parts.join(", "))
 }
 
 /// Render the timeline as an annotated text report.
@@ -52,22 +87,30 @@ pub fn report(size: u64) -> String {
     let tl = put_timeline(size);
     let mut out = format!(
         "# timeline: one GPU-controlled EXTOLL put of {size} B (dev2dev-direct)\n\
-         {:>12} {:>10}  event\n",
-        "t [us]", "delta"
+         {:>12} {:>10}  {:<24} event\n",
+        "t [us]", "delta", "layer.track"
     );
     let mut prev = 0u64;
-    for (t, label) in &tl {
+    for ev in &tl {
+        let dur = match ev.phase {
+            Phase::Span { dur } => format!(" [{:.3} us]", time::to_us_f64(dur)),
+            Phase::Instant => String::new(),
+        };
         out.push_str(&format!(
-            "{:>12.3} {:>9.3}  {label}\n",
-            time::to_us_f64(*t),
-            time::to_us_f64(t - prev),
+            "{:>12.3} {:>9.3}  {:<24} {}{}{}\n",
+            time::to_us_f64(ev.ts),
+            time::to_us_f64(ev.ts - prev),
+            format!("{}.{}", ev.layer, ev.track),
+            ev.name,
+            dur,
+            fmt_args(&ev.args),
         ));
-        prev = *t;
+        prev = ev.ts;
     }
     out.push_str(
-        "Every 'gpu0' step before the BAR store is work-request generation;\n\
-         everything after the completer delivery until 'notification observed'\n\
-         is the system-memory polling cost the paper's SV-A.3 dissects.\n",
+        "Every gpu/pcie step before 'wr_posted' is work-request generation;\n\
+         everything after 'put_delivered' until 'notification_observed' is\n\
+         the system-memory polling cost the paper's SV-A.3 dissects.\n",
     );
     out
 }
@@ -79,28 +122,39 @@ mod tests {
     #[test]
     fn timeline_contains_the_expected_stages_in_order() {
         let tl = put_timeline(1024);
-        let labels: Vec<&str> = tl.iter().map(|(_, l)| l.as_str()).collect();
+        let names: Vec<&str> = tl.iter().map(|e| e.name.as_str()).collect();
         let pos = |needle: &str| {
-            labels
+            names
                 .iter()
-                .position(|l| l.contains(needle))
-                .unwrap_or_else(|| panic!("missing stage: {needle}\ngot: {labels:#?}"))
+                .position(|n| n.contains(needle))
+                .unwrap_or_else(|| panic!("missing stage: {needle}\ngot: {names:#?}"))
         };
-        let build = pos("starts building");
-        let bar = pos("last BAR store");
-        let accepted = pos("requester accepted");
-        let dma = pos("payload DMA read done");
-        let wire = pos("frame on the wire");
-        let delivered = pos("completer delivered put");
-        let observed = pos("requester notification observed");
-        assert!(build < bar);
-        assert!(bar < dma || accepted < dma);
+        let build = pos("wr_build_start");
+        let posted = pos("wr_posted");
+        let accepted = pos("wr_accept");
+        let dma = pos("payload_read_done");
+        let wire = pos("tx_frame");
+        let delivered = pos("put_delivered");
+        let observed = pos("notification_observed");
+        assert!(build < posted);
+        assert!(posted < dma || accepted < dma);
         assert!(dma < wire);
         assert!(wire < delivered);
         assert!(accepted < observed);
-        // Timestamps are non-decreasing.
+        // Timestamps are non-decreasing after the start-time sort.
         for w in tl.windows(2) {
-            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn timeline_covers_at_least_four_layers() {
+        let tl = put_timeline(1024);
+        for layer in ["desim", "gpu", "pcie", "nic", "user"] {
+            assert!(
+                tl.iter().any(|e| e.layer == layer),
+                "no events from layer {layer}"
+            );
         }
     }
 
@@ -108,9 +162,21 @@ mod tests {
     fn tracing_does_not_change_results() {
         // A traced run and an untraced run take identical simulated time.
         let tl = put_timeline(64);
-        let end_traced = tl.last().unwrap().0;
+        let end_traced = tl.last().unwrap().ts;
         // Re-run untraced by replicating through the public driver.
         let tl2 = put_timeline(64);
-        assert_eq!(end_traced, tl2.last().unwrap().0);
+        assert_eq!(end_traced, tl2.last().unwrap().ts);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_deterministic() {
+        let a = chrome_json(256);
+        let b = chrome_json(256);
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.trim_end().ends_with('}'));
+        assert!(a.contains("\"traceEvents\""));
+        for pname in ["\"desim\"", "\"gpu\"", "\"pcie\"", "\"nic\""] {
+            assert!(a.contains(pname), "missing process {pname}");
+        }
     }
 }

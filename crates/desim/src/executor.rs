@@ -13,6 +13,8 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use tc_trace::{Recorder, Registry};
+
 use crate::sync::Signal;
 use crate::time::Time;
 
@@ -67,14 +69,21 @@ pub(crate) struct Inner {
     free: Vec<usize>,
     live: usize,
     current: Option<ProcId>,
-    trace: Option<Vec<(Time, String)>>,
 }
 
 /// Handle to a simulation. Cheap to clone; all clones refer to the same
 /// simulated world.
+///
+/// Every simulation carries the instrumentation layer with it: a
+/// [`Registry`] of named counters the hardware models register into, and a
+/// [`Recorder`] of structured trace events. Both are passive observers —
+/// they never schedule or delay anything — so enabling them cannot change
+/// simulated behaviour.
 #[derive(Clone)]
 pub struct Sim {
     inner: Rc<RefCell<Inner>>,
+    registry: Registry,
+    recorder: Recorder,
 }
 
 impl Default for Sim {
@@ -96,9 +105,21 @@ impl Sim {
                 free: Vec::new(),
                 live: 0,
                 current: None,
-                trace: None,
             })),
+            registry: Registry::new(),
+            recorder: Recorder::new(),
         }
+    }
+
+    /// The counter registry shared by every component of this simulation.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The structured event recorder shared by every component of this
+    /// simulation. Disabled by default; see [`Recorder::enable`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Current simulated time in picoseconds.
@@ -116,6 +137,11 @@ impl Sim {
     where
         F: Future<Output = ()> + 'static,
     {
+        if self.recorder.on() {
+            let now = self.inner.borrow().now;
+            self.recorder
+                .instant(now, "desim", "executor", "spawn", vec![("proc", name.into())]);
+        }
         let mut inner = self.inner.borrow_mut();
         let slot = ProcSlot {
             fut: Some(Box::pin(fut)),
@@ -158,21 +184,31 @@ impl Sim {
 
     fn poll_proc(&self, pid: ProcId) {
         // Move the future out of the slab so polling can re-borrow `inner`.
-        let mut fut = {
+        let (mut fut, wake_ev) = {
             let mut inner = self.inner.borrow_mut();
+            let now = inner.now;
             let slot = match inner.procs.get_mut(pid.0) {
                 Some(Some(s)) => s,
                 _ => return,
             };
             slot.queued = false;
+            let wake_ev = if self.recorder.on() {
+                Some((now, slot.name.clone()))
+            } else {
+                None
+            };
             match slot.fut.take() {
                 Some(f) => {
                     inner.current = Some(pid);
-                    f
+                    (f, wake_ev)
                 }
                 None => return,
             }
         };
+        if let Some((now, name)) = wake_ev {
+            self.recorder
+                .instant(now, "desim", "executor", "wake", vec![("proc", name.into())]);
+        }
         let waker = Waker::noop();
         let mut cx = Context::from_waker(waker);
         let done = fut.as_mut().poll(&mut cx).is_ready();
@@ -252,35 +288,55 @@ impl Sim {
         Signal::new(self.clone())
     }
 
-    /// Start recording trace events (see [`Sim::trace`]). Any previously
-    /// recorded events are discarded.
+    /// Start recording trace events (see [`Sim::trace`]). This is a shim
+    /// over [`Sim::recorder`]: it enables the structured recorder and
+    /// discards any previously recorded events.
     pub fn trace_enable(&self) {
-        self.inner.borrow_mut().trace = Some(Vec::new());
+        self.recorder.clear();
+        self.recorder.enable();
     }
 
-    /// Record a timestamped trace event. A no-op unless
-    /// [`Sim::trace_enable`] was called — hardware models sprinkle these at
-    /// interesting points and pay nothing when tracing is off.
+    /// Record a timestamped string label. A no-op unless recording is
+    /// enabled — hardware models and drivers sprinkle these at interesting
+    /// points and pay one branch when tracing is off. Labels land in the
+    /// structured recorder as instants on layer `"user"`, tracked by the
+    /// emitting process, so they appear alongside hardware events in a
+    /// Chrome trace export.
     pub fn trace(&self, label: impl FnOnce() -> String) {
-        let mut inner = self.inner.borrow_mut();
-        let now = inner.now;
-        if let Some(t) = inner.trace.as_mut() {
-            t.push((now, label()));
+        if !self.recorder.on() {
+            return;
         }
+        let now = self.now();
+        let track = self
+            .current_proc_name()
+            .unwrap_or_else(|| "main".to_string());
+        self.recorder.instant(now, "user", track, label(), vec![]);
     }
 
-    /// Whether tracing is currently enabled.
+    /// Whether trace recording is currently enabled.
     pub fn trace_enabled(&self) -> bool {
-        self.inner.borrow().trace.is_some()
+        self.recorder.on()
     }
 
-    /// Take the recorded trace, leaving tracing enabled with an empty log.
+    /// Take the recorded string labels (layer `"user"` only — structured
+    /// hardware events stay in the recorder), leaving tracing enabled.
     pub fn take_trace(&self) -> Vec<(Time, String)> {
-        let mut inner = self.inner.borrow_mut();
-        match inner.trace.as_mut() {
-            Some(t) => std::mem::take(t),
-            None => Vec::new(),
-        }
+        self.recorder
+            .take_layer("user")
+            .into_iter()
+            .map(|ev| (ev.ts, ev.name))
+            .collect()
+    }
+
+    /// Name of the process currently being polled, if any.
+    fn current_proc_name(&self) -> Option<String> {
+        let inner = self.inner.borrow();
+        let pid = inner.current?;
+        inner
+            .procs
+            .get(pid.0)?
+            .as_ref()
+            .map(|s| s.name.clone())
     }
 
     /// Names of processes that are still alive (useful to diagnose

@@ -47,3 +47,7 @@ pub mod time;
 
 pub use executor::{ProcId, Sim};
 pub use time::{Freq, Time};
+
+// Re-exported so hardware models can name instrumentation types through
+// their existing `tc-desim` dependency.
+pub use tc_trace::{Recorder, Registry};

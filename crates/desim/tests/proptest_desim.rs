@@ -1,13 +1,33 @@
-//! Property tests of the DES kernel: determinism, FIFO channels, and
-//! monotone time under arbitrary process populations.
+//! Randomized property tests of the DES kernel: determinism, FIFO channels,
+//! and monotone time under arbitrary process populations.
+//!
+//! Cases are generated with the in-tree [`tc_trace::rng::XorShift64`] PRNG
+//! (the workspace builds offline, so it cannot depend on proptest). Every
+//! assertion message includes the case seed so a failure replays exactly.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use tc_desim::sync::Channel;
 use tc_desim::time::ns;
 use tc_desim::Sim;
+use tc_trace::rng::XorShift64;
+
+const CASES: u64 = 64;
+
+/// (start ns, period ns, event count) per process.
+fn gen_population(rng: &mut XorShift64) -> Vec<(u16, u16, u8)> {
+    let n = rng.range(1, 12) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(1000) as u16,
+                rng.below(100) as u16,
+                rng.below(20) as u8,
+            )
+        })
+        .collect()
+}
 
 fn run_population(procs: &[(u16, u16, u8)]) -> Vec<(u64, usize)> {
     let sim = Sim::new();
@@ -27,37 +47,41 @@ fn run_population(procs: &[(u16, u16, u8)]) -> Vec<(u64, usize)> {
     Rc::try_unwrap(log).unwrap().into_inner()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Two identical populations produce bit-identical event logs.
-    #[test]
-    fn arbitrary_populations_are_deterministic(
-        procs in proptest::collection::vec((0u16..1000, 0u16..100, 0u8..20), 1..12)
-    ) {
+/// Two identical populations produce bit-identical event logs.
+#[test]
+fn arbitrary_populations_are_deterministic() {
+    for seed in 1..=CASES {
+        let procs = gen_population(&mut XorShift64::new(seed));
         let a = run_population(&procs);
         let b = run_population(&procs);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "nondeterministic log for seed {seed}");
     }
+}
 
-    /// The event log is sorted by time (the clock never goes backwards).
-    #[test]
-    fn time_is_monotone(
-        procs in proptest::collection::vec((0u16..1000, 0u16..100, 0u8..20), 1..12)
-    ) {
+/// The event log is sorted by time (the clock never goes backwards).
+#[test]
+fn time_is_monotone() {
+    for seed in 1..=CASES {
+        let procs = gen_population(&mut XorShift64::new(seed));
         let log = run_population(&procs);
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0, "time went backwards for seed {seed}");
         }
     }
+}
 
-    /// Whatever the interleaving of producers' delays, a channel delivers
-    /// each producer's items in its send order.
-    #[test]
-    fn channels_are_fifo_per_producer(
-        delays in proptest::collection::vec((0u16..200, 0u16..200), 2..6),
-        items_each in 1u8..15,
-    ) {
+/// Whatever the interleaving of producers' delays, a channel delivers each
+/// producer's items in its send order.
+#[test]
+fn channels_are_fifo_per_producer() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let nprod = rng.range(2, 6) as usize;
+        let delays: Vec<(u16, u16)> = (0..nprod)
+            .map(|_| (rng.below(200) as u16, rng.below(200) as u16))
+            .collect();
+        let items_each = rng.range(1, 15) as u8;
+
         let sim = Sim::new();
         let ch: Channel<(usize, u8)> = Channel::new(&sim, 3);
         for (p, &(start, gap)) in delays.iter().enumerate() {
@@ -83,21 +107,35 @@ proptest! {
         });
         sim.run();
         let got = got.borrow();
-        prop_assert_eq!(got.len(), total);
+        assert_eq!(got.len(), total, "lost items for seed {seed}");
         for p in 0..delays.len() {
-            let seq: Vec<u8> = got.iter().filter(|(q, _)| *q == p).map(|(_, i)| *i).collect();
-            prop_assert_eq!(seq, (0..items_each).collect::<Vec<_>>());
+            let seq: Vec<u8> = got
+                .iter()
+                .filter(|(q, _)| *q == p)
+                .map(|(_, i)| *i)
+                .collect();
+            assert_eq!(
+                seq,
+                (0..items_each).collect::<Vec<_>>(),
+                "producer {p} out of order for seed {seed}"
+            );
         }
     }
+}
 
-    /// A semaphore never admits more holders than permits under arbitrary
-    /// contention patterns.
-    #[test]
-    fn semaphore_invariant_holds(
-        permits in 1usize..4,
-        tasks in proptest::collection::vec((0u16..50, 1u16..50), 1..16),
-    ) {
-        use std::cell::Cell;
+/// A semaphore never admits more holders than permits under arbitrary
+/// contention patterns.
+#[test]
+fn semaphore_invariant_holds() {
+    use std::cell::Cell;
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let permits = rng.range(1, 4) as usize;
+        let ntasks = rng.range(1, 16) as usize;
+        let tasks: Vec<(u16, u16)> = (0..ntasks)
+            .map(|_| (rng.below(50) as u16, rng.range(1, 50) as u16))
+            .collect();
+
         let sim = Sim::new();
         let sem = tc_desim::sync::Semaphore::new(&sim, permits);
         let active = Rc::new(Cell::new(0usize));
@@ -118,7 +156,7 @@ proptest! {
             });
         }
         sim.run();
-        prop_assert!(peak.get() <= permits);
-        prop_assert_eq!(sem.available(), permits);
+        assert!(peak.get() <= permits, "oversubscribed for seed {seed}");
+        assert_eq!(sem.available(), permits, "leaked permit for seed {seed}");
     }
 }

@@ -8,6 +8,7 @@ use tc_desim::sync::Channel;
 use tc_desim::time::{self, Freq};
 use tc_desim::Sim;
 use tc_link::Port;
+use tc_trace::{Counter, Scope};
 use tc_mem::{layout, Addr, Bus, Heap, RegionKind};
 use tc_pcie::{Endpoint, Pcie};
 
@@ -131,20 +132,39 @@ pub struct PortQueues {
 }
 
 /// Counters for hardware-visible events.
+///
+/// A thin typed view over the simulation's counter
+/// [registry](tc_trace::Registry) (`extoll0.puts`,
+/// `extoll0.notif_overflows`, …); `NicStats::default()` builds a detached
+/// view for unit tests.
 #[derive(Debug, Default)]
 pub struct NicStats {
     /// Puts executed by the requester.
-    pub puts: Cell<u64>,
+    pub puts: Counter,
     /// Gets executed by the requester.
-    pub gets: Cell<u64>,
+    pub gets: Counter,
     /// Frames completed by the completer.
-    pub frames_completed: Cell<u64>,
+    pub frames_completed: Counter,
     /// Notifications dropped because a queue overflowed.
-    pub notif_overflows: Cell<u64>,
+    pub notif_overflows: Counter,
     /// VELO messages delivered into mailboxes.
-    pub velo_delivered: Cell<u64>,
+    pub velo_delivered: Counter,
     /// VELO messages dropped on mailbox overflow.
-    pub velo_drops: Cell<u64>,
+    pub velo_drops: Counter,
+}
+
+impl NicStats {
+    /// A view whose counters are registered under `scope` (e.g. `extoll0`).
+    pub fn in_scope(scope: &Scope) -> Self {
+        NicStats {
+            puts: scope.counter("puts"),
+            gets: scope.counter("gets"),
+            frames_completed: scope.counter("frames_completed"),
+            notif_overflows: scope.counter("notif_overflows"),
+            velo_delivered: scope.counter("velo_delivered"),
+            velo_drops: scope.counter("velo_drops"),
+        }
+    }
 }
 
 pub(crate) struct NicInner {
@@ -239,7 +259,7 @@ impl ExtollNic {
                 ports,
                 bar,
                 bar_base,
-                stats: NicStats::default(),
+                stats: NicStats::in_scope(&sim.registry().scope_named(&format!("extoll{node}"))),
                 velo_bar,
                 velo_mailboxes,
                 next_port: Cell::new(0),
@@ -339,9 +359,20 @@ impl ExtollNic {
         let slot = layout.ring.slot(wp.get());
         wp.set(wp.get() + 1);
         inner.endpoint.dma_write_bulk(slot, &bytes).await;
-        inner
-            .sim
-            .trace(|| format!("nic{}: {unit:?} notification written", inner.node));
+        let rec = inner.sim.recorder();
+        if rec.on() {
+            rec.instant(
+                inner.sim.now(),
+                "nic",
+                format!("extoll{}.notify", inner.node),
+                "notif_enqueue",
+                vec![
+                    ("unit", format!("{unit:?}").into()),
+                    ("port", (port as u64).into()),
+                    ("bytes", (len as u64).into()),
+                ],
+            );
+        }
     }
 
     fn start(
@@ -377,9 +408,20 @@ impl ExtollNic {
                 let inner = &nic.inner;
                 let cyc = |n| inner.cfg.clock.cycles(n);
                 while let Some((port, wr)) = wr_ch.recv().await {
-                    inner
-                        .sim
-                        .trace(|| format!("nic{}: requester accepted WR", inner.node));
+                    let rec = inner.sim.recorder();
+                    if rec.on() {
+                        rec.instant(
+                            inner.sim.now(),
+                            "nic",
+                            format!("extoll{}.requester", inner.node),
+                            "wr_accept",
+                            vec![
+                                ("cmd", format!("{:?}", wr.command).into()),
+                                ("bytes", (wr.len as u64).into()),
+                                ("port", (port as u64).into()),
+                            ],
+                        );
+                    }
                     inner.sim.delay(cyc(inner.cfg.requester_cycles)).await;
                     match wr.command {
                         RmaCommand::Put => {
@@ -387,9 +429,16 @@ impl ExtollNic {
                             let src = inner.atu.translate(wr.local_nla, wr.len as u64);
                             let mut data = vec![0u8; wr.len as usize];
                             inner.endpoint.dma_read_bulk(src, &mut data).await;
-                            inner.sim.trace(|| {
-                                format!("nic{}: payload DMA read done ({} B)", inner.node, wr.len)
-                            });
+                            let rec = inner.sim.recorder();
+                            if rec.on() {
+                                rec.instant(
+                                    inner.sim.now(),
+                                    "nic",
+                                    format!("extoll{}.requester", inner.node),
+                                    "payload_read_done",
+                                    vec![("bytes", (wr.len as u64).into())],
+                                );
+                            }
                             tx.send((
                                 wr.dst_node as usize,
                                 RmaFrame::Put {
@@ -442,11 +491,20 @@ impl ExtollNic {
             sim.spawn(&format!("extoll{}.tx", inner.node), async move {
                 while let Some((dst, frame)) = tx.recv().await {
                     let bytes = frame.wire_bytes();
-                    wire_tx.send_to(dst, frame, bytes).await;
                     let inner = &nic_tx.inner;
-                    inner
-                        .sim
-                        .trace(|| format!("nic{}: frame on the wire ({bytes} B)", inner.node));
+                    let t0 = inner.sim.now();
+                    wire_tx.send_to(dst, frame, bytes).await;
+                    let rec = inner.sim.recorder();
+                    if rec.on() {
+                        rec.span(
+                            t0,
+                            inner.sim.now(),
+                            "nic",
+                            format!("extoll{}.tx", inner.node),
+                            "tx_frame",
+                            vec![("bytes", bytes.into()), ("dst", (dst as u64).into())],
+                        );
+                    }
                 }
             });
         }
@@ -491,13 +549,16 @@ impl ExtollNic {
                         } => {
                             let dst = inner.atu.translate(dst_nla, data.len() as u64);
                             inner.endpoint.dma_write_bulk(dst, &data).await;
-                            inner.sim.trace(|| {
-                                format!(
-                                    "nic{}: completer delivered put ({} B)",
-                                    inner.node,
-                                    data.len()
-                                )
-                            });
+                            let rec = inner.sim.recorder();
+                            if rec.on() {
+                                rec.instant(
+                                    inner.sim.now(),
+                                    "nic",
+                                    format!("extoll{}.completer", inner.node),
+                                    "put_delivered",
+                                    vec![("bytes", (data.len() as u64).into())],
+                                );
+                            }
                             if notify {
                                 nic.write_notification(
                                     dst_port,
@@ -568,8 +629,8 @@ impl ExtollNic {
 }
 
 impl NicStats {
-    fn bump(c: &Cell<u64>) {
-        c.set(c.get() + 1);
+    fn bump(c: &Counter) {
+        c.inc();
     }
 }
 

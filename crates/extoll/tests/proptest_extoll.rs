@@ -1,74 +1,103 @@
-//! Property tests of the EXTOLL codecs and ATU.
+//! Randomized property tests of the EXTOLL codecs and ATU, generated with
+//! the in-tree [`tc_trace::rng::XorShift64`] PRNG (the workspace builds
+//! offline, with no proptest dependency). Failure messages include the
+//! case seed for exact replay.
 
-use proptest::prelude::*;
 use tc_extoll::atu::{Atu, NLA_PAGE};
 use tc_extoll::{Notification, NotifyUnit, RmaCommand, WorkRequest, WrFlags};
+use tc_trace::rng::XorShift64;
 
-fn arb_wr() -> impl Strategy<Value = WorkRequest> {
-    (
-        any::<bool>(),
-        any::<u8>(),
-        0u8..32,
-        any::<u16>(),
-        any::<u32>(),
-        (any::<u64>(), any::<u64>()),
-    )
-        .prop_map(|(put, flags, dst_node, dst_port, len, (local, remote))| WorkRequest {
-            command: if put { RmaCommand::Put } else { RmaCommand::Get },
-            flags: WrFlags {
-                notify_requester: flags & 1 != 0,
-                notify_completer: flags & 2 != 0,
-                notify_responder: flags & 4 != 0,
-            },
-            dst_node,
-            dst_port,
-            len,
-            local_nla: local,
-            remote_nla: remote,
-        })
+const CASES: u64 = 256;
+
+fn gen_wr(rng: &mut XorShift64) -> WorkRequest {
+    let flags = rng.next_u64() as u8;
+    WorkRequest {
+        command: if rng.chance(1, 2) {
+            RmaCommand::Put
+        } else {
+            RmaCommand::Get
+        },
+        flags: WrFlags {
+            notify_requester: flags & 1 != 0,
+            notify_completer: flags & 2 != 0,
+            notify_responder: flags & 4 != 0,
+        },
+        dst_node: rng.below(32) as u8,
+        dst_port: rng.next_u64() as u16,
+        len: rng.next_u64() as u32,
+        local_nla: rng.next_u64(),
+        remote_nla: rng.next_u64(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// Any work request survives the 192-bit BAR encoding.
-    #[test]
-    fn work_request_round_trip(wr in arb_wr()) {
-        prop_assert_eq!(WorkRequest::decode(wr.encode()), Some(wr));
+/// Any work request survives the 192-bit BAR encoding.
+#[test]
+fn work_request_round_trip() {
+    for seed in 1..=CASES {
+        let wr = gen_wr(&mut XorShift64::new(seed));
+        assert_eq!(
+            WorkRequest::decode(wr.encode()),
+            Some(wr),
+            "WR round trip failed for seed {seed}"
+        );
     }
+}
 
-    /// Any notification survives the 128-bit record encoding, and always
-    /// has a non-zero first word (the poll condition).
-    #[test]
-    fn notification_round_trip(
-        unit_sel in 0u8..3,
-        port in any::<u16>(),
-        len in any::<u32>(),
-        nla in any::<u64>(),
-    ) {
-        let unit = [NotifyUnit::Requester, NotifyUnit::Completer, NotifyUnit::Responder]
-            [unit_sel as usize];
-        let n = Notification { unit, port, len, nla };
+/// Any notification survives the 128-bit record encoding, and always has a
+/// non-zero first word (the poll condition).
+#[test]
+fn notification_round_trip() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let unit = [
+            NotifyUnit::Requester,
+            NotifyUnit::Completer,
+            NotifyUnit::Responder,
+        ][rng.below(3) as usize];
+        let n = Notification {
+            unit,
+            port: rng.next_u64() as u16,
+            len: rng.next_u64() as u32,
+            nla: rng.next_u64(),
+        };
         let words = n.encode();
-        prop_assert_ne!(words[0], 0);
-        prop_assert_eq!(Notification::decode(words), Some(n));
+        assert_ne!(words[0], 0, "zero poll word for seed {seed}");
+        assert_eq!(
+            Notification::decode(words),
+            Some(n),
+            "notification round trip failed for seed {seed}"
+        );
     }
+}
 
-    /// For any set of registrations, every in-range NLA translates back to
-    /// the exact fabric byte it was registered for.
-    #[test]
-    fn atu_translations_are_exact(
-        regions in proptest::collection::vec((0u64..(1 << 40), 1u64..(1 << 16)), 1..10),
-        probe in any::<prop::sample::Index>(),
-        off_sel in any::<prop::sample::Index>(),
-    ) {
+/// For any set of registrations, every in-range NLA translates back to the
+/// exact fabric byte it was registered for.
+#[test]
+fn atu_translations_are_exact() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let nregions = rng.range(1, 10) as usize;
+        let regions: Vec<(u64, u64)> = (0..nregions)
+            .map(|_| (rng.below(1 << 40), rng.range(1, 1 << 16)))
+            .collect();
         let atu = Atu::new();
-        let nlas: Vec<u64> = regions.iter().map(|&(base, len)| atu.register(base, len)).collect();
-        let i = probe.index(regions.len());
+        let nlas: Vec<u64> = regions
+            .iter()
+            .map(|&(base, len)| atu.register(base, len))
+            .collect();
+        let i = rng.below(regions.len() as u64) as usize;
         let (base, len) = regions[i];
-        let off = off_sel.index(len as usize) as u64;
-        prop_assert_eq!(atu.translate(nlas[i] + off, 1), base + off);
+        let off = rng.below(len);
+        assert_eq!(
+            atu.translate(nlas[i] + off, 1),
+            base + off,
+            "inexact translation for seed {seed}"
+        );
         // The NLA base preserves the page offset of the fabric address.
-        prop_assert_eq!(nlas[i] % NLA_PAGE, base % NLA_PAGE);
+        assert_eq!(
+            nlas[i] % NLA_PAGE,
+            base % NLA_PAGE,
+            "page offset lost for seed {seed}"
+        );
     }
 }

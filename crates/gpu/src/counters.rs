@@ -3,35 +3,42 @@
 //! The metric set mirrors Tables I and II of the paper exactly, so the
 //! reproduction harness can print directly comparable rows.
 
-use std::cell::Cell;
 use std::fmt;
+
+use tc_trace::{Counter, Scope};
 
 /// Hardware event counters, incremented by [`crate::GpuThread`] as device
 /// code executes. System-memory transactions are counted in 32-byte units,
 /// like the `sysmem_read_transactions`/`sysmem_write_transactions` nvprof
 /// counters the paper uses.
+///
+/// This is a thin typed view over the simulation's counter
+/// [registry](tc_trace::Registry): each field is a handle to a registry
+/// counter (`gpu0.sysmem.reads`, `gpu0.l2.read_hits`, …), so registry
+/// snapshots and these accessors always agree. `GpuCounters::default()`
+/// builds a detached view (private counters, no registry) for unit tests.
 #[derive(Debug, Default)]
 pub struct GpuCounters {
     /// 32-byte system-memory read transactions (zero-copy host reads).
-    pub sysmem_reads: Cell<u64>,
+    pub sysmem_reads: Counter,
     /// 32-byte system-memory write transactions (host/BAR stores).
-    pub sysmem_writes: Cell<u64>,
+    pub sysmem_writes: Counter,
     /// 64-bit global loads served by device memory.
-    pub globmem64_reads: Cell<u64>,
+    pub globmem64_reads: Counter,
     /// 64-bit global stores to device memory.
-    pub globmem64_writes: Cell<u64>,
+    pub globmem64_writes: Counter,
     /// L2 read requests (all global loads — sysmem loads request but miss).
-    pub l2_read_requests: Cell<u64>,
+    pub l2_read_requests: Counter,
     /// L2 read hits (device-memory loads that hit).
-    pub l2_read_hits: Cell<u64>,
+    pub l2_read_hits: Counter,
     /// L2 read misses.
-    pub l2_read_misses: Cell<u64>,
+    pub l2_read_misses: Counter,
     /// L2 write requests (all global stores).
-    pub l2_write_requests: Cell<u64>,
+    pub l2_write_requests: Counter,
     /// Load/store instructions executed.
-    pub mem_accesses: Cell<u64>,
+    pub mem_accesses: Counter,
     /// Total instructions executed.
-    pub instructions: Cell<u64>,
+    pub instructions: Counter,
 }
 
 /// A point-in-time copy of [`GpuCounters`], supporting deltas.
@@ -60,6 +67,27 @@ pub struct CounterSnapshot {
 }
 
 impl GpuCounters {
+    /// A view whose counters are registered under `scope` (e.g. `gpu0`),
+    /// with the L2 / sysmem / globmem64 groups as nested scopes:
+    /// `gpu0.sysmem.reads`, `gpu0.globmem64.writes`, `gpu0.l2.read_hits`, …
+    pub fn in_scope(scope: &Scope) -> Self {
+        let sysmem = scope.scope("sysmem");
+        let globmem = scope.scope("globmem64");
+        let l2 = scope.scope("l2");
+        GpuCounters {
+            sysmem_reads: sysmem.counter("reads"),
+            sysmem_writes: sysmem.counter("writes"),
+            globmem64_reads: globmem.counter("reads"),
+            globmem64_writes: globmem.counter("writes"),
+            l2_read_requests: l2.counter("read_requests"),
+            l2_read_hits: l2.counter("read_hits"),
+            l2_read_misses: l2.counter("read_misses"),
+            l2_write_requests: l2.counter("write_requests"),
+            mem_accesses: scope.counter("mem_accesses"),
+            instructions: scope.counter("instructions"),
+        }
+    }
+
     /// Copy current values.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -91,8 +119,8 @@ impl GpuCounters {
     }
 
     #[inline]
-    pub(crate) fn bump(c: &Cell<u64>, by: u64) {
-        c.set(c.get() + by);
+    pub(crate) fn bump(c: &Counter, by: u64) {
+        c.add(by);
     }
 }
 

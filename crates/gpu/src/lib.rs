@@ -78,6 +78,7 @@ impl Gpu {
             RegionKind::GpuBar { node },
         );
         let resident = tc_desim::sync::Semaphore::new(sim, cfg.max_resident_blocks);
+        let scope = sim.registry().scope_named(&format!("gpu{node}"));
         Gpu {
             inner: Rc::new(GpuInner {
                 sim: sim.clone(),
@@ -86,7 +87,7 @@ impl Gpu {
                 bus: bus.clone(),
                 heap: Heap::new(layout::gpu_dram(node), cfg.dram_bytes),
                 l2: L2Model::new(cfg.l2_bytes, cfg.l2_line_bytes),
-                counters: Rc::new(GpuCounters::default()),
+                counters: Rc::new(GpuCounters::in_scope(&scope)),
                 resident,
                 store_path: tc_pcie::Link::new(sim.clone()),
                 cfg,

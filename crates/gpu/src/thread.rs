@@ -66,6 +66,7 @@ impl GpuThread {
         let cfg = gpu.config();
         let c = self.counters();
         let len = buf.len() as u64;
+        let t0 = gpu.sim().now();
         GpuCounters::bump(&c.instructions, 1);
         GpuCounters::bump(&c.mem_accesses, 1);
         match gpu.bus().classify(addr) {
@@ -95,6 +96,21 @@ impl GpuThread {
                 gpu.endpoint().read(addr, buf).await;
             }
         }
+        let rec = gpu.sim().recorder();
+        if rec.on() {
+            rec.span(
+                t0,
+                gpu.sim().now(),
+                "gpu",
+                format!("gpu{}.warp", gpu.node()),
+                "warp_ld",
+                vec![
+                    ("addr", addr.into()),
+                    ("bytes", len.into()),
+                    ("target", tc_mem::layout::attribute_label(addr).into()),
+                ],
+            );
+        }
     }
 
     async fn store(&self, addr: Addr, data: &[u8]) {
@@ -102,6 +118,7 @@ impl GpuThread {
         let cfg = gpu.config();
         let c = self.counters();
         let len = data.len() as u64;
+        let t0 = gpu.sim().now();
         GpuCounters::bump(&c.instructions, 1);
         GpuCounters::bump(&c.mem_accesses, 1);
         match gpu.bus().classify(addr) {
@@ -121,6 +138,21 @@ impl GpuThread {
                 gpu.store_path().transfer(cfg.pcie_store_issue).await;
                 gpu.endpoint().posted_write(addr, data.to_vec()).await;
             }
+        }
+        let rec = gpu.sim().recorder();
+        if rec.on() {
+            rec.span(
+                t0,
+                gpu.sim().now(),
+                "gpu",
+                format!("gpu{}.warp", gpu.node()),
+                "warp_st",
+                vec![
+                    ("addr", addr.into()),
+                    ("bytes", len.into()),
+                    ("target", tc_mem::layout::attribute_label(addr).into()),
+                ],
+            );
         }
     }
 

@@ -10,6 +10,7 @@ use tc_desim::Sim;
 use tc_link::Port;
 use tc_mem::{layout, Addr, Bus, MmioDevice, RegionKind};
 use tc_pcie::{Endpoint, Pcie};
+use tc_trace::{Counter, Scope};
 
 use crate::mr::MrTable;
 use crate::qp::{Cq, Qp};
@@ -154,35 +155,57 @@ impl IbFrame {
 }
 
 /// Device statistics.
+///
+/// A thin typed view over the simulation's counter
+/// [registry](tc_trace::Registry): each field is a handle to a registry
+/// counter (`ib0.doorbells`, `ib0.cqes_written`, …), so registry snapshots
+/// and these accessors always agree. `HcaStats::default()` builds a
+/// detached view (private counters, no registry) for unit tests.
 #[derive(Debug, Default)]
 pub struct HcaStats {
     /// Doorbell writes observed.
-    pub doorbells: Cell<u64>,
+    pub doorbells: Counter,
     /// Send WQEs fetched and executed.
-    pub wqes_executed: Cell<u64>,
+    pub wqes_executed: Counter,
     /// Frames received from the wire.
-    pub frames_rx: Cell<u64>,
+    pub frames_rx: Counter,
     /// Completions DMA-written.
-    pub cqes_written: Cell<u64>,
+    pub cqes_written: Counter,
     /// Completions dropped because a CQ was full.
-    pub cq_overflows: Cell<u64>,
+    pub cq_overflows: Counter,
     /// Inbound operations rejected by rkey/bounds checks.
-    pub remote_access_errors: Cell<u64>,
+    pub remote_access_errors: Counter,
     /// Sends that found no posted receive.
-    pub rnr_events: Cell<u64>,
+    pub rnr_events: Counter,
     /// Doorbells that pointed at stamped/stale WQEs.
-    pub stale_wqe_fetches: Cell<u64>,
+    pub stale_wqe_fetches: Counter,
 }
 
 impl HcaStats {
-    fn bump(c: &Cell<u64>) {
-        c.set(c.get() + 1);
+    /// A view whose counters are registered under `scope` (e.g. `ib0`).
+    pub fn in_scope(scope: &Scope) -> Self {
+        HcaStats {
+            doorbells: scope.counter("doorbells"),
+            wqes_executed: scope.counter("wqes_executed"),
+            frames_rx: scope.counter("frames_rx"),
+            cqes_written: scope.counter("cqes_written"),
+            cq_overflows: scope.counter("cq_overflows"),
+            remote_access_errors: scope.counter("remote_access_errors"),
+            rnr_events: scope.counter("rnr_events"),
+            stale_wqe_fetches: scope.counter("stale_wqe_fetches"),
+        }
+    }
+
+    fn bump(c: &Counter) {
+        c.inc();
     }
 }
 
 struct Doorbell {
     ch: Channel<(u32, u32)>,
     count: Cell<u64>,
+    sim: Sim,
+    track: Rc<str>,
 }
 
 impl MmioDevice for Doorbell {
@@ -193,6 +216,19 @@ impl MmioDevice for Doorbell {
         let qpn = (v >> 32) as u32;
         let new_pi = v as u32;
         self.count.set(self.count.get() + 1);
+        let rec = self.sim.recorder();
+        if rec.on() {
+            rec.instant(
+                self.sim.now(),
+                "nic",
+                self.track.to_string(),
+                "doorbell",
+                vec![
+                    ("qpn", u64::from(qpn).into()),
+                    ("pi", u64::from(new_pi).into()),
+                ],
+            );
+        }
         self.ch
             .try_send((qpn, new_pi))
             .unwrap_or_else(|_| unreachable!("doorbell channel unbounded"));
@@ -243,9 +279,12 @@ impl IbHca {
             Rc::new(Doorbell {
                 ch: db_ch.clone(),
                 count: Cell::new(0),
+                sim: sim.clone(),
+                track: format!("ib{node}.doorbell").into(),
             }),
             RegionKind::Mmio { node },
         );
+        let scope = sim.registry().scope_named(&format!("ib{node}"));
         let hca = IbHca {
             inner: Rc::new(HcaInner {
                 sim: sim.clone(),
@@ -256,7 +295,7 @@ impl IbHca {
                 mrs: MrTable::new(),
                 qps: RefCell::new(HashMap::new()),
                 cqs: RefCell::new(HashMap::new()),
-                stats: HcaStats::default(),
+                stats: HcaStats::in_scope(&scope),
                 uar_base,
                 next_qpn: Cell::new(0x40),
                 next_cqn: Cell::new(0x80),
@@ -329,6 +368,20 @@ impl IbHca {
         cq.pi.set(cq.pi.get() + 1);
         inner.endpoint.dma_write_bulk(slot, &cqe.encode()).await;
         HcaStats::bump(&inner.stats.cqes_written);
+        let rec = inner.sim.recorder();
+        if rec.on() {
+            rec.instant(
+                inner.sim.now(),
+                "nic",
+                format!("ib{}.cq", inner.node),
+                "cqe_write",
+                vec![
+                    ("cqn", u64::from(cqn).into()),
+                    ("qpn", u64::from(cqe.qpn).into()),
+                    ("bytes", u64::from(cqe.byte_count).into()),
+                ],
+            );
+        }
     }
 
     /// Fetch and consume the next receive WQE of `qp`, or `None` if the RQ
@@ -400,7 +453,19 @@ impl IbHca {
         let mut buf = vec![0u8; qp.sq.entry_size() as usize];
         // Fetching the WQE costs a DMA read from wherever the SQ buffer
         // lives — host memory or, via GPUDirect, GPU memory.
+        let t0 = inner.sim.now();
         inner.endpoint.dma_read_bulk(slot, &mut buf).await;
+        let rec = inner.sim.recorder();
+        if rec.on() {
+            rec.span(
+                t0,
+                inner.sim.now(),
+                "nic",
+                format!("ib{}.sq", inner.node),
+                "wqe_fetch",
+                vec![("qpn", u64::from(qp.qpn).into()), ("index", head.into())],
+            );
+        }
         let Some(wqe) = SendWqe::decode(&buf) else {
             HcaStats::bump(&inner.stats.stale_wqe_fetches);
             return;

@@ -1,98 +1,123 @@
-//! Property tests of the Infiniband codecs and protection table.
+//! Randomized property tests of the Infiniband codecs and protection
+//! table, generated with the in-tree [`tc_trace::rng::XorShift64`] PRNG
+//! (the workspace builds offline, with no proptest dependency). Failure
+//! messages include the case seed for exact replay.
 
-use proptest::prelude::*;
 use tc_ib::{Access, Cqe, CqeOpcode, CqeStatus, MrTable, RecvWqe, SendOpcode, SendWqe};
+use tc_trace::rng::XorShift64;
 
-fn arb_send_wqe() -> impl Strategy<Value = SendWqe> {
-    (
-        0u8..4,
-        any::<u16>(),
-        any::<bool>(),
-        any::<u32>(),
-        any::<u64>(),
-        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
-    )
-        .prop_map(
-            |(op, index, signaled, imm, raddr, (rkey, byte_count, lkey, laddr))| SendWqe {
-                opcode: [
-                    SendOpcode::RdmaWrite,
-                    SendOpcode::RdmaRead,
-                    SendOpcode::Send,
-                    SendOpcode::RdmaWriteImm,
-                ][op as usize],
-                index,
-                signaled,
-                imm,
-                raddr,
-                rkey,
-                byte_count,
-                lkey,
-                laddr,
-                inline: None,
-            },
-        )
+const CASES: u64 = 256;
+
+fn gen_send_wqe(rng: &mut XorShift64) -> SendWqe {
+    SendWqe {
+        opcode: [
+            SendOpcode::RdmaWrite,
+            SendOpcode::RdmaRead,
+            SendOpcode::Send,
+            SendOpcode::RdmaWriteImm,
+        ][rng.below(4) as usize],
+        index: rng.next_u64() as u16,
+        signaled: rng.chance(1, 2),
+        imm: rng.next_u32(),
+        raddr: rng.next_u64(),
+        rkey: rng.next_u32(),
+        byte_count: rng.next_u32(),
+        lkey: rng.next_u32(),
+        laddr: rng.next_u64(),
+        inline: None,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// Any send WQE survives the big-endian queue encoding.
-    #[test]
-    fn send_wqe_round_trip(w in arb_send_wqe()) {
-        prop_assert_eq!(SendWqe::decode(&w.encode()), Some(w));
+/// Any send WQE survives the big-endian queue encoding.
+#[test]
+fn send_wqe_round_trip() {
+    for seed in 1..=CASES {
+        let w = gen_send_wqe(&mut XorShift64::new(seed));
+        assert_eq!(
+            SendWqe::decode(&w.encode()),
+            Some(w),
+            "send WQE round trip failed for seed {seed}"
+        );
     }
+}
 
-    /// Any receive WQE (byte counts below the valid bit) round-trips.
-    #[test]
-    fn recv_wqe_round_trip(bc in 0u32..(1 << 31), lkey in any::<u32>(), laddr in any::<u64>()) {
-        let r = RecvWqe { byte_count: bc, lkey, laddr };
-        prop_assert_eq!(RecvWqe::decode(&r.encode()), Some(r));
+/// Any receive WQE (byte counts below the valid bit) round-trips.
+#[test]
+fn recv_wqe_round_trip() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let r = RecvWqe {
+            byte_count: rng.below(1 << 31) as u32,
+            lkey: rng.next_u32(),
+            laddr: rng.next_u64(),
+        };
+        assert_eq!(
+            RecvWqe::decode(&r.encode()),
+            Some(r),
+            "recv WQE round trip failed for seed {seed}"
+        );
     }
+}
 
-    /// Any CQE round-trips, for every status/opcode combination.
-    #[test]
-    fn cqe_round_trip(
-        recv in any::<bool>(),
-        st in 0u8..4,
-        qpn in any::<u32>(),
-        bc in any::<u32>(),
-        imm in any::<u32>(),
-        idx in any::<u16>(),
-    ) {
+/// Any CQE round-trips, for every status/opcode combination.
+#[test]
+fn cqe_round_trip() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
         let c = Cqe {
-            opcode: if recv { CqeOpcode::RecvComplete } else { CqeOpcode::SendComplete },
+            opcode: if rng.chance(1, 2) {
+                CqeOpcode::RecvComplete
+            } else {
+                CqeOpcode::SendComplete
+            },
             status: [
                 CqeStatus::Success,
                 CqeStatus::RemoteAccessError,
                 CqeStatus::RnrRetryExceeded,
                 CqeStatus::LocalProtectionError,
-            ][st as usize],
-            qpn,
-            byte_count: bc,
-            imm,
-            wqe_index: idx,
+            ][rng.below(4) as usize],
+            qpn: rng.next_u32(),
+            byte_count: rng.next_u32(),
+            imm: rng.next_u32(),
+            wqe_index: rng.next_u64() as u16,
         };
-        prop_assert_eq!(Cqe::decode(&c.encode()), Some(c));
+        assert_eq!(
+            Cqe::decode(&c.encode()),
+            Some(c),
+            "CQE round trip failed for seed {seed}"
+        );
     }
+}
 
-    /// Protection: in-bounds accesses with the right key always pass;
-    /// accesses straddling the region end always fail.
-    #[test]
-    fn mr_bounds_are_tight(
-        base in 0u64..(1 << 40),
-        len in 1u64..(1 << 20),
-        off in any::<prop::sample::Index>(),
-        n in 1u64..4096,
-    ) {
+/// Protection: in-bounds accesses with the right key always pass;
+/// accesses straddling the region end always fail.
+#[test]
+fn mr_bounds_are_tight() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let base = rng.below(1 << 40);
+        let len = rng.range(1, 1 << 20);
+        let off = rng.below(len);
+        let n = rng.range(1, 4096).min(len - off).max(1);
         let t = MrTable::new();
         let mr = t.register(base, len, Access::full());
-        let off = off.index(len as usize) as u64;
-        let n = n.min(len - off).max(1);
-        prop_assert!(t.check_local(mr.lkey, base + off, n).is_ok());
-        prop_assert!(t.check_remote_write(mr.rkey, base + off, n).is_ok());
+        assert!(
+            t.check_local(mr.lkey, base + off, n).is_ok(),
+            "in-bounds local check failed for seed {seed}"
+        );
+        assert!(
+            t.check_remote_write(mr.rkey, base + off, n).is_ok(),
+            "in-bounds remote check failed for seed {seed}"
+        );
         // One byte past the end must fail.
-        prop_assert!(t.check_local(mr.lkey, base + off, len - off + 1).is_err());
+        assert!(
+            t.check_local(mr.lkey, base + off, len - off + 1).is_err(),
+            "straddling access passed for seed {seed}"
+        );
         // A wrong key never passes.
-        prop_assert!(t.check_local(mr.lkey ^ 0x100, base + off, n).is_err());
+        assert!(
+            t.check_local(mr.lkey ^ 0x100, base + off, n).is_err(),
+            "wrong key passed for seed {seed}"
+        );
     }
 }

@@ -93,6 +93,69 @@ pub const fn gpu_dram_to_bar(addr: Addr) -> Addr {
     gpu_bar(n) + (addr - gpu_dram(n))
 }
 
+/// The architectural window a fabric address falls in (see
+/// [`attribute`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Host DRAM.
+    HostDram,
+    /// GPU device memory.
+    GpuDram,
+    /// GPUDirect BAR aperture onto GPU memory.
+    GpuBar,
+    /// EXTOLL RMA requester BAR.
+    ExtollBar,
+    /// InfiniBand HCA UAR/doorbell BAR.
+    IbUar,
+    /// Not inside any defined window of the node.
+    Unmapped,
+}
+
+impl Window {
+    /// Stable short name, used in counter names and trace-event args.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Window::HostDram => "host_dram",
+            Window::GpuDram => "gpu_dram",
+            Window::GpuBar => "gpu_bar",
+            Window::ExtollBar => "extoll_bar",
+            Window::IbUar => "ib_uar",
+            Window::Unmapped => "unmapped",
+        }
+    }
+}
+
+/// Attribute a fabric address to its owning node and architectural window.
+///
+/// This is the address-attribution primitive the instrumentation layer uses
+/// to label memory traffic (`tc-gpu` tags warp loads/stores with the target
+/// window; trace consumers aggregate per `node`/`window`).
+#[inline]
+pub const fn attribute(addr: Addr) -> (usize, Window) {
+    let n = node_of(addr);
+    let off = addr - node_base(n);
+    let w = if off < HOST_DRAM_OFF + HOST_DRAM_LEN {
+        Window::HostDram
+    } else if off >= GPU_DRAM_OFF && off < GPU_DRAM_OFF + GPU_DRAM_LEN {
+        Window::GpuDram
+    } else if off >= GPU_BAR_OFF && off < GPU_BAR_OFF + GPU_BAR_LEN {
+        Window::GpuBar
+    } else if off >= EXTOLL_BAR_OFF && off < EXTOLL_BAR_OFF + EXTOLL_BAR_LEN {
+        Window::ExtollBar
+    } else if off >= IB_UAR_OFF && off < IB_UAR_OFF + IB_UAR_LEN {
+        Window::IbUar
+    } else {
+        Window::Unmapped
+    };
+    (n, w)
+}
+
+/// Human/trace label for an address: `"node0.gpu_dram"`.
+pub fn attribute_label(addr: Addr) -> String {
+    let (n, w) = attribute(addr);
+    format!("node{}.{}", n, w.name())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +199,26 @@ mod tests {
             assert_eq!(node_of(node_base(n)), n);
             assert_eq!(node_of(gpu_dram(n) + 42), n);
         }
+    }
+
+    #[test]
+    fn attribute_classifies_every_window() {
+        for n in 0..3 {
+            assert_eq!(attribute(host_dram(n)), (n, Window::HostDram));
+            assert_eq!(
+                attribute(host_dram(n) + HOST_DRAM_LEN - 1),
+                (n, Window::HostDram)
+            );
+            assert_eq!(attribute(gpu_dram(n) + 7), (n, Window::GpuDram));
+            assert_eq!(attribute(gpu_bar(n)), (n, Window::GpuBar));
+            assert_eq!(attribute(extoll_bar(n) + 64), (n, Window::ExtollBar));
+            assert_eq!(attribute(ib_uar(n) + 8), (n, Window::IbUar));
+            assert_eq!(
+                attribute(node_base(n) + HOST_DRAM_OFF + HOST_DRAM_LEN),
+                (n, Window::Unmapped)
+            );
+        }
+        assert_eq!(attribute_label(gpu_dram(2) + 5), "node2.gpu_dram");
     }
 
     #[test]

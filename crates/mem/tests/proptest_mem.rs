@@ -1,82 +1,105 @@
-//! Property tests of the memory substrate against reference models.
+//! Randomized property tests of the memory substrate against reference
+//! models, generated with the in-tree [`tc_trace::rng::XorShift64`] PRNG
+//! (the workspace builds offline, with no proptest dependency). Failure
+//! messages include the case seed for exact replay.
 
-use proptest::prelude::*;
 use std::rc::Rc;
 use tc_mem::{layout, Bus, Heap, RegionKind, Ring, SparseMem};
+use tc_trace::rng::XorShift64;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+const CASES: u64 = 128;
 
-    /// SparseMem behaves exactly like a flat byte array under arbitrary
-    /// read/write sequences (including page-straddling accesses).
-    #[test]
-    fn sparse_mem_matches_reference(
-        ops in proptest::collection::vec(
-            (0u64..(1 << 14), proptest::collection::vec(any::<u8>(), 1..300), any::<bool>()),
-            1..40
-        )
-    ) {
-        const LEN: u64 = 1 << 14;
+/// SparseMem behaves exactly like a flat byte array under arbitrary
+/// read/write sequences (including page-straddling accesses).
+#[test]
+fn sparse_mem_matches_reference() {
+    const LEN: u64 = 1 << 14;
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
         let m = SparseMem::new(0x8000, LEN);
         let mut reference = vec![0u8; LEN as usize];
-        for (off, data, is_write) in ops {
-            let off = off.min(LEN - data.len() as u64);
-            if is_write {
+        let nops = rng.range(1, 40);
+        for _ in 0..nops {
+            let mut data = vec![0u8; rng.range(1, 300) as usize];
+            rng.fill_bytes(&mut data);
+            let off = rng.below(1 << 14).min(LEN - data.len() as u64);
+            if rng.chance(1, 2) {
                 m.write(0x8000 + off, &data);
                 reference[off as usize..off as usize + data.len()].copy_from_slice(&data);
             } else {
                 let mut buf = vec![0u8; data.len()];
                 m.read(0x8000 + off, &mut buf);
-                prop_assert_eq!(&buf[..], &reference[off as usize..off as usize + data.len()]);
+                assert_eq!(
+                    &buf[..],
+                    &reference[off as usize..off as usize + data.len()],
+                    "read mismatch for seed {seed}"
+                );
             }
         }
         // Final full compare.
         let mut all = vec![0u8; LEN as usize];
         m.read(0x8000, &mut all);
-        prop_assert_eq!(all, reference);
+        assert_eq!(all, reference, "final mismatch for seed {seed}");
     }
+}
 
-    /// Ring slot addresses always stay inside the ring and repeat with the
-    /// ring period.
-    #[test]
-    fn ring_slots_wrap_correctly(
-        base in 0u64..(1 << 30),
-        entry_size in 1u64..256,
-        entries in 1u64..64,
-        idx in any::<u64>(),
-    ) {
+/// Ring slot addresses always stay inside the ring and repeat with the
+/// ring period.
+#[test]
+fn ring_slots_wrap_correctly() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let base = rng.below(1 << 30);
+        let entry_size = rng.range(1, 256);
+        let entries = rng.range(1, 64);
+        let idx = rng.next_u64();
         let r = Ring::new(base, entry_size, entries);
         let s = r.slot(idx);
-        prop_assert!(s >= base && s + entry_size <= base + r.byte_len());
-        prop_assert_eq!(s, r.slot(idx.wrapping_add(entries)));
-        prop_assert_eq!((s - base) % entry_size, 0);
+        assert!(
+            s >= base && s + entry_size <= base + r.byte_len(),
+            "slot out of ring for seed {seed}"
+        );
+        assert_eq!(
+            s,
+            r.slot(idx.wrapping_add(entries)),
+            "no wrap period for seed {seed}"
+        );
+        assert_eq!((s - base) % entry_size, 0, "misaligned slot for seed {seed}");
     }
+}
 
-    /// Bump-allocated ranges never overlap and respect alignment.
-    #[test]
-    fn heap_allocations_disjoint_and_aligned(
-        reqs in proptest::collection::vec((1u64..500, 0u32..6), 1..30)
-    ) {
+/// Bump-allocated ranges never overlap and respect alignment.
+#[test]
+fn heap_allocations_disjoint_and_aligned() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
         let h = Heap::new(0x1000, 1 << 20);
         let mut ranges: Vec<(u64, u64)> = Vec::new();
-        for (size, align_pow) in reqs {
-            let align = 1u64 << align_pow;
+        let nreqs = rng.range(1, 30);
+        for _ in 0..nreqs {
+            let size = rng.range(1, 500);
+            let align = 1u64 << rng.below(6);
             let a = h.alloc(size, align);
-            prop_assert_eq!(a % align, 0);
+            assert_eq!(a % align, 0, "misaligned alloc for seed {seed}");
             for &(b, l) in &ranges {
-                prop_assert!(a + size <= b || b + l <= a, "overlap");
+                assert!(
+                    a + size <= b || b + l <= a,
+                    "overlapping allocs for seed {seed}"
+                );
             }
             ranges.push((a, size));
         }
     }
+}
 
-    /// The bus routes data through an alias window identically to direct
-    /// access of the target.
-    #[test]
-    fn alias_window_is_transparent(
-        off in 0u64..((1 << 16) - 8),
-        v in any::<u64>(),
-    ) {
+/// The bus routes data through an alias window identically to direct
+/// access of the target.
+#[test]
+fn alias_window_is_transparent() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let off = rng.below((1 << 16) - 8);
+        let v = rng.next_u64();
         let bus = Bus::new();
         bus.add_ram(
             Rc::new(SparseMem::new(layout::gpu_dram(0), 1 << 16)),
@@ -89,8 +112,16 @@ proptest! {
             RegionKind::GpuBar { node: 0 },
         );
         bus.write_u64(layout::gpu_bar(0) + off, v);
-        prop_assert_eq!(bus.read_u64(layout::gpu_dram(0) + off), v);
+        assert_eq!(
+            bus.read_u64(layout::gpu_dram(0) + off),
+            v,
+            "alias write not visible for seed {seed}"
+        );
         bus.write_u64(layout::gpu_dram(0) + off, v ^ 0xFFFF);
-        prop_assert_eq!(bus.read_u64(layout::gpu_bar(0) + off), v ^ 0xFFFF);
+        assert_eq!(
+            bus.read_u64(layout::gpu_bar(0) + off),
+            v ^ 0xFFFF,
+            "direct write not visible through alias for seed {seed}"
+        );
     }
 }

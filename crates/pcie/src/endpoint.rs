@@ -19,6 +19,8 @@ pub struct Endpoint {
     stats: Rc<PcieStats>,
     link: Link,
     name: Rc<str>,
+    /// Trace track for this endpoint's events, e.g. `pcie0.nic`.
+    track: Rc<str>,
 }
 
 impl Endpoint {
@@ -28,6 +30,7 @@ impl Endpoint {
         cfg: Rc<PcieConfig>,
         stats: Rc<PcieStats>,
         name: &str,
+        track: &str,
     ) -> Self {
         Endpoint {
             link: Link::new(sim.clone()),
@@ -36,6 +39,7 @@ impl Endpoint {
             cfg,
             stats,
             name: name.into(),
+            track: track.into(),
         }
     }
 
@@ -66,6 +70,16 @@ impl Endpoint {
     pub async fn posted_write(&self, addr: Addr, data: Vec<u8>) {
         PcieStats::bump(&self.stats.posted_writes, 1);
         PcieStats::bump(&self.stats.posted_write_bytes, data.len() as u64);
+        let rec = self.sim.recorder();
+        if rec.on() {
+            rec.instant(
+                self.sim.now(),
+                "pcie",
+                self.track.to_string(),
+                "mmio_write",
+                vec![("addr", addr.into()), ("bytes", (data.len() as u64).into())],
+            );
+        }
         let wire = self.cfg.wire_time(data.len() as u64, self.cfg.dma_bw);
         let issued = self.link.reserve(wire);
         let deliver_at = issued + self.cfg.posted_write_lat;
@@ -93,6 +107,17 @@ impl Endpoint {
         let now = self.sim.now();
         self.sim.delay(end - now).await;
         self.bus.read(addr, buf);
+        let rec = self.sim.recorder();
+        if rec.on() {
+            rec.span(
+                now,
+                self.sim.now(),
+                "pcie",
+                self.track.to_string(),
+                "np_read",
+                vec![("addr", addr.into()), ("bytes", (buf.len() as u64).into())],
+            );
+        }
     }
 
     /// Read a little-endian `u64` with a non-posted read.
@@ -110,15 +135,31 @@ impl Endpoint {
         PcieStats::bump(&self.stats.dma_reads, 1);
         PcieStats::bump(&self.stats.dma_read_bytes, len);
         let kind = self.bus.classify(addr);
-        let dur = match kind {
-            RegionKind::GpuBar { .. } => {
-                PcieStats::bump(&self.stats.p2p_reads, 1);
-                self.cfg.p2p_read_time(len)
-            }
-            _ => self.cfg.dma_time(len),
+        let p2p = matches!(kind, RegionKind::GpuBar { .. });
+        let dur = if p2p {
+            PcieStats::bump(&self.stats.p2p_reads, 1);
+            self.cfg.p2p_read_time(len)
+        } else {
+            self.cfg.dma_time(len)
         };
+        let t0 = self.sim.now();
         self.link.transfer(dur).await;
         self.bus.read(addr, buf);
+        let rec = self.sim.recorder();
+        if rec.on() {
+            rec.span(
+                t0,
+                self.sim.now(),
+                "pcie",
+                self.track.to_string(),
+                "dma_read",
+                vec![
+                    ("addr", addr.into()),
+                    ("bytes", len.into()),
+                    ("p2p", u64::from(p2p).into()),
+                ],
+            );
+        }
     }
 
     /// Bulk DMA write of `data` to `addr`. Data lands at completion time.
@@ -127,15 +168,31 @@ impl Endpoint {
         PcieStats::bump(&self.stats.dma_writes, 1);
         PcieStats::bump(&self.stats.dma_write_bytes, len);
         let kind = self.bus.classify(addr);
-        let dur = match kind {
-            RegionKind::GpuBar { .. } => {
-                PcieStats::bump(&self.stats.p2p_writes, 1);
-                self.cfg.p2p_write_time(len)
-            }
-            _ => self.cfg.dma_time(len),
+        let p2p = matches!(kind, RegionKind::GpuBar { .. });
+        let dur = if p2p {
+            PcieStats::bump(&self.stats.p2p_writes, 1);
+            self.cfg.p2p_write_time(len)
+        } else {
+            self.cfg.dma_time(len)
         };
+        let t0 = self.sim.now();
         self.link.transfer(dur).await;
         self.bus.write(addr, data);
+        let rec = self.sim.recorder();
+        if rec.on() {
+            rec.span(
+                t0,
+                self.sim.now(),
+                "pcie",
+                self.track.to_string(),
+                "dma_write",
+                vec![
+                    ("addr", addr.into()),
+                    ("bytes", len.into()),
+                    ("p2p", u64::from(p2p).into()),
+                ],
+            );
+        }
     }
 
     /// Duration a non-posted read of `len` bytes would take right now,

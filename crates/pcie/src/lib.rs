@@ -52,17 +52,27 @@ pub struct Pcie {
     bus: Bus,
     cfg: Rc<PcieConfig>,
     stats: Rc<PcieStats>,
+    scope: Rc<str>,
 }
 
 impl Pcie {
-    /// A fabric over `bus` with configuration `cfg`.
+    /// A fabric over `bus` with configuration `cfg`. Counters register in
+    /// the simulation's registry under an auto-indexed `pcie{n}` scope
+    /// (numbered by fabric construction order, which is deterministic).
     pub fn new(sim: Sim, bus: Bus, cfg: PcieConfig) -> Self {
+        let scope = sim.registry().scope("pcie");
         Pcie {
+            stats: Rc::new(PcieStats::in_scope(&scope)),
+            scope: scope.name().into(),
             sim,
             bus,
             cfg: Rc::new(cfg),
-            stats: Rc::new(PcieStats::default()),
         }
+    }
+
+    /// This fabric's registry scope name (`pcie0`, `pcie1`, …).
+    pub fn scope_name(&self) -> &str {
+        &self.scope
     }
 
     /// Create the endpoint for one device (its private upstream link).
@@ -73,6 +83,7 @@ impl Pcie {
             self.cfg.clone(),
             self.stats.clone(),
             name,
+            &format!("{}.{}", self.scope, name),
         )
     }
 

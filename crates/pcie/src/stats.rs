@@ -1,34 +1,56 @@
 //! PCIe traffic statistics.
 
-use std::cell::Cell;
+use tc_trace::{Counter, Scope};
 
 /// Fabric-wide transaction counters (data-plane truth, used by tests and to
 /// cross-check the GPU performance-counter model).
+///
+/// This is a thin typed view over the simulation's counter
+/// [registry](tc_trace::Registry): each field is a handle to a registry
+/// counter (`pcie0.reads`, `pcie0.dma_read_bytes`, …), so registry
+/// snapshots and these accessors always agree. `PcieStats::default()`
+/// builds a detached view (private counters, no registry) for unit tests.
 #[derive(Debug, Default)]
 pub struct PcieStats {
     /// Small non-posted reads completed.
-    pub reads: Cell<u64>,
+    pub reads: Counter,
     /// Bytes moved by small non-posted reads.
-    pub read_bytes: Cell<u64>,
+    pub read_bytes: Counter,
     /// Posted writes issued.
-    pub posted_writes: Cell<u64>,
+    pub posted_writes: Counter,
     /// Bytes moved by posted writes.
-    pub posted_write_bytes: Cell<u64>,
+    pub posted_write_bytes: Counter,
     /// Bulk DMA reads.
-    pub dma_reads: Cell<u64>,
+    pub dma_reads: Counter,
     /// Bytes moved by bulk DMA reads.
-    pub dma_read_bytes: Cell<u64>,
+    pub dma_read_bytes: Counter,
     /// Bulk DMA reads that targeted a GPU BAR (peer-to-peer).
-    pub p2p_reads: Cell<u64>,
+    pub p2p_reads: Counter,
     /// Bulk DMA writes.
-    pub dma_writes: Cell<u64>,
+    pub dma_writes: Counter,
     /// Bytes moved by bulk DMA writes.
-    pub dma_write_bytes: Cell<u64>,
+    pub dma_write_bytes: Counter,
     /// Bulk DMA writes that targeted a GPU BAR (peer-to-peer).
-    pub p2p_writes: Cell<u64>,
+    pub p2p_writes: Counter,
 }
 
 impl PcieStats {
+    /// A view whose counters are registered under `scope` (e.g. `pcie0`).
+    pub fn in_scope(scope: &Scope) -> Self {
+        PcieStats {
+            reads: scope.counter("reads"),
+            read_bytes: scope.counter("read_bytes"),
+            posted_writes: scope.counter("posted_writes"),
+            posted_write_bytes: scope.counter("posted_write_bytes"),
+            dma_reads: scope.counter("dma_reads"),
+            dma_read_bytes: scope.counter("dma_read_bytes"),
+            p2p_reads: scope.counter("p2p_reads"),
+            dma_writes: scope.counter("dma_writes"),
+            dma_write_bytes: scope.counter("dma_write_bytes"),
+            p2p_writes: scope.counter("p2p_writes"),
+        }
+    }
+
     /// Reset every counter to zero.
     pub fn reset(&self) {
         self.reads.set(0);
@@ -43,7 +65,7 @@ impl PcieStats {
         self.p2p_writes.set(0);
     }
 
-    pub(crate) fn bump(c: &Cell<u64>, by: u64) {
-        c.set(c.get() + by);
+    pub(crate) fn bump(c: &Counter, by: u64) {
+        c.add(by);
     }
 }

@@ -1,38 +1,56 @@
-//! Property tests of the PCIe timing model and transaction ordering.
+//! Randomized property tests of the PCIe timing model and transaction
+//! ordering, generated with the in-tree [`tc_trace::rng::XorShift64`] PRNG
+//! (the workspace builds offline, with no proptest dependency). Failure
+//! messages include the case seed for exact replay.
 
-use proptest::prelude::*;
 use std::rc::Rc;
 use tc_desim::Sim;
 use tc_mem::{layout, Bus, RegionKind, SparseMem};
 use tc_pcie::{Pcie, PcieConfig};
+use tc_trace::rng::XorShift64;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+const CASES: u64 = 128;
 
-    /// Wire time is monotone in payload length.
-    #[test]
-    fn wire_time_monotone(a in 1u64..(1 << 24), b in 1u64..(1 << 24)) {
-        let c = PcieConfig::gen3_x8();
+/// Wire time is monotone in payload length.
+#[test]
+fn wire_time_monotone() {
+    let c = PcieConfig::gen3_x8();
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let a = rng.range(1, 1 << 24);
+        let b = rng.range(1, 1 << 24);
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(c.wire_time(lo, c.dma_bw) <= c.wire_time(hi, c.dma_bw));
+        assert!(
+            c.wire_time(lo, c.dma_bw) <= c.wire_time(hi, c.dma_bw),
+            "non-monotone wire time for seed {seed} (lo={lo}, hi={hi})"
+        );
     }
+}
 
-    /// A P2P read is never faster than the equivalent host-memory DMA, and
-    /// its effective bandwidth is monotonically non-increasing past the knee.
-    #[test]
-    fn p2p_read_never_beats_host_dma(len in 1u64..(1 << 26)) {
-        let c = PcieConfig::gen2_x8();
-        prop_assert!(c.p2p_read_time(len) >= c.dma_time(len));
+/// A P2P read is never faster than the equivalent host-memory DMA, and its
+/// effective bandwidth is monotonically non-increasing past the knee.
+#[test]
+fn p2p_read_never_beats_host_dma() {
+    let c = PcieConfig::gen2_x8();
+    for seed in 1..=CASES {
+        let len = XorShift64::new(seed).range(1, 1 << 26);
+        assert!(
+            c.p2p_read_time(len) >= c.dma_time(len),
+            "p2p faster than host DMA for seed {seed} (len={len})"
+        );
         let t1 = c.p2p_read_time(len);
         let t2 = c.p2p_read_time(len * 2);
         // Doubling the size at least doubles the time past the knee region.
-        prop_assert!(t2 + 1 >= t1);
+        assert!(t2 + 1 >= t1, "p2p time shrank for seed {seed} (len={len})");
     }
+}
 
-    /// Posted writes from one endpoint are delivered in issue order for
-    /// any number of writes.
-    #[test]
-    fn posted_writes_in_order(n in 1usize..40) {
+/// Posted writes from one endpoint are delivered in issue order for any
+/// number of writes.
+#[test]
+fn posted_writes_in_order() {
+    for seed in 1..=40u64 {
+        let n = XorShift64::new(seed).range(1, 40) as usize;
         let sim = Sim::new();
         let bus = Bus::new();
         bus.add_ram(
@@ -43,11 +61,16 @@ proptest! {
         let ep = pcie.endpoint("dev");
         sim.spawn("writer", async move {
             for i in 1..=n as u64 {
-                ep.posted_write(layout::host_dram(0), i.to_le_bytes().to_vec()).await;
+                ep.posted_write(layout::host_dram(0), i.to_le_bytes().to_vec())
+                    .await;
             }
         });
         sim.run();
         // The last write wins.
-        prop_assert_eq!(bus.read_u64(layout::host_dram(0)), n as u64);
+        assert_eq!(
+            bus.read_u64(layout::host_dram(0)),
+            n as u64,
+            "out-of-order delivery for seed {seed} (n={n})"
+        );
     }
 }

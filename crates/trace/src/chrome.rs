@@ -1,0 +1,211 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serializes recorded events into the [Trace Event Format] consumed by
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`. Layers map
+//! to *processes* and tracks to *threads*, so a transfer's journey reads
+//! top-to-bottom: gpu → pcie → nic → desim.
+//!
+//! The output is fully deterministic: pids/tids are assigned in order of
+//! first appearance (the simulator's event order is deterministic),
+//! timestamps are rendered from integer picoseconds with a fixed six-digit
+//! microsecond fraction, and no wall-clock data is embedded. Two identical
+//! runs produce byte-identical files.
+//!
+//! Serialization is hand-rolled (~100 lines) because the workspace must
+//! build with zero external crates.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::recorder::{ArgVal, Phase, TraceEvent};
+
+/// Render `ps` picoseconds as a JSON number of microseconds with a six
+/// digit fraction (1 µs = 10^6 ps, so this is exact).
+fn ts_us(out: &mut String, ps: u64) {
+    let _ = write!(out, "{}.{:06}", ps / 1_000_000, ps % 1_000_000);
+}
+
+/// Minimal JSON string escape.
+fn escape(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn args_obj(out: &mut String, args: &[(&'static str, ArgVal)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape(out, k);
+        out.push(':');
+        match v {
+            ArgVal::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgVal::Str(s) => escape(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize `events` as a Chrome trace-event JSON document.
+///
+/// Each distinct `layer` becomes a process (with a `process_name` metadata
+/// record) and each distinct `(layer, track)` a thread within it (with a
+/// `thread_name` record), both numbered by first appearance. Spans become
+/// `ph:"X"` complete events, instants `ph:"i"` thread-scoped instants.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    // pid per layer, tid per (layer, track) — first-appearance order.
+    let mut pids: HashMap<&'static str, u64> = HashMap::new();
+    let mut tids: HashMap<(u64, &str), u64> = HashMap::new();
+    let mut meta = String::new();
+    let mut next_tid: HashMap<u64, u64> = HashMap::new();
+    let mut body = String::new();
+
+    for ev in events {
+        let npid = pids.len() as u64 + 1;
+        let pid = *pids.entry(ev.layer).or_insert_with(|| {
+            meta.push_str("  {\"ph\":\"M\",\"pid\":");
+            let _ = write!(meta, "{npid}");
+            meta.push_str(",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":");
+            escape(&mut meta, ev.layer);
+            meta.push_str("}},\n");
+            npid
+        });
+        let tid = match tids.get(&(pid, ev.track.as_str())) {
+            Some(&t) => t,
+            None => {
+                let t = {
+                    let n = next_tid.entry(pid).or_insert(1);
+                    let t = *n;
+                    *n += 1;
+                    t
+                };
+                // Keys borrow from `events`, which outlives this function's
+                // locals, so storing the &str is fine.
+                tids.insert((pid, ev.track.as_str()), t);
+                meta.push_str("  {\"ph\":\"M\",\"pid\":");
+                let _ = write!(meta, "{pid},\"tid\":{t}");
+                meta.push_str(",\"name\":\"thread_name\",\"args\":{\"name\":");
+                escape(&mut meta, &ev.track);
+                meta.push_str("}},\n");
+                t
+            }
+        };
+
+        body.push_str("  {\"ph\":");
+        match ev.phase {
+            Phase::Span { dur } => {
+                body.push_str("\"X\",\"pid\":");
+                let _ = write!(body, "{pid},\"tid\":{tid}");
+                body.push_str(",\"ts\":");
+                ts_us(&mut body, ev.ts);
+                body.push_str(",\"dur\":");
+                ts_us(&mut body, dur);
+            }
+            Phase::Instant => {
+                body.push_str("\"i\",\"s\":\"t\",\"pid\":");
+                let _ = write!(body, "{pid},\"tid\":{tid}");
+                body.push_str(",\"ts\":");
+                ts_us(&mut body, ev.ts);
+            }
+        }
+        body.push_str(",\"name\":");
+        escape(&mut body, &ev.name);
+        if !ev.args.is_empty() {
+            body.push_str(",\"args\":");
+            args_obj(&mut body, &ev.args);
+        }
+        body.push_str("},\n");
+    }
+
+    // Strip the final trailing ",\n" from the body (or the metadata block
+    // when there are no events at all).
+    let mut out = String::with_capacity(meta.len() + body.len() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(&meta);
+    out.push_str(&body);
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample() -> Vec<TraceEvent> {
+        let r = Recorder::new();
+        r.enable();
+        r.span(
+            1_500_000,
+            3_500_000,
+            "pcie",
+            "pcie0.nic0",
+            "dma_read",
+            vec![("bytes", 4096u64.into())],
+        );
+        r.instant(2_000_000, "gpu", "gpu0.warp", "ld", vec![("addr", "0x10".into())]);
+        r.instant(2_500_000, "gpu", "gpu0.warp", "st", vec![]);
+        r.take_events()
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(to_chrome_json(&sample()), to_chrome_json(&sample()));
+    }
+
+    #[test]
+    fn export_contains_expected_records() {
+        let j = to_chrome_json(&sample());
+        assert!(j.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"));
+        assert!(j.ends_with("]}\n"));
+        // Process/thread metadata for both layers.
+        assert!(j.contains("\"process_name\",\"args\":{\"name\":\"pcie\"}"));
+        assert!(j.contains("\"process_name\",\"args\":{\"name\":\"gpu\"}"));
+        assert!(j.contains("\"thread_name\",\"args\":{\"name\":\"gpu0.warp\"}"));
+        // Span with exact µs timestamps: 1.5 µs start, 2 µs duration.
+        assert!(j.contains("\"ts\":1.500000,\"dur\":2.000000,\"name\":\"dma_read\""));
+        assert!(j.contains("\"args\":{\"bytes\":4096}"));
+        // Instant form.
+        assert!(j.contains("\"ph\":\"i\",\"s\":\"t\""));
+        assert!(j.contains("\"args\":{\"addr\":\"0x10\"}"));
+        // No trailing comma before the closing bracket.
+        assert!(!j.contains(",\n]"));
+    }
+
+    #[test]
+    fn empty_event_list_is_valid() {
+        let j = to_chrome_json(&[]);
+        assert_eq!(j, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n]}\n");
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        let r = Recorder::new();
+        r.enable();
+        r.instant(0, "user", "t", "say \"hi\"\n", vec![]);
+        let j = to_chrome_json(&r.take_events());
+        assert!(j.contains("say \\\"hi\\\"\\n"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The counter handle type shared by every stats view.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A handle to one named `u64` counter.
+///
+/// `Counter` deliberately mirrors the `Cell<u64>` API (`get`/`set`) that the
+/// legacy per-crate stats structs exposed, so refactoring those structs into
+/// registry views leaves every existing call site — `stats().puts.get()`,
+/// `counters.l2_read_hits.get()`, … — compiling unchanged.
+///
+/// Counters are cheap `Rc` clones: a [`crate::Registry`] and all typed views
+/// built over it share the same cells, so a registry snapshot and a legacy
+/// struct accessor always agree. A `Counter::default()` is *detached*: it
+/// owns a private cell and belongs to no registry, which keeps unit tests
+/// that build a bare stats struct working.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// A detached counter, not visible in any registry.
+    pub fn detached() -> Self {
+        Counter {
+            cell: Rc::new(Cell::new(0)),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Rc<Cell<u64>>) -> Self {
+        Counter { cell }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.get()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.set(v)
+    }
+
+    /// Add `by` to the value.
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.cell.set(self.cell.get() + by)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::detached()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! `tc-trace` — the unified instrumentation layer of the workspace.
+//!
+//! The paper's analysis reads GPU performance counters (Tables I/II), PCIe
+//! transaction counts and NIC work-request timing *together* to explain why
+//! GPU-controlled put/get wins or loses. This crate is the substrate that
+//! makes that cross-layer view first-class instead of scattered across
+//! hand-rolled per-crate stats structs:
+//!
+//! * [`Registry`] — named, hierarchical counters (`pcie0.dma_reads`,
+//!   `gpu0.l2.read_hits`, …) with one shared snapshot/delta/reset
+//!   implementation. The legacy typed stats structs (`PcieStats`,
+//!   `GpuCounters`, `NicStats`, `HcaStats`) are thin views whose fields are
+//!   [`Counter`] handles into a registry.
+//! * [`Recorder`] — a structured event recorder capturing timestamped
+//!   spans and instants from every layer (DES executor, PCIe, GPU, NIC),
+//!   exportable as Chrome trace-event JSON ([`chrome::to_chrome_json`])
+//!   loadable in Perfetto or `chrome://tracing`.
+//! * [`rng::XorShift64`] — a tiny deterministic PRNG used by the
+//!   randomized property tests, so the default workspace builds with zero
+//!   external crates (the build environment has no registry access).
+//!
+//! Recording is zero-cost when off: a disabled recorder stores no events,
+//! and because it only *observes* (it never awaits, delays or schedules),
+//! enabling it cannot perturb simulated timestamps — determinism is
+//! preserved bit-for-bit either way.
+
+pub mod chrome;
+pub mod counter;
+pub mod recorder;
+pub mod registry;
+pub mod rng;
+
+pub use counter::Counter;
+pub use recorder::{ArgVal, Phase, Recorder, TraceEvent};
+pub use registry::{Registry, Scope, Snapshot};

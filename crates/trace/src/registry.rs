@@ -1,0 +1,250 @@
+//! Named, hierarchical counter registry.
+//!
+//! Every instrumented component registers its counters under a dotted
+//! hierarchical name (`pcie0.dma_reads`, `gpu0.l2.read_hits`,
+//! `extoll0.notif_overflows`, …). The registry owns the one shared
+//! snapshot / delta / reset implementation that used to be copy-pasted
+//! across four per-crate stats structs.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use crate::counter::Counter;
+
+#[derive(Default)]
+struct Inner {
+    /// Full dotted name → cell, in registration order.
+    by_name: HashMap<String, Rc<Cell<u64>>>,
+    /// Registration order, for deterministic iteration independent of hashing.
+    order: Vec<(String, Rc<Cell<u64>>)>,
+    /// Next auto-index per scope base name ("pcie" → 2 after pcie0, pcie1).
+    next_index: HashMap<String, u32>,
+}
+
+/// A process-wide (per-`Sim`, in practice) collection of named counters.
+///
+/// Clones share state. All operations are deterministic: iteration and
+/// snapshots are ordered by name, and auto-indexed scopes follow
+/// construction order, which the single-threaded simulator fixes.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Intern a counter by full dotted name. Repeated calls with the same
+    /// name return handles to the same cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(cell) = inner.by_name.get(name) {
+            return Counter::from_cell(cell.clone());
+        }
+        let cell = Rc::new(Cell::new(0));
+        inner.by_name.insert(name.to_string(), cell.clone());
+        inner.order.push((name.to_string(), cell.clone()));
+        Counter::from_cell(cell)
+    }
+
+    /// Open an auto-indexed scope: the first `scope("pcie")` is named
+    /// `pcie0`, the next `pcie1`, and so on. Instance numbering therefore
+    /// follows construction order, which the simulator makes deterministic.
+    pub fn scope(&self, base: &str) -> Scope {
+        let idx = {
+            let mut inner = self.inner.borrow_mut();
+            let n = inner.next_index.entry(base.to_string()).or_insert(0);
+            let idx = *n;
+            *n += 1;
+            idx
+        };
+        Scope {
+            registry: self.clone(),
+            name: format!("{base}{idx}"),
+        }
+    }
+
+    /// Open a scope with an explicit name (e.g. `gpu0` keyed by node id).
+    pub fn scope_named(&self, name: &str) -> Scope {
+        Scope {
+            registry: self.clone(),
+            name: name.to_string(),
+        }
+    }
+
+    /// Snapshot every counter, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.borrow();
+        Snapshot {
+            values: inner
+                .order
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset_all(&self) {
+        let inner = self.inner.borrow();
+        for (_, c) in &inner.order {
+            c.set(0);
+        }
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().order.len()
+    }
+
+    /// True if no counter has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A dotted-name prefix inside a [`Registry`].
+#[derive(Clone)]
+pub struct Scope {
+    registry: Registry,
+    name: String,
+}
+
+impl Scope {
+    /// This scope's full name (`pcie0`, `gpu1.l2`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Intern `<scope>.<sub>` in the underlying registry.
+    pub fn counter(&self, sub: &str) -> Counter {
+        self.registry.counter(&format!("{}.{}", self.name, sub))
+    }
+
+    /// Open a nested scope `<scope>.<sub>`.
+    pub fn scope(&self, sub: &str) -> Scope {
+        Scope {
+            registry: self.registry.clone(),
+            name: format!("{}.{}", self.name, sub),
+        }
+    }
+
+    /// The registry this scope lives in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// An ordered name → value capture of a registry at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Value of `name` at snapshot time; 0 if it was not registered.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-counter difference `self - earlier` (saturating, so a counter
+    /// reset between snapshots reads as 0 rather than wrapping).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.get(n))))
+                .collect(),
+        }
+    }
+
+    /// Iterate `(name, value)` sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Counters under `prefix.` (or equal to `prefix`), sorted by name.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.iter().filter(move |(n, _)| {
+            n.strip_prefix(prefix)
+                .is_some_and(|rest| rest.is_empty() || rest.starts_with('.'))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn scopes_auto_index_in_construction_order() {
+        let reg = Registry::new();
+        let p0 = reg.scope("pcie");
+        let p1 = reg.scope("pcie");
+        assert_eq!(p0.name(), "pcie0");
+        assert_eq!(p1.name(), "pcie1");
+        p0.counter("dma_reads").add(2);
+        p1.counter("dma_reads").add(5);
+        let s = reg.snapshot();
+        assert_eq!(s.get("pcie0.dma_reads"), 2);
+        assert_eq!(s.get("pcie1.dma_reads"), 5);
+    }
+
+    #[test]
+    fn nested_scopes_build_dotted_names() {
+        let reg = Registry::new();
+        let l2 = reg.scope_named("gpu0").scope("l2");
+        l2.counter("read_hits").add(7);
+        assert_eq!(reg.snapshot().get("gpu0.l2.read_hits"), 7);
+    }
+
+    #[test]
+    fn snapshot_delta_and_reset() {
+        let reg = Registry::new();
+        let c = reg.counter("n.puts");
+        c.add(10);
+        let s0 = reg.snapshot();
+        c.add(5);
+        let s1 = reg.snapshot();
+        assert_eq!(s1.delta(&s0).get("n.puts"), 5);
+        reg.reset_all();
+        assert_eq!(reg.snapshot().get("n.puts"), 0);
+        // Saturating delta across a reset.
+        assert_eq!(reg.snapshot().delta(&s1).get("n.puts"), 0);
+    }
+
+    #[test]
+    fn prefix_filter_respects_dot_boundaries() {
+        let reg = Registry::new();
+        reg.counter("gpu0.reads").inc();
+        reg.counter("gpu01.reads").inc();
+        let s = reg.snapshot();
+        let names: Vec<_> = s.with_prefix("gpu0").map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["gpu0.reads"]);
+    }
+
+    #[test]
+    fn detached_counter_not_in_registry() {
+        let reg = Registry::new();
+        let d = Counter::default();
+        d.add(9);
+        assert!(reg.is_empty());
+        assert_eq!(d.get(), 9);
+    }
+}

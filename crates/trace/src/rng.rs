@@ -1,0 +1,115 @@
+//! A tiny deterministic PRNG for randomized tests.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! depend on `rand`/`proptest`. The randomized property suites instead use
+//! this xorshift64* generator: seedable, reproducible, and good enough to
+//! exercise codec round-trips, sparse-memory access patterns, and traffic
+//! shapes. Failing cases print their seed so they can be replayed exactly.
+
+/// xorshift64* — 64 bits of state, period 2^64-1.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator. A zero seed (invalid for xorshift) is remapped to
+    /// a fixed non-zero constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit value (upper half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is ~n/2^64 — irrelevant for test-case generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform in the half-open range `[lo, hi)`. Requires `lo < hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Fill `buf` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+            let v = r.range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = XorShift64::new(9);
+        let mut buf = [0u8; 11];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = XorShift64::new(123);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} out of range");
+        }
+    }
+}

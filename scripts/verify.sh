@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 (release build + full test suite) plus the
+# instrumentation determinism goldens. Run from anywhere; always executes
+# against the repo root. The workspace has no external dependencies, so
+# this needs no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: workspace tests =="
+cargo test -q
+
+echo "== determinism goldens (byte-identical traces, zero-perturbation) =="
+cargo test -q --test trace_golden
+cargo test -q --test determinism
+
+echo "verify: OK"

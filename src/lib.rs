@@ -11,6 +11,8 @@
 //! * [`mod@bench`] — the reproduction harness (`reproduce` binary lives here).
 //! * Substrates: [`desim`], [`mem`], [`pcie`], [`gpu`], [`extoll`], [`ib`],
 //!   [`link`].
+//! * [`mod@trace`] — the instrumentation layer: the counter registry, the
+//!   structured event recorder, and the Chrome trace-event exporter.
 
 pub use tc_bench as bench;
 pub use tc_desim as desim;
@@ -21,5 +23,6 @@ pub use tc_link as link;
 pub use tc_mem as mem;
 pub use tc_pcie as pcie;
 pub use tc_putget as putget;
+pub use tc_trace as trace;
 
 pub use tc_putget::{create_pair, Backend, Cluster, CommError, PutGetEndpoint, QueueLoc};

@@ -1,11 +1,15 @@
-//! Property-based data-integrity tests: arbitrary sequences of puts and
-//! gets over both backends must move exactly the right bytes, regardless
-//! of sizes, offsets, and which processor drives the NIC.
-
-use proptest::prelude::*;
+//! Randomized data-integrity tests: arbitrary sequences of puts and gets
+//! over both backends must move exactly the right bytes, regardless of
+//! sizes, offsets, and which processor drives the NIC. Cases are generated
+//! with the in-tree [`tc_trace::rng::XorShift64`] PRNG (the workspace
+//! builds offline, with no proptest dependency); failure messages include
+//! the case seed for exact replay.
 
 use tc_repro::putget::api::{create_pair, QueueLoc};
 use tc_repro::putget::cluster::{Backend, Cluster};
+use tc_trace::rng::XorShift64;
+
+const CASES: u64 = 12;
 
 #[derive(Debug, Clone)]
 struct Op {
@@ -16,16 +20,23 @@ struct Op {
     len: u32,
 }
 
-fn op_strategy(buf_len: u64) -> impl Strategy<Value = Op> {
-    (any::<bool>(), 0..buf_len, 0..buf_len, 1..2048u32).prop_map(move |(p, lo, ro, len)| {
-        let len = len.min((buf_len - lo) as u32).min((buf_len - ro) as u32).max(1);
-        Op {
-            is_put: p,
-            local_off: lo.min(buf_len - len as u64),
-            remote_off: ro.min(buf_len - len as u64),
-            len,
-        }
-    })
+fn gen_op(rng: &mut XorShift64, buf_len: u64) -> Op {
+    let lo = rng.below(buf_len);
+    let ro = rng.below(buf_len);
+    let len = (rng.range(1, 2048) as u32)
+        .min((buf_len - lo) as u32)
+        .min((buf_len - ro) as u32)
+        .max(1);
+    Op {
+        is_put: rng.chance(1, 2),
+        local_off: lo.min(buf_len - len as u64),
+        remote_off: ro.min(buf_len - len as u64),
+        len,
+    }
+}
+
+fn gen_ops(rng: &mut XorShift64, buf_len: u64, max_ops: u64) -> Vec<Op> {
+    (0..rng.range(1, max_ops)).map(|_| gen_op(rng, buf_len)).collect()
 }
 
 fn run_sequence(backend: Backend, queue_loc: QueueLoc, ops: Vec<Op>, seed: u64) {
@@ -73,37 +84,33 @@ fn run_sequence(backend: Backend, queue_loc: QueueLoc, ops: Vec<Op>, seed: u64) 
     let mut got_b = vec![0u8; BUF as usize];
     c.bus.read(a, &mut got_a);
     c.bus.read(b, &mut got_b);
-    assert_eq!(got_a, shadow_a, "node0 buffer diverged");
-    assert_eq!(got_b, shadow_b, "node1 buffer diverged");
+    assert_eq!(got_a, shadow_a, "node0 buffer diverged (seed {seed})");
+    assert_eq!(got_b, shadow_b, "node1 buffer diverged (seed {seed})");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn extoll_put_get_sequences_preserve_data(
-        ops in proptest::collection::vec(op_strategy(4096), 1..8),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn extoll_put_get_sequences_preserve_data() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let ops = gen_ops(&mut rng, 4096, 8);
         run_sequence(Backend::Extoll, QueueLoc::Host, ops, seed);
     }
+}
 
-    #[test]
-    fn ib_put_get_sequences_preserve_data(
-        ops in proptest::collection::vec(op_strategy(4096), 1..8),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn ib_put_get_sequences_preserve_data() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let ops = gen_ops(&mut rng, 4096, 8);
         run_sequence(Backend::Infiniband, QueueLoc::Host, ops, seed);
     }
+}
 
-    #[test]
-    fn ib_gpu_queues_put_get_sequences_preserve_data(
-        ops in proptest::collection::vec(op_strategy(4096), 1..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn ib_gpu_queues_put_get_sequences_preserve_data() {
+    for seed in 1..=CASES {
+        let mut rng = XorShift64::new(seed);
+        let ops = gen_ops(&mut rng, 4096, 6);
         run_sequence(Backend::Infiniband, QueueLoc::Gpu, ops, seed);
     }
 }

@@ -1,0 +1,114 @@
+//! Golden determinism tests for the instrumentation layer: the exported
+//! Chrome trace of a fixed ping-pong run must be byte-identical across
+//! runs, recording must not perturb the simulation, and registry snapshots
+//! must agree with the legacy typed counter structs for the paper's
+//! Table I and Table II scenarios.
+
+use tc_repro::putget::api::{create_pair, QueueLoc};
+use tc_repro::putget::bench::pingpong::{extoll_pingpong, ib_pingpong};
+use tc_repro::putget::bench::{ExtollMode, IbMode};
+use tc_repro::putget::cluster::{Backend, Cluster};
+use tc_repro::trace::{chrome, Snapshot};
+
+/// One GPU-controlled EXTOLL ping-pong round trip. Returns the Chrome
+/// trace JSON (empty events if `traced` is false), the full registry
+/// snapshot, and the final simulated time.
+fn pingpong_run(traced: bool) -> (String, Snapshot, u64) {
+    const LEN: u64 = 1024;
+    let cluster = Cluster::new(Backend::Extoll);
+    let tx0 = cluster.nodes[0].gpu.alloc(LEN, 256);
+    let rx1 = cluster.nodes[1].gpu.alloc(LEN, 256);
+    let rx0 = cluster.nodes[0].gpu.alloc(LEN, 256);
+    let tx1 = cluster.nodes[1].gpu.alloc(LEN, 256);
+    let (a0, a1) = create_pair(&cluster, tx0, rx1, LEN, QueueLoc::Host);
+    let (b0, b1) = create_pair(&cluster, rx0, tx1, LEN, QueueLoc::Host);
+    if traced {
+        cluster.sim.trace_enable();
+    }
+    let gpu0 = cluster.nodes[0].gpu.clone();
+    let gpu1 = cluster.nodes[1].gpu.clone();
+    cluster.sim.spawn("ping", async move {
+        let t = gpu0.thread();
+        a0.put(&t, 0, 0, LEN as u32, true).await;
+        a0.quiet(&t).await.unwrap();
+        b0.wait_arrival(&t).await.unwrap();
+    });
+    cluster.sim.spawn("pong", async move {
+        let t = gpu1.thread();
+        a1.wait_arrival(&t).await.unwrap();
+        b1.put(&t, 0, 0, LEN as u32, true).await;
+        b1.quiet(&t).await.unwrap();
+    });
+    cluster.sim.run();
+    let events = cluster.sim.recorder().take_events();
+    (
+        chrome::to_chrome_json(&events),
+        cluster.sim.registry().snapshot(),
+        cluster.sim.now(),
+    )
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_across_runs() {
+    let (a, _, _) = pingpong_run(true);
+    let (b, _, _) = pingpong_run(true);
+    assert_eq!(a, b, "trace export is not deterministic");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn chrome_trace_covers_all_hardware_layers() {
+    let (json, _, _) = pingpong_run(true);
+    for layer in ["\"desim\"", "\"gpu\"", "\"pcie\"", "\"nic\""] {
+        assert!(json.contains(layer), "no events from layer {layer}");
+    }
+}
+
+#[test]
+fn recording_does_not_perturb_the_simulation() {
+    let (_, reg_on, end_on) = pingpong_run(true);
+    let (json_off, reg_off, end_off) = pingpong_run(false);
+    assert_eq!(end_on, end_off, "tracing changed simulated time");
+    assert_eq!(reg_on, reg_off, "tracing changed counter values");
+    // A disabled recorder captures nothing.
+    assert!(!json_off.contains("\"ph\":\"X\"") && !json_off.contains("\"ph\":\"i\""));
+}
+
+/// Table I scenario (EXTOLL 1 KiB ping-pong, GPU polling): the registry
+/// delta for `gpu0.*` must equal the legacy `CounterSnapshot` the report
+/// generators consume.
+#[test]
+fn registry_matches_legacy_counters_for_table1_scenario() {
+    let r = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 10, 2);
+    assert_counters_match(&r.counters, &r.registry);
+}
+
+/// Table II scenario (Infiniband 1 KiB ping-pong, buffers on GPU): same
+/// agreement on the verbs path.
+#[test]
+fn registry_matches_legacy_counters_for_table2_scenario() {
+    let r = ib_pingpong(IbMode::Dev2DevBufOnGpu, 1024, 10, 2);
+    assert_counters_match(&r.counters, &r.registry);
+}
+
+fn assert_counters_match(c: &tc_repro::gpu::CounterSnapshot, reg: &Snapshot) {
+    let pairs = [
+        ("gpu0.sysmem.reads", c.sysmem_reads),
+        ("gpu0.sysmem.writes", c.sysmem_writes),
+        ("gpu0.globmem64.reads", c.globmem64_reads),
+        ("gpu0.globmem64.writes", c.globmem64_writes),
+        ("gpu0.l2.read_requests", c.l2_read_requests),
+        ("gpu0.l2.read_hits", c.l2_read_hits),
+        ("gpu0.l2.read_misses", c.l2_read_misses),
+        ("gpu0.l2.write_requests", c.l2_write_requests),
+        ("gpu0.mem_accesses", c.mem_accesses),
+        ("gpu0.instructions", c.instructions),
+    ];
+    for (name, legacy) in pairs {
+        assert_eq!(
+            reg.get(name),
+            legacy,
+            "registry counter {name} disagrees with the legacy struct"
+        );
+    }
+}
