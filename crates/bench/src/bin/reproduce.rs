@@ -1,55 +1,95 @@
-//! Regenerate every table and figure of the paper.
+//! Reproduce the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--quick|--full] [--out DIR] [EXPERIMENT...]
+//! cargo run --release -p tc-bench --bin reproduce -- [--quick|--full] \
+//!     [--jobs N] [--out DIR] [experiment ...]
 //! ```
 //!
-//! With no experiment ids, runs everything. `--out DIR` additionally
-//! writes each experiment's output to `DIR/<experiment>.txt`. Known ids:
-//! fig1a fig1b fig2 fig3 fig4a fig4b fig5 table1 table2 verbs-instr
-//! ablations staging twosided velo.
+//! With no experiment ids, every experiment in
+//! [`tc_bench::ALL_EXPERIMENTS`] runs. Ids and flags are validated before
+//! anything runs: an unknown id or flag prints a usage error and exits
+//! with status 2. Sweep points of all selected experiments are flattened
+//! into one task list and scheduled on `--jobs` worker threads (default:
+//! available parallelism); the output is byte-identical to `--jobs 1`.
+//!
+//! If the `check` experiment runs and any paper claim reports `[FAIL]`,
+//! the process exits with status 1 so CI can gate on it.
 
+use std::io::Write as _;
+use std::process::exit;
 use std::time::Instant;
 
-use tc_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use tc_bench::cli::{parse, usage, Options};
+use tc_bench::pool::Pool;
+use tc_bench::{run_all, Scale, ALL_EXPERIMENTS};
 
 fn main() {
-    let mut scale = Scale::quick();
-    let mut picked: Vec<String> = Vec::new();
-    let mut out_dir: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--full" => scale = Scale::full(),
-            "--out" => {
-                out_dir = Some(args.next().expect("--out needs a directory"));
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: reproduce [--quick|--full] [--out DIR] [EXPERIMENT...]\nknown experiments: {}",
-                    ALL_EXPERIMENTS.join(" ")
-                );
-                return;
-            }
-            other => picked.push(other.to_string()),
+    let opts: Options = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            exit(2);
         }
+    };
+    if opts.help {
+        println!("{}", usage());
+        return;
     }
-    if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).expect("create --out directory");
-    }
-    let ids: Vec<&str> = if picked.is_empty() {
+
+    let scale = if opts.full {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let jobs = opts
+        .jobs
+        .unwrap_or_else(tc_bench::pool::available_parallelism);
+    let pool = Pool::new(jobs);
+
+    let ids: Vec<&str> = if opts.ids.is_empty() {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        picked.iter().map(String::as_str).collect()
+        opts.ids.iter().map(|s| s.as_str()).collect()
     };
-    for id in ids {
-        let t0 = Instant::now();
-        let out = run_experiment(id, scale);
-        println!("{out}");
-        if let Some(dir) = &out_dir {
-            std::fs::write(format!("{dir}/{id}.txt"), &out).expect("write experiment output");
+
+    if let Some(dir) = &opts.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create --out directory {dir:?}: {e}");
+            exit(2);
         }
-        eprintln!("[{id} done in {:.1}s wall time]\n", t0.elapsed().as_secs_f64());
+    }
+
+    let t0 = Instant::now();
+    let reports = run_all(&pool, &ids, scale);
+    let elapsed = t0.elapsed();
+
+    let mut check_failed = false;
+    for (id, report) in ids.iter().zip(&reports) {
+        println!("{report}");
+        if let Some(dir) = &opts.out_dir {
+            let path = format!("{dir}/{id}.txt");
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(report.as_bytes());
+                }
+                Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+            }
+        }
+        if *id == "check" && report.contains("[FAIL]") {
+            check_failed = true;
+        }
+    }
+
+    eprintln!(
+        "# {} experiment(s) in {:.1}s with {} job(s)",
+        ids.len(),
+        elapsed.as_secs_f64(),
+        pool.jobs()
+    );
+    if check_failed {
+        eprintln!("error: claims self-check reported at least one [FAIL]");
+        exit(1);
     }
 }

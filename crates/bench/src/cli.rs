@@ -1,0 +1,171 @@
+//! Argument parsing for the `reproduce` binary, split out so the parsing
+//! rules are unit-testable without spawning the binary.
+//!
+//! Hardening rules (each one closes a real footgun the serial runner had):
+//!
+//! * every experiment id is validated against [`crate::ALL_EXPERIMENTS`]
+//!   **before** anything runs — a typo can no longer panic minutes into a
+//!   run after earlier experiments already finished;
+//! * any unrecognized `--flag` is a usage error instead of silently being
+//!   treated as an experiment id (`reproduce --qiuck` used to fall through
+//!   to the id list);
+//! * the help text is generated from [`crate::ALL_EXPERIMENTS`], so it
+//!   cannot go stale when experiments are added.
+
+use crate::ALL_EXPERIMENTS;
+
+/// Parsed `reproduce` invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Options {
+    /// Run at the paper's full iteration counts instead of quick scale.
+    pub full: bool,
+    /// Also write each experiment's output to `DIR/<experiment>.txt`.
+    pub out_dir: Option<String>,
+    /// Worker count; `None` means available parallelism.
+    pub jobs: Option<usize>,
+    /// Selected experiment ids, in the order given (empty = run all).
+    pub ids: Vec<String>,
+    /// `--help` / `-h` was given.
+    pub help: bool,
+}
+
+/// The usage text, with the experiment list generated from
+/// [`ALL_EXPERIMENTS`].
+pub fn usage() -> String {
+    format!(
+        "usage: reproduce [--quick|--full] [--jobs N] [--out DIR] [EXPERIMENT...]\n\
+         \n\
+         options:\n\
+         \x20 --quick      CI-scale iteration counts (default)\n\
+         \x20 --full       the paper's iteration counts\n\
+         \x20 --jobs N     run up to N experiments/sweep points concurrently\n\
+         \x20              (default: available parallelism; output is\n\
+         \x20              byte-identical for every N)\n\
+         \x20 --out DIR    also write each experiment to DIR/<experiment>.txt\n\
+         \x20 -h, --help   this message\n\
+         \n\
+         known experiments: {}",
+        ALL_EXPERIMENTS.join(" ")
+    )
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(0) => Err("--jobs must be at least 1".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--jobs expects a number, got {v:?}")),
+    }
+}
+
+/// Parse the arguments after the program name. Returns a usage error for
+/// unknown flags, malformed values, and unknown experiment ids — before
+/// any experiment has run.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.full = false,
+            "--full" => opts.full = true,
+            "--out" => {
+                opts.out_dir = Some(args.next().ok_or("--out needs a directory")?);
+            }
+            "--jobs" | "-j" => {
+                let v = args.next().ok_or("--jobs needs a worker count")?;
+                opts.jobs = Some(parse_jobs(&v)?);
+            }
+            "--help" | "-h" => opts.help = true,
+            other if other.starts_with("--jobs=") => {
+                opts.jobs = Some(parse_jobs(&other["--jobs=".len()..])?);
+            }
+            other if other.starts_with('-') && other.len() > 1 => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => opts.ids.push(other.to_string()),
+        }
+    }
+    let unknown: Vec<&str> = opts
+        .ids
+        .iter()
+        .map(String::as_str)
+        .filter(|id| !ALL_EXPERIMENTS.contains(id))
+        .collect();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown experiment{} {}; known: {}",
+            if unknown.len() == 1 { "" } else { "s" },
+            unknown.join(", "),
+            ALL_EXPERIMENTS.join(", ")
+        ));
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Options, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_run_everything_quick_auto_jobs() {
+        let o = p(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn known_ids_pass_in_order() {
+        let o = p(&["table2", "fig1a", "check"]).unwrap();
+        assert_eq!(o.ids, vec!["table2", "fig1a", "check"]);
+    }
+
+    #[test]
+    fn unknown_id_is_rejected_with_the_known_list() {
+        let e = p(&["fig1a", "talbe2"]).unwrap_err();
+        assert!(e.contains("talbe2"), "{e}");
+        assert!(e.contains("known:") && e.contains("sensitivity"), "{e}");
+        // Every unknown id is reported, not just the first.
+        let e = p(&["talbe2", "fig9z"]).unwrap_err();
+        assert!(e.contains("talbe2") && e.contains("fig9z"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_not_treated_as_id() {
+        let e = p(&["--qiuck"]).unwrap_err();
+        assert!(e.contains("--qiuck"), "{e}");
+        assert!(p(&["-x"]).is_err());
+        assert!(p(&["--jobs4"]).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses_both_forms_and_rejects_garbage() {
+        assert_eq!(p(&["--jobs", "4"]).unwrap().jobs, Some(4));
+        assert_eq!(p(&["--jobs=8"]).unwrap().jobs, Some(8));
+        assert_eq!(p(&["-j", "2"]).unwrap().jobs, Some(2));
+        assert!(p(&["--jobs", "0"]).is_err());
+        assert!(p(&["--jobs=zero"]).is_err());
+        assert!(p(&["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn scale_out_and_help_flags() {
+        assert!(p(&["--full"]).unwrap().full);
+        assert!(!p(&["--full", "--quick"]).unwrap().full);
+        assert_eq!(p(&["--out", "d"]).unwrap().out_dir.as_deref(), Some("d"));
+        assert!(p(&["--out"]).is_err());
+        assert!(p(&["-h"]).unwrap().help);
+        // Flag order does not matter relative to ids.
+        let o = p(&["check", "--quick"]).unwrap();
+        assert_eq!(o.ids, vec!["check"]);
+    }
+
+    #[test]
+    fn usage_lists_every_experiment() {
+        let u = usage();
+        for id in ALL_EXPERIMENTS {
+            assert!(u.contains(id), "usage() missing {id}");
+        }
+    }
+}

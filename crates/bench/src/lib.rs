@@ -4,16 +4,35 @@
 //! values alongside the simulated measurements.
 //!
 //! Run everything with `cargo run --release -p tc-bench --bin reproduce`.
+//!
+//! # Parallel execution
+//!
+//! Every experiment decomposes into an [`ExperimentPlan`]: a list of
+//! independent sweep-point tasks plus a render step that assembles the
+//! collected results **in index order**. Each task builds its own
+//! simulation (cluster, executor, counter registry), so a [`pool::Pool`]
+//! can schedule the tasks of one or many experiments concurrently and the
+//! rendered output is byte-identical to a serial run — simulated time and
+//! counters cannot observe wall-clock scheduling.
 
+pub mod cli;
 pub mod harness;
+pub mod pool;
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use pool::{Pool, Task};
 
 use tc_putget::bench::ablation;
 use tc_putget::bench::bandwidth::{extoll_bandwidth, ib_bandwidth};
-use tc_putget::bench::counters::{fig3_point, table1, table2, verbs_instruction_counts};
+use tc_putget::bench::check as claims;
+use tc_putget::bench::counters::{
+    fig3_point, table1, table1_case, table2, table2_case, verbs_instruction_counts,
+};
 use tc_putget::bench::msgrate::{extoll_msgrate, ib_msgrate};
 use tc_putget::bench::pingpong::{extoll_pingpong, ib_pingpong};
+use tc_putget::bench::scaling as scaling_mod;
+use tc_putget::bench::sensitivity as sensitivity_mod;
 use tc_putget::bench::{
     bandwidth_sizes, latency_sizes, pair_counts, pollratio_sizes, render_series_table, ExtollMode,
     IbMode, RateMode, Series,
@@ -57,191 +76,240 @@ impl Scale {
     }
 }
 
-/// Run closures in parallel, collecting results in input order. Every
-/// closure builds its own simulation, so this is embarrassingly parallel
-/// across OS threads.
-fn parallel_map<T: Send, F>(n: usize, f: F) -> Vec<T>
-where
-    F: Fn(usize) -> T + Sync,
-{
-    let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    // std::thread::scope re-raises any worker panic when the scope closes.
-    std::thread::scope(|s| {
-        for i in 0..n {
-            let out = &out;
-            let f = &f;
-            s.spawn(move || {
-                let v = f(i);
-                out.lock().unwrap().push((i, v));
-            });
-        }
-    });
-    let mut v = out.into_inner().unwrap();
-    v.sort_by_key(|(i, _)| *i);
-    v.into_iter().map(|(_, v)| v).collect()
-}
-
 fn bw_msgs(scale: Scale, size: u64) -> u32 {
     // Keep total volume bounded so the 4 MiB points stay fast.
     let cap = ((64u64 << 20) / size.max(1)).clamp(8, scale.bw_messages as u64);
     cap as u32
 }
 
-/// Fig. 1a — EXTOLL ping-pong latency.
-pub fn fig1a(scale: Scale) -> String {
-    let modes = [
+/// One experiment, decomposed for scheduling: independent sweep-point
+/// tasks plus a render step over the results in index order. Build one
+/// with [`plan`], run it with [`ExperimentPlan::run`], or flatten many
+/// into one task list with [`run_all`].
+pub struct ExperimentPlan {
+    id: &'static str,
+    tasks: Vec<Task>,
+    render: Box<dyn FnOnce() -> String + Send>,
+}
+
+impl ExperimentPlan {
+    /// The experiment id this plan reproduces.
+    pub fn id(&self) -> &'static str {
+        self.id
+    }
+
+    /// Number of independent sweep-point tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Run every task on `pool` and render the report. The output is
+    /// byte-identical for every pool width.
+    pub fn run(self, pool: &Pool) -> String {
+        let ExperimentPlan { tasks, render, .. } = self;
+        pool.run_tasks(tasks);
+        render()
+    }
+}
+
+/// Build an [`ExperimentPlan`] from `n` independent point evaluations and
+/// a renderer over the results in point-index order. Each point writes
+/// into its own slot, so scheduling order cannot affect the output.
+fn plan_points<P, F, R>(id: &'static str, n: usize, point: F, render: R) -> ExperimentPlan
+where
+    P: Send + 'static,
+    F: Fn(usize) -> P + Send + Sync + 'static,
+    R: FnOnce(Vec<P>) -> String + Send + 'static,
+{
+    let slots: Arc<Vec<Mutex<Option<P>>>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+    let point = Arc::new(point);
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            let slots = slots.clone();
+            let point = point.clone();
+            Box::new(move || {
+                let v = point(i);
+                *slots[i].lock().unwrap() = Some(v);
+            }) as Task
+        })
+        .collect();
+    let render = Box::new(move || {
+        let results: Vec<P> = slots
+            .iter()
+            .map(|m| m.lock().unwrap().take().expect("sweep point was not run"))
+            .collect();
+        render(results)
+    });
+    ExperimentPlan { id, tasks, render }
+}
+
+/// A plan with exactly one task (experiments that are a single simulation
+/// or whose driver is not decomposed further).
+fn single_plan<F>(id: &'static str, f: F) -> ExperimentPlan
+where
+    F: Fn() -> String + Send + Sync + 'static,
+{
+    plan_points(id, 1, move |_| f(), |mut v| v.pop().unwrap())
+}
+
+/// Assemble one [`Series`] per label from a flat `label-major` result grid
+/// (`ys[m * xs.len() + i]` is label `m` at `xs[i]`).
+fn assemble_series(labels: &[&'static str], xs: &[u64], ys: &[f64]) -> Vec<Series> {
+    labels
+        .iter()
+        .enumerate()
+        .map(|(m, label)| {
+            let mut s = Series::new(*label);
+            for (i, &x) in xs.iter().enumerate() {
+                s.push(x, ys[m * xs.len() + i]);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Shared shape of the figure experiments: a `modes x xs` grid of scalar
+/// measurements rendered as one series per mode.
+fn figure_plan<M>(
+    id: &'static str,
+    title: &'static str,
+    x_name: &'static str,
+    y_name: &'static str,
+    modes: Vec<M>,
+    labels: Vec<&'static str>,
+    xs: Vec<u64>,
+    point: impl Fn(M, u64) -> f64 + Send + Sync + 'static,
+) -> ExperimentPlan
+where
+    M: Copy + Send + Sync + 'static,
+{
+    let n = modes.len() * xs.len();
+    let xs_point = xs.clone();
+    plan_points(
+        id,
+        n,
+        move |k| point(modes[k / xs_point.len()], xs_point[k % xs_point.len()]),
+        move |ys| render_series_table(title, x_name, y_name, &assemble_series(&labels, &xs, &ys)),
+    )
+}
+
+fn plan_fig1a(scale: Scale) -> ExperimentPlan {
+    let modes = vec![
         ExtollMode::Dev2DevDirect,
         ExtollMode::Dev2DevPollOnGpu,
         ExtollMode::Dev2DevAssisted,
         ExtollMode::HostControlled,
     ];
-    let series = parallel_map(modes.len(), |m| {
-        let mode = modes[m];
-        let mut s = Series::new(mode.label());
-        for size in latency_sizes() {
-            let r = extoll_pingpong(mode, size, scale.iters, scale.warmup);
-            s.push(size, r.latency_us());
-        }
-        s
-    });
-    render_series_table(
+    let labels = modes.iter().map(|m| m.label()).collect();
+    figure_plan(
+        "fig1a",
         "Fig. 1a: EXTOLL RMA ping-pong latency",
         "bytes",
         "latency us",
-        &series,
+        modes,
+        labels,
+        latency_sizes(),
+        move |mode, size| extoll_pingpong(mode, size, scale.iters, scale.warmup).latency_us(),
     )
 }
 
-/// Fig. 1b — EXTOLL streaming bandwidth.
-pub fn fig1b(scale: Scale) -> String {
-    let modes = [
+fn plan_fig1b(scale: Scale) -> ExperimentPlan {
+    let modes = vec![
         ExtollMode::Dev2DevDirect,
         ExtollMode::Dev2DevAssisted,
         ExtollMode::HostControlled,
     ];
-    let series = parallel_map(modes.len(), |m| {
-        let mode = modes[m];
-        let mut s = Series::new(mode.label());
-        for size in bandwidth_sizes() {
-            let r = extoll_bandwidth(mode, size, bw_msgs(scale, size));
-            s.push(size, r.mbytes_per_s());
-        }
-        s
-    });
-    render_series_table(
+    let labels = modes.iter().map(|m| m.label()).collect();
+    figure_plan(
+        "fig1b",
         "Fig. 1b: EXTOLL RMA streaming bandwidth",
         "bytes",
         "MB/s",
-        &series,
+        modes,
+        labels,
+        bandwidth_sizes(),
+        move |mode, size| extoll_bandwidth(mode, size, bw_msgs(scale, size)).mbytes_per_s(),
     )
 }
 
-/// Fig. 2 — EXTOLL message rate over connection pairs.
-pub fn fig2(scale: Scale) -> String {
-    rate_figure(
-        "Fig. 2: EXTOLL RMA message rate (64 B messages)",
-        scale,
-        extoll_msgrate,
-    )
-}
-
-/// Fig. 5 — Infiniband message rate over connection pairs.
-pub fn fig5(scale: Scale) -> String {
-    rate_figure(
-        "Fig. 5: Infiniband Verbs message rate (64 B messages)",
-        scale,
-        ib_msgrate,
-    )
-}
-
-fn rate_figure(
-    title: &str,
+fn rate_plan(
+    id: &'static str,
+    title: &'static str,
     scale: Scale,
     run: fn(RateMode, u32, u32) -> tc_putget::bench::msgrate::RateResult,
-) -> String {
-    let modes = [
+) -> ExperimentPlan {
+    let modes = vec![
         RateMode::Dev2DevBlocks,
         RateMode::Dev2DevKernels,
         RateMode::Dev2DevAssisted,
         RateMode::HostControlled,
     ];
-    let series = parallel_map(modes.len(), |m| {
-        let mode = modes[m];
-        let mut s = Series::new(mode.label());
-        for pairs in pair_counts() {
-            let r = run(mode, pairs as u32, scale.rate_msgs);
-            s.push(pairs, r.msgs_per_s());
-        }
-        s
-    });
-    render_series_table(title, "pairs", "MSGs/s", &series)
+    let labels = modes.iter().map(|m| m.label()).collect();
+    figure_plan(id, title, "pairs", "MSGs/s", modes, labels, pair_counts(), move |mode, pairs| {
+        run(mode, pairs as u32, scale.rate_msgs).msgs_per_s()
+    })
 }
 
-/// Fig. 3 — EXTOLL polling-time / WR-generation-time ratio.
-pub fn fig3(scale: Scale) -> String {
+fn plan_fig3(scale: Scale) -> ExperimentPlan {
     let sizes = pollratio_sizes();
-    let points = parallel_map(sizes.len(), |i| fig3_point(sizes[i], scale.iters.min(20)));
-    let mut sys = Series::new("system memory");
-    let mut dev = Series::new("device memory");
-    for (i, ((sp, sq), (dp, dq))) in points.into_iter().enumerate() {
-        sys.push(sizes[i], sq as f64 / sp.max(1) as f64);
-        dev.push(sizes[i], dq as f64 / dp.max(1) as f64);
-    }
-    render_series_table(
-        "Fig. 3: EXTOLL polling time / WR generation time",
-        "bytes",
-        "poll/put ratio",
-        &[sys, dev],
+    let sizes_point = sizes.clone();
+    plan_points(
+        "fig3",
+        sizes.len(),
+        move |i| fig3_point(sizes_point[i], scale.iters.min(20)),
+        move |points| {
+            let mut sys = Series::new("system memory");
+            let mut dev = Series::new("device memory");
+            for (i, ((sp, sq), (dp, dq))) in points.into_iter().enumerate() {
+                sys.push(sizes[i], sq as f64 / sp.max(1) as f64);
+                dev.push(sizes[i], dq as f64 / dp.max(1) as f64);
+            }
+            render_series_table(
+                "Fig. 3: EXTOLL polling time / WR generation time",
+                "bytes",
+                "poll/put ratio",
+                &[sys, dev],
+            )
+        },
     )
 }
 
-/// Fig. 4a — Infiniband ping-pong latency.
-pub fn fig4a(scale: Scale) -> String {
-    let modes = [
+fn ib_modes() -> (Vec<IbMode>, Vec<&'static str>) {
+    let modes = vec![
         IbMode::Dev2DevBufOnGpu,
         IbMode::Dev2DevBufOnHost,
         IbMode::Dev2DevAssisted,
         IbMode::HostControlled,
     ];
-    let series = parallel_map(modes.len(), |m| {
-        let mode = modes[m];
-        let mut s = Series::new(mode.label());
-        for size in latency_sizes() {
-            let r = ib_pingpong(mode, size, scale.iters, scale.warmup);
-            s.push(size, r.latency_us());
-        }
-        s
-    });
-    render_series_table(
+    let labels = modes.iter().map(|m| m.label()).collect();
+    (modes, labels)
+}
+
+fn plan_fig4a(scale: Scale) -> ExperimentPlan {
+    let (modes, labels) = ib_modes();
+    figure_plan(
+        "fig4a",
         "Fig. 4a: Infiniband Verbs ping-pong latency",
         "bytes",
         "latency us",
-        &series,
+        modes,
+        labels,
+        latency_sizes(),
+        move |mode, size| ib_pingpong(mode, size, scale.iters, scale.warmup).latency_us(),
     )
 }
 
-/// Fig. 4b — Infiniband streaming bandwidth.
-pub fn fig4b(scale: Scale) -> String {
-    let modes = [
-        IbMode::Dev2DevBufOnGpu,
-        IbMode::Dev2DevBufOnHost,
-        IbMode::Dev2DevAssisted,
-        IbMode::HostControlled,
-    ];
-    let series = parallel_map(modes.len(), |m| {
-        let mode = modes[m];
-        let mut s = Series::new(mode.label());
-        for size in bandwidth_sizes() {
-            let r = ib_bandwidth(mode, size, bw_msgs(scale, size));
-            s.push(size, r.mbytes_per_s());
-        }
-        s
-    });
-    render_series_table(
+fn plan_fig4b(scale: Scale) -> ExperimentPlan {
+    let (modes, labels) = ib_modes();
+    figure_plan(
+        "fig4b",
         "Fig. 4b: Infiniband Verbs streaming bandwidth",
         "bytes",
         "MB/s",
-        &series,
+        modes,
+        labels,
+        bandwidth_sizes(),
+        move |mode, size| ib_bandwidth(mode, size, bw_msgs(scale, size)).mbytes_per_s(),
     )
 }
 
@@ -281,9 +349,7 @@ fn counter_rows_t2(c: &CounterSnapshot) -> [u64; 8] {
     ]
 }
 
-/// Table I — EXTOLL polling-approach counters, with the paper's values.
-pub fn table1_report() -> String {
-    let (sys, dev) = table1();
+fn render_table1(sys: &CounterSnapshot, dev: &CounterSnapshot) -> String {
     let metrics = [
         "sysmem reads (32B accesses)",
         "sysmem writes (32B accesses)",
@@ -295,7 +361,7 @@ pub fn table1_report() -> String {
         "memory accesses (r/w)",
         "instructions executed",
     ];
-    let (s, d) = (counter_rows_t1(&sys), counter_rows_t1(&dev));
+    let (s, d) = (counter_rows_t1(sys), counter_rows_t1(dev));
     let mut out = String::from(
         "# Table I: EXTOLL polling approaches (100-iteration 1 KiB ping-pong, node-0 GPU)\n",
     );
@@ -312,9 +378,7 @@ pub fn table1_report() -> String {
     out
 }
 
-/// Table II — Infiniband buffer-placement counters, with the paper's values.
-pub fn table2_report() -> String {
-    let (host, gpu) = table2();
+fn render_table2(host: &CounterSnapshot, gpu: &CounterSnapshot) -> String {
     let metrics = [
         "sysmem reads (32B accesses)",
         "sysmem writes (32B accesses)",
@@ -325,7 +389,7 @@ pub fn table2_report() -> String {
         "memory accesses (r/w)",
         "instructions executed",
     ];
-    let (h, g) = (counter_rows_t2(&host), counter_rows_t2(&gpu));
+    let (h, g) = (counter_rows_t2(host), counter_rows_t2(gpu));
     let mut out = String::from(
         "# Table II: Infiniband buffer placement (100-iteration 1 KiB ping-pong, node-0 GPU)\n",
     );
@@ -340,6 +404,18 @@ pub fn table2_report() -> String {
         ));
     }
     out
+}
+
+/// Table I — EXTOLL polling-approach counters, with the paper's values.
+pub fn table1_report() -> String {
+    let (sys, dev) = table1();
+    render_table1(&sys, &dev)
+}
+
+/// Table II — Infiniband buffer-placement counters, with the paper's values.
+pub fn table2_report() -> String {
+    let (host, gpu) = table2();
+    render_table2(&host, &gpu)
 }
 
 /// §V-B.3 — verbs instruction micro-counts vs. the paper's 442/283.
@@ -360,47 +436,6 @@ pub fn verbs_instr_report() -> String {
         poll,
         283
     )
-}
-
-/// The ablation report (design-choice experiments from DESIGN.md).
-pub fn ablations(scale: Scale) -> String {
-    ablation::report(1024, scale.iters)
-}
-
-/// The host-staged-vs-GPUDirect extension experiment.
-pub fn staging(scale: Scale) -> String {
-    tc_putget::bench::staging::report(scale.bw_messages)
-}
-
-/// The one-sided vs two-sided extension experiment.
-pub fn twosided(scale: Scale) -> String {
-    tc_putget::bench::twosided::report(scale.iters)
-}
-
-/// The VELO-vs-RMA extension experiment.
-pub fn velo(scale: Scale) -> String {
-    tc_putget::bench::velo::report(scale.iters)
-}
-
-/// The single-put timeline (trace of one GPU-controlled put).
-pub fn timeline(_scale: Scale) -> String {
-    tc_putget::bench::timeline::report(1024)
-}
-
-/// The multi-node ring all-reduce scaling experiment.
-pub fn scaling(_scale: Scale) -> String {
-    tc_putget::bench::scaling::report(1024)
-}
-
-/// The calibration-sensitivity sweep.
-pub fn sensitivity(scale: Scale) -> String {
-    tc_putget::bench::sensitivity::report(scale.iters.min(15))
-}
-
-/// The claims self-check.
-pub fn check(scale: Scale) -> String {
-    let (report, _all) = tc_putget::bench::check::report(scale.iters.min(20));
-    report
 }
 
 /// Every experiment id accepted by the `reproduce` binary.
@@ -425,32 +460,189 @@ pub const ALL_EXPERIMENTS: [&str; 18] = [
     "check",
 ];
 
-/// Run one experiment by id.
-pub fn run_experiment(id: &str, scale: Scale) -> String {
+/// Build the execution plan of one experiment by id.
+///
+/// Panics on an unknown id (the `reproduce` CLI validates ids before
+/// calling this).
+pub fn plan(id: &str, scale: Scale) -> ExperimentPlan {
     match id {
-        "fig1a" => fig1a(scale),
-        "fig1b" => fig1b(scale),
-        "fig2" => fig2(scale),
-        "fig3" => fig3(scale),
-        "fig4a" => fig4a(scale),
-        "fig4b" => fig4b(scale),
-        "fig5" => fig5(scale),
-        "table1" => table1_report(),
-        "table2" => table2_report(),
-        "verbs-instr" => verbs_instr_report(),
-        "ablations" => ablations(scale),
-        "staging" => staging(scale),
-        "twosided" => twosided(scale),
-        "velo" => velo(scale),
-        "timeline" => timeline(scale),
-        "scaling" => scaling(scale),
-        "sensitivity" => sensitivity(scale),
-        "check" => check(scale),
+        "fig1a" => plan_fig1a(scale),
+        "fig1b" => plan_fig1b(scale),
+        "fig2" => rate_plan(
+            "fig2",
+            "Fig. 2: EXTOLL RMA message rate (64 B messages)",
+            scale,
+            extoll_msgrate,
+        ),
+        "fig3" => plan_fig3(scale),
+        "fig4a" => plan_fig4a(scale),
+        "fig4b" => plan_fig4b(scale),
+        "fig5" => rate_plan(
+            "fig5",
+            "Fig. 5: Infiniband Verbs message rate (64 B messages)",
+            scale,
+            ib_msgrate,
+        ),
+        "table1" => plan_points(
+            "table1",
+            2,
+            |i| table1_case(i == 1),
+            |cs| render_table1(&cs[0], &cs[1]),
+        ),
+        "table2" => plan_points(
+            "table2",
+            2,
+            |i| table2_case(i == 1),
+            |cs| render_table2(&cs[0], &cs[1]),
+        ),
+        "verbs-instr" => single_plan("verbs-instr", verbs_instr_report),
+        "ablations" => plan_points(
+            "ablations",
+            ablation::SECTIONS,
+            move |i| ablation::section(i, 1024, scale.iters),
+            |sections| sections.concat(),
+        ),
+        "staging" => single_plan("staging", move || {
+            tc_putget::bench::staging::report(scale.bw_messages)
+        }),
+        "twosided" => single_plan("twosided", move || {
+            tc_putget::bench::twosided::report(scale.iters)
+        }),
+        "velo" => single_plan("velo", move || tc_putget::bench::velo::report(scale.iters)),
+        "timeline" => single_plan("timeline", || tc_putget::bench::timeline::report(1024)),
+        "scaling" => plan_points(
+            "scaling",
+            scaling_mod::NODE_COUNTS.len(),
+            |i| scaling_mod::point(i, 1024),
+            |results| scaling_mod::render(1024, &results),
+        ),
+        "sensitivity" => {
+            let knobs = sensitivity_mod::knobs();
+            plan_points(
+                "sensitivity",
+                knobs.len(),
+                move |i| sensitivity_mod::check(knobs[i], scale.iters.min(15)),
+                |results| sensitivity_mod::render(&results),
+            )
+        }
+        "check" => plan_points(
+            "check",
+            claims::PROBES,
+            move |i| claims::probe(i, scale.iters.min(20)),
+            |probes| {
+                let all: Vec<claims::Claim> = probes.into_iter().flatten().collect();
+                claims::render_claims(&all).0
+            },
+        ),
         other => panic!(
             "unknown experiment {other:?}; known: {}",
             ALL_EXPERIMENTS.join(", ")
         ),
     }
+}
+
+/// Run one experiment by id, serially (see [`run_experiment_with`]).
+pub fn run_experiment(id: &str, scale: Scale) -> String {
+    run_experiment_with(&Pool::serial(), id, scale)
+}
+
+/// Run one experiment by id on the given pool. The output is
+/// byte-identical for every pool width — the golden test
+/// (`tests/parallel_golden.rs`) enforces this.
+pub fn run_experiment_with(pool: &Pool, id: &str, scale: Scale) -> String {
+    plan(id, scale).run(pool)
+}
+
+/// Run many experiments as **one** flattened task list: the pool schedules
+/// every sweep point of every experiment, so a slow experiment cannot
+/// serialize the rest. Reports are returned in `ids` order.
+pub fn run_all(pool: &Pool, ids: &[&str], scale: Scale) -> Vec<String> {
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut renders: Vec<Box<dyn FnOnce() -> String + Send>> = Vec::new();
+    for id in ids {
+        let ExperimentPlan {
+            tasks: t, render, ..
+        } = plan(id, scale);
+        tasks.extend(t);
+        renders.push(render);
+    }
+    pool.run_tasks(tasks);
+    renders.into_iter().map(|r| r()).collect()
+}
+
+/// Fig. 1a — EXTOLL ping-pong latency.
+pub fn fig1a(scale: Scale) -> String {
+    run_experiment("fig1a", scale)
+}
+
+/// Fig. 1b — EXTOLL streaming bandwidth.
+pub fn fig1b(scale: Scale) -> String {
+    run_experiment("fig1b", scale)
+}
+
+/// Fig. 2 — EXTOLL message rate over connection pairs.
+pub fn fig2(scale: Scale) -> String {
+    run_experiment("fig2", scale)
+}
+
+/// Fig. 3 — EXTOLL polling-time / WR-generation-time ratio.
+pub fn fig3(scale: Scale) -> String {
+    run_experiment("fig3", scale)
+}
+
+/// Fig. 4a — Infiniband ping-pong latency.
+pub fn fig4a(scale: Scale) -> String {
+    run_experiment("fig4a", scale)
+}
+
+/// Fig. 4b — Infiniband streaming bandwidth.
+pub fn fig4b(scale: Scale) -> String {
+    run_experiment("fig4b", scale)
+}
+
+/// Fig. 5 — Infiniband message rate over connection pairs.
+pub fn fig5(scale: Scale) -> String {
+    run_experiment("fig5", scale)
+}
+
+/// The ablation report (design-choice experiments from DESIGN.md).
+pub fn ablations(scale: Scale) -> String {
+    run_experiment("ablations", scale)
+}
+
+/// The host-staged-vs-GPUDirect extension experiment.
+pub fn staging(scale: Scale) -> String {
+    run_experiment("staging", scale)
+}
+
+/// The one-sided vs two-sided extension experiment.
+pub fn twosided(scale: Scale) -> String {
+    run_experiment("twosided", scale)
+}
+
+/// The VELO-vs-RMA extension experiment.
+pub fn velo(scale: Scale) -> String {
+    run_experiment("velo", scale)
+}
+
+/// The single-put timeline (trace of one GPU-controlled put).
+pub fn timeline(scale: Scale) -> String {
+    run_experiment("timeline", scale)
+}
+
+/// The multi-node ring all-reduce scaling experiment.
+pub fn scaling(scale: Scale) -> String {
+    run_experiment("scaling", scale)
+}
+
+/// The calibration-sensitivity sweep.
+pub fn sensitivity(scale: Scale) -> String {
+    run_experiment("sensitivity", scale)
+}
+
+/// The claims self-check.
+pub fn check(scale: Scale) -> String {
+    run_experiment("check", scale)
 }
 
 /// Human-friendly formatting of a simulated duration.
@@ -478,9 +670,22 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let v = parallel_map(16, |i| i * i);
-        assert_eq!(v, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    fn every_experiment_has_a_plan_with_tasks() {
+        for id in ALL_EXPERIMENTS {
+            let p = plan(id, Scale::quick());
+            assert_eq!(p.id(), id);
+            assert!(p.task_count() >= 1, "{id} has no tasks");
+        }
+        // The figures decompose point-wise, not mode-wise.
+        assert_eq!(plan("fig1a", Scale::quick()).task_count(), 4 * 9);
+        assert_eq!(plan("table1", Scale::quick()).task_count(), 2);
+    }
+
+    #[test]
+    fn plan_points_render_sees_results_in_index_order() {
+        let p = plan_points("fig1a", 8, |i| i * 10, |v| format!("{v:?}"));
+        let out = p.run(&Pool::new(4));
+        assert_eq!(out, "[0, 10, 20, 30, 40, 50, 60, 70]");
     }
 
     #[test]

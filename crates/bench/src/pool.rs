@@ -1,0 +1,161 @@
+//! A small work-stealing-free job pool on [`std::thread::scope`].
+//!
+//! The reproduction harness runs many fully independent deterministic
+//! simulations (every experiment, and every sweep point within an
+//! experiment, builds its own [`tc_putget::Cluster`] and executor). The
+//! pool exploits that independence: a fixed set of worker threads pulls
+//! jobs from one shared FIFO queue until it drains. There are no
+//! per-worker deques and no stealing — contention on the queue head is
+//! negligible because each job is a whole simulation (milliseconds to
+//! seconds), and a single queue keeps completion order irrelevant to the
+//! results: every job writes into its own pre-assigned slot, so output
+//! assembly is always in input-index order regardless of scheduling.
+//!
+//! The workspace is intentionally zero-external-crate, so this is built on
+//! `std` only (`thread::scope` + `Mutex`/`AtomicUsize`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A boxed unit of schedulable work.
+pub type Task = Box<dyn FnOnce() + Send>;
+
+/// A fixed-width job pool. `jobs == 1` degenerates to exact serial
+/// execution in input order (no threads are spawned at all), which is the
+/// baseline the byte-identical golden test compares against.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// The serial pool: runs everything in order on the calling thread.
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Pool::new(available_parallelism())
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run every task to completion. Tasks are claimed in FIFO order;
+    /// with more than one worker the *completion* order is unspecified,
+    /// which is why tasks communicate results through their own slots
+    /// rather than through a shared accumulator.
+    ///
+    /// A panicking task panics the calling thread once the scope closes
+    /// (`std::thread::scope` re-raises worker panics).
+    pub fn run_tasks(&self, tasks: Vec<Task>) {
+        if self.jobs == 1 || tasks.len() <= 1 {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        let workers = self.jobs.min(tasks.len());
+        let queue = Mutex::new(tasks.into_iter());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // Hold the lock only while claiming, never while running.
+                    let task = queue.lock().unwrap().next();
+                    match task {
+                        Some(t) => t(),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+
+    /// Evaluate `f(0..n)` and return the results **in index order**,
+    /// regardless of which worker computed what when. With `jobs == 1`
+    /// this is exactly `(0..n).map(f).collect()`.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.jobs == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(n);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(i);
+                    *slots[i].lock().unwrap() = Some(v);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("pool worker skipped a slot"))
+            .collect()
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for jobs in [1, 2, 4, 7] {
+            let v = Pool::new(jobs).map(16, |i| i * i);
+            assert_eq!(v, (0..16).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_tasks_executes_every_task_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        for jobs in [1, 3, 8] {
+            let hits: Arc<Vec<AtomicU64>> =
+                Arc::new((0..20).map(|_| AtomicU64::new(0)).collect());
+            let tasks: Vec<Task> = (0..20)
+                .map(|i| {
+                    let hits = hits.clone();
+                    Box::new(move || {
+                        hits[i].fetch_add(1, Ordering::SeqCst);
+                    }) as Task
+                })
+                .collect();
+            Pool::new(jobs).run_tasks(tasks);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "task {i} with jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+        assert!(Pool::auto().jobs() >= 1);
+    }
+}

@@ -434,8 +434,32 @@ pub fn combined_claims(size: u64, iters: u32) -> CombinedClaims {
     }
 }
 
-/// Render the three ablations as a text report.
+/// Number of independent report sections. Each section runs its own
+/// simulations and renders its own text, so a job pool can schedule the
+/// sections concurrently; concatenating them in index order reproduces
+/// [`report`] byte for byte.
+pub const SECTIONS: usize = 6;
+
+/// Render section `i` (`0..SECTIONS`) of the ablation report.
+pub fn section(i: usize, size: u64, iters: u32) -> String {
+    match i {
+        0 => section_notify(size, iters),
+        1 => section_warp(),
+        2 => section_warp_ib(),
+        3 => section_inline(),
+        4 => section_endian(),
+        5 => section_combined(size, iters),
+        other => panic!("ablation section {other} out of range (0..{SECTIONS})"),
+    }
+}
+
+/// Render the ablations as a text report (serial; see [`section`] for the
+/// parallel decomposition).
 pub fn report(size: u64, iters: u32) -> String {
+    (0..SECTIONS).map(|i| section(i, size, iters)).collect()
+}
+
+fn section_notify(size: u64, iters: u32) -> String {
     let mut out = String::new();
     let (host_q, gpu_q) = ablation_notify(size, iters);
     out.push_str(&format!(
@@ -449,6 +473,11 @@ pub fn report(size: u64, iters: u32) -> String {
         gpu_q.counters.sysmem_reads,
         host_q.latency_us() / gpu_q.latency_us(),
     ));
+    out
+}
+
+fn section_warp() -> String {
+    let mut out = String::new();
     let w = ablation_warp();
     out.push_str(&format!(
         "# ablation-warp: EXTOLL WR posting, 64 B puts\n\
@@ -459,6 +488,11 @@ pub fn report(size: u64, iters: u32) -> String {
         time::to_us_f64(w.warp_post),
         time::to_us_f64(w.single_thread_post) / time::to_us_f64(w.warp_post),
     ));
+    out
+}
+
+fn section_warp_ib() -> String {
+    let mut out = String::new();
     let (ib_single, ib_warp) = ablation_warp_ib();
     out.push_str(&format!(
         "# ablation-warp (Infiniband): GPU ibv_post_send + completion\n\
@@ -469,6 +503,11 @@ pub fn report(size: u64, iters: u32) -> String {
         time::to_us_f64(ib_warp),
         time::to_us_f64(ib_single) / time::to_us_f64(ib_warp),
     ));
+    out
+}
+
+fn section_inline() -> String {
+    let mut out = String::new();
     let ((cg, ci), (gg, gi)) = ablation_inline();
     out.push_str(&format!(
         "# ablation-inline (Infiniband): 16 B posts, payload DMA vs IBV_SEND_INLINE\n\
@@ -483,6 +522,11 @@ pub fn report(size: u64, iters: u32) -> String {
         time::to_us_f64(gi),
         time::to_us_f64(gg) / time::to_us_f64(gi),
     ));
+    out
+}
+
+fn section_endian() -> String {
+    let mut out = String::new();
     let e = ablation_endian();
     out.push_str(&format!(
         "# ablation-endian: GPU ibv_post_send\n\
@@ -495,6 +539,11 @@ pub fn report(size: u64, iters: u32) -> String {
         time::to_us_f64(e.static_time),
         e.convert_instr - e.static_instr,
     ));
+    out
+}
+
+fn section_combined(size: u64, iters: u32) -> String {
+    let mut out = String::new();
     let cc = combined_claims(size, iters);
     out.push_str(&format!(
         "# combined: all three SVI claims applied to EXTOLL ({size} B ping-pong)\n\

@@ -6,10 +6,11 @@
 //! requester/completer notifications (EXTOLL), send-queue completions
 //! (Infiniband), a CPU proxy (assisted), or full CPU control.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use tc_desim::time::{self, Time};
+use tc_trace::Snapshot;
 
 use crate::api::{create_pair, QueueLoc};
 use crate::cluster::{Backend, Cluster};
@@ -29,6 +30,11 @@ pub struct BandwidthResult {
     pub messages: u32,
     /// First post to last confirmed delivery.
     pub elapsed: Time,
+    /// Delta of every registry counter (all layers, all nodes) from the
+    /// first post to the end of the run. Each run owns its cluster and
+    /// therefore its registry, so parallel sweep points carry their own
+    /// counters instead of relying on ambient state.
+    pub registry: Snapshot,
 }
 
 impl BandwidthResult {
@@ -55,6 +61,7 @@ pub fn extoll_bandwidth(mode: ExtollMode, size: u64, messages: u32) -> Bandwidth
     let ep1 = Rc::new(ep1);
     let t0 = Rc::new(Cell::new(0u64));
     let t_done = Rc::new(Cell::new(0u64));
+    let reg_start: Rc<RefCell<Option<Snapshot>>> = Rc::new(RefCell::new(None));
 
     // Receiver: consume one completer notification per message.
     {
@@ -84,6 +91,7 @@ pub fn extoll_bandwidth(mode: ExtollMode, size: u64, messages: u32) -> Bandwidth
         ExtollMode::Dev2DevDirect | ExtollMode::HostControlled => {
             let ep0 = ep0.clone();
             let ts = t0.clone();
+            let rs = reg_start.clone();
             let sim = c.sim.clone();
             let gpu0 = c.nodes[0].gpu.clone();
             let cpu0 = c.nodes[0].cpu.clone();
@@ -91,6 +99,7 @@ pub fn extoll_bandwidth(mode: ExtollMode, size: u64, messages: u32) -> Bandwidth
             c.sim.spawn("bw.sender", async move {
                 let gt = gpu0.thread();
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 let mut in_flight = 0u32;
                 for _ in 0..messages {
                     if host {
@@ -140,11 +149,13 @@ pub fn extoll_bandwidth(mode: ExtollMode, size: u64, messages: u32) -> Bandwidth
                 });
             }
             let ts = t0.clone();
+            let rs = reg_start.clone();
             let sim = c.sim.clone();
             let gpu0 = c.nodes[0].gpu.clone();
             c.sim.spawn("bw.sender", async move {
                 let gt = gpu0.thread();
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 for _ in 0..messages {
                     ch.request(&gt, size, REQUEST).await;
                     ch.wait_state(&gt, DONE).await;
@@ -156,10 +167,12 @@ pub fn extoll_bandwidth(mode: ExtollMode, size: u64, messages: u32) -> Bandwidth
     }
 
     c.sim.run();
+    let start = reg_start.borrow_mut().take().unwrap_or_default();
     BandwidthResult {
         size,
         messages,
         elapsed: t_done.get().saturating_sub(t0.get()).max(1),
+        registry: c.sim.registry().snapshot().delta(&start),
     }
 }
 
@@ -176,11 +189,13 @@ pub fn ib_bandwidth(mode: IbMode, size: u64, messages: u32) -> BandwidthResult {
     let ep0 = Rc::new(ep0);
     let t0 = Rc::new(Cell::new(0u64));
     let t_done = Rc::new(Cell::new(0u64));
+    let reg_start: Rc<RefCell<Option<Snapshot>>> = Rc::new(RefCell::new(None));
 
     match mode {
         IbMode::Dev2DevBufOnGpu | IbMode::Dev2DevBufOnHost | IbMode::HostControlled => {
             let ep0 = ep0.clone();
             let (ts, td) = (t0.clone(), t_done.clone());
+            let rs = reg_start.clone();
             let sim = c.sim.clone();
             let gpu0 = c.nodes[0].gpu.clone();
             let cpu0 = c.nodes[0].cpu.clone();
@@ -188,6 +203,7 @@ pub fn ib_bandwidth(mode: IbMode, size: u64, messages: u32) -> BandwidthResult {
             c.sim.spawn("bw.sender", async move {
                 let gt = gpu0.thread();
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 let mut in_flight = 0u32;
                 for _ in 0..messages {
                     if host {
@@ -240,11 +256,13 @@ pub fn ib_bandwidth(mode: IbMode, size: u64, messages: u32) -> BandwidthResult {
                 });
             }
             let (ts, td) = (t0.clone(), t_done.clone());
+            let rs = reg_start.clone();
             let sim = c.sim.clone();
             let gpu0 = c.nodes[0].gpu.clone();
             c.sim.spawn("bw.sender", async move {
                 let gt = gpu0.thread();
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 for _ in 0..messages {
                     ch.request(&gt, size, REQUEST).await;
                     ch.wait_state(&gt, DONE).await;
@@ -256,10 +274,12 @@ pub fn ib_bandwidth(mode: IbMode, size: u64, messages: u32) -> BandwidthResult {
     }
 
     c.sim.run();
+    let start = reg_start.borrow_mut().take().unwrap_or_default();
     BandwidthResult {
         size,
         messages,
         elapsed: t_done.get().saturating_sub(t0.get()).max(1),
+        registry: c.sim.registry().snapshot().delta(&start),
     }
 }
 
@@ -295,6 +315,23 @@ mod tests {
         // Paper Fig. 4b: ~1-1.2 GB/s despite FDR's 6 GB/s line rate,
         // because the HCA reads the payload from GPU memory over PCIe.
         assert!((800.0..1600.0).contains(&bw), "bw = {bw} MB/s");
+    }
+
+    #[test]
+    fn bandwidth_result_carries_its_own_registry_delta() {
+        let r = extoll_bandwidth(ExtollMode::Dev2DevDirect, 1024, 12);
+        // A GPU-driven stream must have executed GPU instructions and
+        // posted WRs over PCIe within the timed region.
+        assert!(r.registry.get("gpu0.instructions") > 0);
+        assert!(r.registry.with_prefix("pcie0").any(|(_, v)| v > 0));
+        let ib = ib_bandwidth(IbMode::HostControlled, 4096, 12);
+        assert!(ib.registry.iter().count() > 0);
+        // Independent runs: deltas are per-simulation, not cumulative.
+        let again = extoll_bandwidth(ExtollMode::Dev2DevDirect, 1024, 12);
+        assert_eq!(
+            r.registry.get("gpu0.instructions"),
+            again.registry.get("gpu0.instructions")
+        );
     }
 
     #[test]

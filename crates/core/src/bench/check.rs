@@ -21,9 +21,34 @@ pub struct Claim {
     pub evidence: String,
 }
 
+/// Number of independent probes. Each probe owns its simulations (fresh
+/// clusters throughout) and yields one or more claims; concatenating the
+/// probe results in index order reproduces [`evaluate`] exactly, so a job
+/// pool can run the probes concurrently.
+pub const PROBES: usize = 8;
+
+/// Evaluate probe `i` (`0..PROBES`).
+pub fn probe(i: usize, iters: u32) -> Vec<Claim> {
+    match i {
+        0 => probe_extoll_latency(iters),
+        1 => probe_extoll_bandwidth(),
+        2 => probe_extoll_rate(),
+        3 => probe_table1(),
+        4 => probe_ib_latency(iters),
+        5 => probe_ib_rate_32qp(),
+        6 => probe_ib_rate_assisted(),
+        7 => probe_verbs_instructions(),
+        other => panic!("claims probe {other} out of range (0..{PROBES})"),
+    }
+}
+
 /// Evaluate every claim (about a minute of simulation at `iters` ping-pong
-/// iterations).
+/// iterations). Serial; see [`probe`] for the parallel decomposition.
 pub fn evaluate(iters: u32) -> Vec<Claim> {
+    (0..PROBES).flat_map(|i| probe(i, iters)).collect()
+}
+
+fn probe_extoll_latency(iters: u32) -> Vec<Claim> {
     let mut claims = Vec::new();
 
     let direct = extoll_pingpong(ExtollMode::Dev2DevDirect, 16, iters, 2);
@@ -47,7 +72,11 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
         holds: poll.half_rtt < assisted.half_rtt,
         evidence: format!("{:.2} us vs {:.2} us", poll.latency_us(), assisted.latency_us()),
     });
+    claims
+}
 
+fn probe_extoll_bandwidth() -> Vec<Claim> {
+    let mut claims = Vec::new();
     let bw_1m = extoll_bandwidth(ExtollMode::HostControlled, 1 << 20, 10);
     let bw_4m = extoll_bandwidth(ExtollMode::HostControlled, 4 << 20, 8);
     claims.push(Claim {
@@ -60,7 +89,11 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
             bw_4m.mbytes_per_s()
         ),
     });
+    claims
+}
 
+fn probe_extoll_rate() -> Vec<Claim> {
+    let mut claims = Vec::new();
     let r_host = extoll_msgrate(RateMode::HostControlled, 8, 50);
     let r_asst = extoll_msgrate(RateMode::Dev2DevAssisted, 8, 50);
     let r_gpu = extoll_msgrate(RateMode::Dev2DevBlocks, 8, 50);
@@ -76,7 +109,11 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
             r_gpu.msgs_per_s()
         ),
     });
+    claims
+}
 
+fn probe_table1() -> Vec<Claim> {
+    let mut claims = Vec::new();
     let (sys, dev) = table1();
     claims.push(Claim {
         source: "Table I",
@@ -96,7 +133,11 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
         holds: sys.instructions > dev.instructions,
         evidence: format!("{} vs {}", sys.instructions, dev.instructions),
     });
+    claims
+}
 
+fn probe_ib_latency(iters: u32) -> Vec<Claim> {
+    let mut claims = Vec::new();
     let ib_gpu = ib_pingpong(IbMode::Dev2DevBufOnGpu, 4, iters.min(15), 2);
     let ib_buf = ib_pingpong(IbMode::Dev2DevBufOnHost, 4, iters.min(15), 2);
     let ib_host = ib_pingpong(IbMode::HostControlled, 4, iters.min(15), 2);
@@ -122,7 +163,11 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
             ib_buf.latency_us()
         ),
     });
+    claims
+}
 
+fn probe_ib_rate_32qp() -> Vec<Claim> {
+    let mut claims = Vec::new();
     let ib32_gpu = ib_msgrate(RateMode::Dev2DevBlocks, 32, 40);
     let ib32_host = ib_msgrate(RateMode::HostControlled, 32, 40);
     let reach = ib32_gpu.msgs_per_s() / ib32_host.msgs_per_s();
@@ -137,6 +182,11 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
             100.0 * reach
         ),
     });
+    claims
+}
+
+fn probe_ib_rate_assisted() -> Vec<Claim> {
+    let mut claims = Vec::new();
     let asst4 = ib_msgrate(RateMode::Dev2DevAssisted, 4, 40);
     let asst32 = ib_msgrate(RateMode::Dev2DevAssisted, 32, 40);
     let flat = asst32.msgs_per_s() / asst4.msgs_per_s();
@@ -146,7 +196,11 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
         holds: (0.6..1.4).contains(&flat),
         evidence: format!("x{flat:.2} from 4 to 32 pairs"),
     });
+    claims
+}
 
+fn probe_verbs_instructions() -> Vec<Claim> {
+    let mut claims = Vec::new();
     let (post, pollc) = verbs_instruction_counts();
     claims.push(Claim {
         source: "SV-B.3",
@@ -158,13 +212,12 @@ pub fn evaluate(iters: u32) -> Vec<Claim> {
     claims
 }
 
-/// Render the self-check as a text report. The second return value is
-/// `true` when every claim passed.
-pub fn report(iters: u32) -> (String, bool) {
-    let claims = evaluate(iters);
+/// Render claims gathered per [`probe`], in probe-index order. The second
+/// return value is `true` when every claim passed.
+pub fn render_claims(claims: &[Claim]) -> (String, bool) {
     let mut out = String::from("# self-check: the paper's headline claims, re-evaluated\n");
     let mut all = true;
-    for c in &claims {
+    for c in claims {
         all &= c.holds;
         out.push_str(&format!(
             "[{}] {:8} {}\n         -> {}\n",
@@ -180,6 +233,13 @@ pub fn report(iters: u32) -> (String, bool) {
         claims.len()
     ));
     (out, all)
+}
+
+/// Render the self-check as a text report (serial; see [`probe`] /
+/// [`render_claims`] for the parallel decomposition). The second return
+/// value is `true` when every claim passed.
+pub fn report(iters: u32) -> (String, bool) {
+    render_claims(&evaluate(iters))
 }
 
 #[cfg(test)]

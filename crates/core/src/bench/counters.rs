@@ -12,35 +12,40 @@ pub const COUNTER_ITERS: u32 = 100;
 /// Payload of the counter experiments (the paper uses 1 KiB).
 pub const COUNTER_PAYLOAD: u64 = 1024;
 
+/// One column of Table I: the node-0 GPU counters of a 100-iteration,
+/// 1 KiB EXTOLL ping-pong, polling device memory (`true`) or system
+/// memory (`false`). Each column is an independent simulation.
+pub fn table1_case(devmem: bool) -> CounterSnapshot {
+    let mode = if devmem {
+        ExtollMode::Dev2DevPollOnGpu
+    } else {
+        ExtollMode::Dev2DevDirect
+    };
+    extoll_pingpong(mode, COUNTER_PAYLOAD, COUNTER_ITERS, 0).counters
+}
+
 /// Table I: node-0 GPU counters of a 100-iteration, 1 KiB EXTOLL
 /// ping-pong. Returns `(system_memory_polling, device_memory_polling)`.
 pub fn table1() -> (CounterSnapshot, CounterSnapshot) {
-    let sysmem = extoll_pingpong(
-        ExtollMode::Dev2DevDirect,
-        COUNTER_PAYLOAD,
-        COUNTER_ITERS,
-        0,
-    );
-    let devmem = extoll_pingpong(
-        ExtollMode::Dev2DevPollOnGpu,
-        COUNTER_PAYLOAD,
-        COUNTER_ITERS,
-        0,
-    );
-    (sysmem.counters, devmem.counters)
+    (table1_case(false), table1_case(true))
+}
+
+/// One column of Table II: the node-0 GPU counters of a 100-iteration
+/// Infiniband ping-pong with the queue buffers on the GPU (`true`) or the
+/// host (`false`). Each column is an independent simulation.
+pub fn table2_case(gpu: bool) -> CounterSnapshot {
+    let mode = if gpu {
+        IbMode::Dev2DevBufOnGpu
+    } else {
+        IbMode::Dev2DevBufOnHost
+    };
+    ib_pingpong(mode, COUNTER_PAYLOAD, COUNTER_ITERS, 0).counters
 }
 
 /// Table II: node-0 GPU counters of a 100-iteration Infiniband ping-pong.
 /// Returns `(buffers_on_host, buffers_on_gpu)`.
 pub fn table2() -> (CounterSnapshot, CounterSnapshot) {
-    let host = ib_pingpong(
-        IbMode::Dev2DevBufOnHost,
-        COUNTER_PAYLOAD,
-        COUNTER_ITERS,
-        0,
-    );
-    let gpu = ib_pingpong(IbMode::Dev2DevBufOnGpu, COUNTER_PAYLOAD, COUNTER_ITERS, 0);
-    (host.counters, gpu.counters)
+    (table2_case(false), table2_case(true))
 }
 
 /// One point of Fig. 3: per-iteration WR-generation time and polling time

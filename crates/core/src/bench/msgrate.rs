@@ -2,10 +2,11 @@
 //! messages over 1..32 connection pairs, posted from parallel CUDA blocks,
 //! concurrent kernels, a host-assisted proxy, or the host CPU.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use tc_desim::time::{self, Time};
+use tc_trace::Snapshot;
 
 use crate::api::{create_pair, PutGetEndpoint, QueueLoc};
 use crate::cluster::{Backend, Cluster};
@@ -25,6 +26,11 @@ pub struct RateResult {
     pub per_pair: u32,
     /// Total elapsed time.
     pub elapsed: Time,
+    /// Delta of every registry counter (all layers, all nodes) from the
+    /// first post to the end of the run. Each run owns its cluster and
+    /// therefore its registry, so parallel sweep points carry their own
+    /// counters instead of relying on ambient state.
+    pub registry: Snapshot,
 }
 
 impl RateResult {
@@ -65,15 +71,18 @@ fn run_rate(backend: Backend, mode: RateMode, pairs: u32, per_pair: u32) -> Rate
     let eps = build_pairs(&c, pairs, queue_loc);
     let t0 = Rc::new(Cell::new(0u64));
     let t1 = Rc::new(Cell::new(0u64));
+    let reg_start: Rc<RefCell<Option<Snapshot>>> = Rc::new(RefCell::new(None));
 
     match mode {
         RateMode::Dev2DevBlocks => {
             let gpu = c.nodes[0].gpu.clone();
             let sim = c.sim.clone();
             let (ts, te) = (t0.clone(), t1.clone());
+            let rs = reg_start.clone();
             c.sim.spawn("rate.host", async move {
                 let stream = gpu.stream();
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 let eps2 = eps.clone();
                 let k = gpu.launch(&stream, "rate", pairs as usize, move |b, t| {
                     let ep = eps2[b].clone();
@@ -89,8 +98,10 @@ fn run_rate(backend: Backend, mode: RateMode, pairs: u32, per_pair: u32) -> Rate
             let gpu = c.nodes[0].gpu.clone();
             let sim = c.sim.clone();
             let (ts, te) = (t0.clone(), t1.clone());
+            let rs = reg_start.clone();
             c.sim.spawn("rate.host", async move {
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 let handles: Vec<_> = (0..pairs as usize)
                     .map(|b| {
                         let stream = gpu.stream();
@@ -113,8 +124,10 @@ fn run_rate(backend: Backend, mode: RateMode, pairs: u32, per_pair: u32) -> Rate
             let cpu = c.nodes[0].cpu.clone();
             let sim = c.sim.clone();
             let (ts, te) = (t0.clone(), t1.clone());
+            let rs = reg_start.clone();
             c.sim.spawn("rate.host", async move {
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 // The single CPU thread pipelines across all pairs: post a
                 // round of puts, then reap a round of completions.
                 for _ in 0..per_pair {
@@ -165,9 +178,11 @@ fn run_rate(backend: Backend, mode: RateMode, pairs: u32, per_pair: u32) -> Rate
             let gpu = c.nodes[0].gpu.clone();
             let sim = c.sim.clone();
             let (ts, te) = (t0.clone(), t1.clone());
+            let rs = reg_start.clone();
             c.sim.spawn("rate.host", async move {
                 let stream = gpu.stream();
                 ts.set(sim.now());
+                *rs.borrow_mut() = Some(sim.registry().snapshot());
                 let chans2 = chans.clone();
                 let k = gpu.launch(&stream, "rate", pairs as usize, move |b, t| {
                     let ch = chans2[b];
@@ -186,10 +201,12 @@ fn run_rate(backend: Backend, mode: RateMode, pairs: u32, per_pair: u32) -> Rate
     }
 
     c.sim.run();
+    let start = reg_start.borrow_mut().take().unwrap_or_default();
     RateResult {
         pairs,
         per_pair,
         elapsed: t1.get().saturating_sub(t0.get()).max(1),
+        registry: c.sim.registry().snapshot().delta(&start),
     }
 }
 
@@ -236,6 +253,18 @@ mod tests {
             "host {} vs gpu {}",
             host.msgs_per_s(),
             gpu.msgs_per_s()
+        );
+    }
+
+    #[test]
+    fn rate_result_carries_its_own_registry_delta() {
+        let r = extoll_msgrate(RateMode::Dev2DevBlocks, 2, 30);
+        assert!(r.registry.get("gpu0.instructions") > 0);
+        // Independent runs: deltas are per-simulation, not cumulative.
+        let again = extoll_msgrate(RateMode::Dev2DevBlocks, 2, 30);
+        assert_eq!(
+            r.registry.get("gpu0.instructions"),
+            again.registry.get("gpu0.instructions")
         );
     }
 

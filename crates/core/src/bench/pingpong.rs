@@ -290,19 +290,16 @@ pub fn extoll_pingpong_cfg(
             let b1 = Rc::new(b1);
             let stop = Rc::new(Cell::new(false));
             // One proxy per node: services put requests and forwards
-            // arrival notifications.
+            // arrival notifications. The channels are plain copies into
+            // both the proxy task and the GPU loops below.
+            let mut chans: Vec<(AssistChannel, AssistChannel)> = Vec::new();
             for node in 0..2 {
                 let cpu = c.nodes[node].cpu.clone();
                 let (snd, arr) = (
                     AssistChannel::new(&c.nodes[node].host_heap),
                     AssistChannel::new(&c.nodes[node].host_heap),
                 );
-                // Stash the channels where the GPU loops can find them.
-                if node == 0 {
-                    CH0.with(|c| c.set(Some((snd, arr))));
-                } else {
-                    CH1.with(|c| c.set(Some((snd, arr))));
-                }
+                chans.push((snd, arr));
                 let put_ep = if node == 0 { a0.clone() } else { b1.clone() };
                 let arr_ep = if node == 0 { b0.clone() } else { a1.clone() };
                 let stop = stop.clone();
@@ -325,8 +322,8 @@ pub fn extoll_pingpong_cfg(
                     }
                 });
             }
-            let (snd0, arr0) = CH0.with(|c| c.get().unwrap());
-            let (snd1, arr1) = CH1.with(|c| c.get().unwrap());
+            let (snd0, arr0) = chans[0];
+            let (snd1, arr1) = chans[1];
             {
                 let (ts, te, ps, qs, cs, rs) = (
                     tm.t_start.clone(),
@@ -379,11 +376,6 @@ pub fn extoll_pingpong_cfg(
 
     c.sim.run();
     finish(&tm, &gpu0, size, iters)
-}
-
-thread_local! {
-    static CH0: Cell<Option<(AssistChannel, AssistChannel)>> = const { Cell::new(None) };
-    static CH1: Cell<Option<(AssistChannel, AssistChannel)>> = const { Cell::new(None) };
 }
 
 async fn b1_put<P: Processor>(ep: &PutGetEndpoint, p: &P, size: u64) {

@@ -67,18 +67,25 @@ pub fn ring_scaling(backend: Backend, nodes: usize, elements: usize) -> ScalingR
     }
 }
 
-/// Render the scaling experiment as a text report.
-pub fn report(elements: usize) -> String {
+/// The ring sizes of the scaling sweep.
+pub const NODE_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+/// One independent sweep point: the all-reduce at `NODE_COUNTS[i]` nodes.
+pub fn point(i: usize, elements: usize) -> ScalingResult {
+    ring_scaling(Backend::Extoll, NODE_COUNTS[i], elements)
+}
+
+/// Render results gathered per [`point`], in [`NODE_COUNTS`] order.
+pub fn render(elements: usize, results: &[ScalingResult]) -> String {
     let mut out = format!(
         "# extension: GPU-driven ring all-reduce scaling ({elements} u64, EXTOLL)\n\
          {:>8} {:>14} {:>16}\n",
         "nodes", "total us", "ns/element"
     );
-    for nodes in [2usize, 4, 8, 16] {
-        let r = ring_scaling(Backend::Extoll, nodes, elements);
+    for r in results {
         out.push_str(&format!(
             "{:>8} {:>14.1} {:>16.1}\n",
-            nodes,
+            r.nodes,
             tc_desim::time::to_us_f64(r.elapsed),
             r.ns_per_element(),
         ));
@@ -89,6 +96,15 @@ pub fn report(elements: usize) -> String {
          with the ring depth, as the textbook ring analysis predicts.\n",
     );
     out
+}
+
+/// Render the scaling experiment as a text report (serial; see [`point`] /
+/// [`render`] for the parallel decomposition).
+pub fn report(elements: usize) -> String {
+    let results: Vec<ScalingResult> = (0..NODE_COUNTS.len())
+        .map(|i| point(i, elements))
+        .collect();
+    render(elements, &results)
 }
 
 #[cfg(test)]

@@ -102,23 +102,28 @@ pub fn check(knob: Knob, iters: u32) -> SensitivityResult {
     }
 }
 
-/// The perturbation sweep: each headline knob at 50% and 200%.
-pub fn sweep(iters: u32) -> Vec<SensitivityResult> {
+/// The perturbations of the sweep: each headline knob at 50% and 200%.
+/// Every entry is an independent sweep point (fresh clusters throughout),
+/// so a job pool can evaluate them concurrently.
+pub fn knobs() -> Vec<Knob> {
     let mut out = Vec::new();
     for pct in [50u32, 200] {
-        for knob in [
+        out.extend([
             Knob::PcieReadRtt(pct),
             Knob::GpuInstr(pct),
             Knob::NicProcessing(pct),
-        ] {
-            out.push(check(knob, iters));
-        }
+        ]);
     }
     out
 }
 
-/// Render the sensitivity sweep as a text report.
-pub fn report(iters: u32) -> String {
+/// The perturbation sweep, serially: [`check`] for each of [`knobs`].
+pub fn sweep(iters: u32) -> Vec<SensitivityResult> {
+    knobs().into_iter().map(|k| check(k, iters)).collect()
+}
+
+/// Render results gathered per [`check`], in [`knobs`] order.
+pub fn render(results: &[SensitivityResult]) -> String {
     let mut out = String::from(
         "# extension: calibration sensitivity — do the paper's orderings survive?\n",
     );
@@ -127,7 +132,7 @@ pub fn report(iters: u32) -> String {
         "perturbation", "EXTOLL host wins", "pollOnGPU wins", "IB host wins"
     ));
     let mut all = true;
-    for r in sweep(iters) {
+    for r in results {
         all &= r.all_hold();
         out.push_str(&format!(
             "{:28} {:>18} {:>18} {:>14}\n",
@@ -144,6 +149,12 @@ pub fn report(iters: u32) -> String {
         "WARNING: at least one ordering flipped under perturbation.\n"
     });
     out
+}
+
+/// Render the sensitivity sweep as a text report (serial; see [`knobs`] /
+/// [`check`] / [`render`] for the parallel decomposition).
+pub fn report(iters: u32) -> String {
+    render(&sweep(iters))
 }
 
 fn tick(b: bool) -> &'static str {

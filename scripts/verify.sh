@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 (release build + full test suite) plus the
-# instrumentation determinism goldens. Run from anywhere; always executes
-# against the repo root. The workspace has no external dependencies, so
-# this needs no network access.
+# instrumentation determinism goldens, the parallel-runner golden, and the
+# paper-claims self-check. Run from anywhere; always executes against the
+# repo root. The workspace has no external dependencies, so this needs no
+# network access.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,11 @@ cargo test -q
 echo "== determinism goldens (byte-identical traces, zero-perturbation) =="
 cargo test -q --test trace_golden
 cargo test -q --test determinism
+
+echo "== parallel runner golden (--jobs N output byte-identical to serial) =="
+cargo test -q --test parallel_golden
+
+echo "== paper-claims self-check (reproduce check --quick; fails on any [FAIL]) =="
+cargo run --release -p tc-bench --bin reproduce -- check --quick > /dev/null
 
 echo "verify: OK"

@@ -1,0 +1,32 @@
+//! Golden test for the parallel runner: for every pool width the rendered
+//! report must be byte-identical to the serial run. The simulations are
+//! deterministic and each sweep point owns its own cluster/executor, so
+//! any divergence means shared state leaked between points.
+
+use tc_repro::bench::pool::Pool;
+use tc_repro::bench::{run_all, run_experiment_with, Scale};
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let scale = Scale::quick();
+    for id in ["table1", "table2", "fig1a"] {
+        let serial = run_experiment_with(&Pool::serial(), id, scale);
+        let parallel = run_experiment_with(&Pool::new(4), id, scale);
+        assert_eq!(serial, parallel, "{id} diverged between --jobs 1 and --jobs 4");
+    }
+}
+
+#[test]
+fn run_all_returns_reports_in_input_order() {
+    let scale = Scale::quick();
+    let ids = ["table2", "table1"];
+    let reports = run_all(&Pool::new(4), &ids, scale);
+    assert_eq!(reports.len(), 2);
+    assert!(reports[0].contains("Table II"), "first report must be table2");
+    assert!(reports[1].contains("Table I:"), "second report must be table1");
+    // And each matches its serial single-experiment run.
+    for (id, report) in ids.iter().zip(&reports) {
+        let serial = run_experiment_with(&Pool::serial(), id, scale);
+        assert_eq!(&serial, report, "{id} diverged inside run_all");
+    }
+}
