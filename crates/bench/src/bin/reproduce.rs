@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p tc-bench --bin reproduce -- [--quick|--full] \
-//!     [--jobs N] [--out DIR] [experiment ...]
+//!     [--jobs N] [--out DIR] [--metrics DIR] [--trace ID] [--verbose] \
+//!     [experiment ...]
 //! ```
 //!
 //! With no experiment ids, every experiment in
@@ -11,6 +12,13 @@
 //! with status 2. Sweep points of all selected experiments are flattened
 //! into one task list and scheduled on `--jobs` worker threads (default:
 //! available parallelism); the output is byte-identical to `--jobs 1`.
+//!
+//! `--metrics DIR` additionally writes `DIR/<experiment>.metrics.json`
+//! (schema `tc-metrics-v1`) per selected experiment, and `--trace ID`
+//! writes `ID.trace.json` (a Chrome/Perfetto trace) into the metrics
+//! directory, the `--out` directory, or the working directory — whichever
+//! exists first. `--validate-metrics FILE` runs the schema self-check on
+//! an emitted file and exits without running any experiment.
 //!
 //! If the `check` experiment runs and any paper claim reports `[FAIL]`,
 //! the process exits with status 1 so CI can gate on it.
@@ -21,7 +29,16 @@ use std::time::Instant;
 
 use tc_bench::cli::{parse, usage, Options};
 use tc_bench::pool::Pool;
-use tc_bench::{run_all, Scale, ALL_EXPERIMENTS};
+use tc_bench::{metrics, metrics_report, run_all, trace_report, Scale, ALL_EXPERIMENTS};
+
+fn write_file(path: &str, contents: &str) {
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            let _ = f.write_all(contents.as_bytes());
+        }
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
 
 fn main() {
     let opts: Options = match parse(std::env::args().skip(1)) {
@@ -38,11 +55,32 @@ fn main() {
         return;
     }
 
+    if let Some(file) = &opts.validate_metrics {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file:?}: {e}");
+                exit(2);
+            }
+        };
+        match metrics::validate(&text) {
+            Ok(()) => {
+                println!("{file}: valid {}", metrics::SCHEMA);
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                exit(1);
+            }
+        }
+    }
+
     let scale = if opts.full {
         Scale::full()
     } else {
         Scale::quick()
     };
+    let scale_name = if opts.full { "full" } else { "quick" };
     let jobs = opts
         .jobs
         .unwrap_or_else(tc_bench::pool::available_parallelism);
@@ -54,34 +92,46 @@ fn main() {
         opts.ids.iter().map(|s| s.as_str()).collect()
     };
 
-    if let Some(dir) = &opts.out_dir {
+    for dir in [&opts.out_dir, &opts.metrics_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: cannot create --out directory {dir:?}: {e}");
+            eprintln!("error: cannot create directory {dir:?}: {e}");
             exit(2);
         }
     }
 
     let t0 = Instant::now();
-    let reports = run_all(&pool, &ids, scale);
+    let (reports, stats) = run_all(&pool, &ids, scale);
     let elapsed = t0.elapsed();
 
     let mut check_failed = false;
     for (id, report) in ids.iter().zip(&reports) {
         println!("{report}");
         if let Some(dir) = &opts.out_dir {
-            let path = format!("{dir}/{id}.txt");
-            match std::fs::File::create(&path) {
-                Ok(mut f) => {
-                    let _ = f.write_all(report.as_bytes());
-                }
-                Err(e) => eprintln!("warning: cannot write {path}: {e}"),
-            }
+            write_file(&format!("{dir}/{id}.txt"), report);
+        }
+        if let Some(dir) = &opts.metrics_dir {
+            write_file(
+                &format!("{dir}/{id}.metrics.json"),
+                &metrics_report(id, scale_name, &stats),
+            );
         }
         if *id == "check" && report.contains("[FAIL]") {
             check_failed = true;
         }
     }
 
+    if let Some(id) = &opts.trace {
+        let dir = opts
+            .metrics_dir
+            .as_deref()
+            .or(opts.out_dir.as_deref())
+            .unwrap_or(".");
+        write_file(&format!("{dir}/{id}.trace.json"), &trace_report(id));
+    }
+
+    if opts.verbose {
+        eprintln!("{}", stats.summary());
+    }
     eprintln!(
         "# {} experiment(s) in {:.1}s with {} job(s)",
         ids.len(),

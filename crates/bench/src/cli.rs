@@ -25,6 +25,15 @@ pub struct Options {
     pub jobs: Option<usize>,
     /// Selected experiment ids, in the order given (empty = run all).
     pub ids: Vec<String>,
+    /// Also write `DIR/<experiment>.metrics.json` for each selected id.
+    pub metrics_dir: Option<String>,
+    /// Write a Chrome trace of this experiment's representative run.
+    pub trace: Option<String>,
+    /// Print the pool self-profile at the end of the run.
+    pub verbose: bool,
+    /// Validate FILE against the metrics schema and exit (no experiments
+    /// run) — the `scripts/verify.sh` self-check entry point.
+    pub validate_metrics: Option<String>,
     /// `--help` / `-h` was given.
     pub help: bool,
 }
@@ -33,16 +42,28 @@ pub struct Options {
 /// [`ALL_EXPERIMENTS`].
 pub fn usage() -> String {
     format!(
-        "usage: reproduce [--quick|--full] [--jobs N] [--out DIR] [EXPERIMENT...]\n\
+        "usage: reproduce [--quick|--full] [--jobs N] [--out DIR] [--metrics DIR]\n\
+         \x20                [--trace ID] [--verbose] [EXPERIMENT...]\n\
+         \x20      reproduce --validate-metrics FILE\n\
          \n\
          options:\n\
-         \x20 --quick      CI-scale iteration counts (default)\n\
-         \x20 --full       the paper's iteration counts\n\
-         \x20 --jobs N     run up to N experiments/sweep points concurrently\n\
-         \x20              (default: available parallelism; output is\n\
-         \x20              byte-identical for every N)\n\
-         \x20 --out DIR    also write each experiment to DIR/<experiment>.txt\n\
-         \x20 -h, --help   this message\n\
+         \x20 --quick        CI-scale iteration counts (default)\n\
+         \x20 --full         the paper's iteration counts\n\
+         \x20 --jobs N       run up to N experiments/sweep points concurrently\n\
+         \x20                (default: available parallelism; output is\n\
+         \x20                byte-identical for every N)\n\
+         \x20 --out DIR      also write each experiment to DIR/<experiment>.txt\n\
+         \x20 --metrics DIR  also write DIR/<experiment>.metrics.json for each\n\
+         \x20                selected experiment (schema tc-metrics-v1)\n\
+         \x20 --trace ID     also write a Chrome trace (ID.trace.json, loadable\n\
+         \x20                in chrome://tracing or Perfetto) of ID's\n\
+         \x20                representative run\n\
+         \x20 --ids LIST     comma-separated experiment ids (same as listing\n\
+         \x20                them as positional arguments)\n\
+         \x20 -v, --verbose  print the runner self-profile at the end\n\
+         \x20 --validate-metrics FILE\n\
+         \x20                check FILE against the metrics schema and exit\n\
+         \x20 -h, --help     this message\n\
          \n\
          known experiments: {}",
         ALL_EXPERIMENTS.join(" ")
@@ -70,6 +91,22 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--out" => {
                 opts.out_dir = Some(args.next().ok_or("--out needs a directory")?);
             }
+            "--metrics" => {
+                opts.metrics_dir = Some(args.next().ok_or("--metrics needs a directory")?);
+            }
+            "--trace" => {
+                opts.trace = Some(args.next().ok_or("--trace needs an experiment id")?);
+            }
+            "--ids" => {
+                let list = args.next().ok_or("--ids needs a comma-separated list")?;
+                opts.ids
+                    .extend(list.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+            }
+            "--validate-metrics" => {
+                opts.validate_metrics =
+                    Some(args.next().ok_or("--validate-metrics needs a file")?);
+            }
+            "--verbose" | "-v" => opts.verbose = true,
             "--jobs" | "-j" => {
                 let v = args.next().ok_or("--jobs needs a worker count")?;
                 opts.jobs = Some(parse_jobs(&v)?);
@@ -87,6 +124,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
     let unknown: Vec<&str> = opts
         .ids
         .iter()
+        .chain(opts.trace.iter())
         .map(String::as_str)
         .filter(|id| !ALL_EXPERIMENTS.contains(id))
         .collect();
@@ -159,6 +197,36 @@ mod tests {
         // Flag order does not matter relative to ids.
         let o = p(&["check", "--quick"]).unwrap();
         assert_eq!(o.ids, vec!["check"]);
+    }
+
+    #[test]
+    fn metrics_trace_and_verbose_flags() {
+        let o = p(&["--metrics", "m", "--trace", "pingpong", "-v"]).unwrap();
+        assert_eq!(o.metrics_dir.as_deref(), Some("m"));
+        assert_eq!(o.trace.as_deref(), Some("pingpong"));
+        assert!(o.verbose);
+        assert!(p(&["--metrics"]).is_err());
+        assert!(p(&["--trace"]).is_err());
+        // The trace id is validated like a positional id.
+        let e = p(&["--trace", "pingpnog"]).unwrap_err();
+        assert!(e.contains("pingpnog"), "{e}");
+    }
+
+    #[test]
+    fn ids_flag_splits_commas_and_validates() {
+        let o = p(&["--ids", "pingpong,check", "fig1a"]).unwrap();
+        assert_eq!(o.ids, vec!["pingpong", "check", "fig1a"]);
+        assert!(p(&["--ids", "pingpong,talbe2"]).is_err());
+        assert!(p(&["--ids"]).is_err());
+        // Empty segments (trailing comma) are tolerated.
+        assert_eq!(p(&["--ids", "check,"]).unwrap().ids, vec!["check"]);
+    }
+
+    #[test]
+    fn validate_metrics_takes_a_file() {
+        let o = p(&["--validate-metrics", "x.json"]).unwrap();
+        assert_eq!(o.validate_metrics.as_deref(), Some("x.json"));
+        assert!(p(&["--validate-metrics"]).is_err());
     }
 
     #[test]

@@ -17,11 +17,12 @@
 
 pub mod cli;
 pub mod harness;
+pub mod metrics;
 pub mod pool;
 
 use std::sync::{Arc, Mutex};
 
-use pool::{Pool, Task};
+use pool::{Pool, PoolStats, Task};
 
 use tc_putget::bench::ablation;
 use tc_putget::bench::bandwidth::{extoll_bandwidth, ib_bandwidth};
@@ -30,7 +31,7 @@ use tc_putget::bench::counters::{
     fig3_point, table1, table1_case, table2, table2_case, verbs_instruction_counts,
 };
 use tc_putget::bench::msgrate::{extoll_msgrate, ib_msgrate};
-use tc_putget::bench::pingpong::{extoll_pingpong, ib_pingpong};
+use tc_putget::bench::pingpong::{extoll_pingpong, ib_pingpong, PingPongResult};
 use tc_putget::bench::scaling as scaling_mod;
 use tc_putget::bench::sensitivity as sensitivity_mod;
 use tc_putget::bench::{
@@ -438,8 +439,103 @@ pub fn verbs_instr_report() -> String {
     )
 }
 
+/// The fixed smoke scenario behind the `pingpong` experiment, the
+/// `--metrics` export and `--trace`: a 1 KiB GPU-controlled ping-pong at a
+/// small fixed iteration count (deliberately independent of
+/// `--quick`/`--full`, so metrics files are comparable across scales).
+fn representative_run(id: &str) -> PingPongResult {
+    if experiment_uses_ib(id) {
+        ib_pingpong(IbMode::Dev2DevBufOnGpu, 1024, 10, 2)
+    } else {
+        extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 10, 2)
+    }
+}
+
+/// Whether `id` studies the Infiniband interconnect (everything else is
+/// EXTOLL or backend-neutral, which the EXTOLL scenario covers).
+fn experiment_uses_ib(id: &str) -> bool {
+    matches!(id, "fig4a" | "fig4b" | "fig5" | "table2" | "verbs-instr")
+}
+
+fn render_pingpong(r: &PingPongResult, interconnect: &str) -> String {
+    format!(
+        "# pingpong: {interconnect} GPU-controlled 1 KiB ping-pong (smoke experiment)\n\
+         {:24} {:>12}\n\
+         {:24} {:>12}\n\
+         {:24} {:>12}\n\
+         {:24} {:>12}\n",
+        "half round trip",
+        fmt_us(r.half_rtt),
+        "put time / iteration",
+        fmt_us(r.put_time),
+        "poll time / iteration",
+        fmt_us(r.poll_time),
+        "gpu instructions",
+        r.counters.instructions,
+    )
+}
+
+/// The metrics JSON for one experiment (`--metrics DIR`).
+///
+/// The `sim` section comes from a *representative run*: one serial
+/// [`representative_run`] simulation on the experiment's interconnect,
+/// whose full registry delta (counters, histograms, gauges across every
+/// layer) and half-RTT feed [`metrics::render`]. Because that run is its
+/// own deterministic simulation, the section is byte-identical across
+/// runs and `--jobs` widths; only the `runner` section (the pool
+/// self-profile passed in) is host wall-clock.
+pub fn metrics_report(id: &str, scale_name: &str, runner: &PoolStats) -> String {
+    let r = representative_run(id);
+    metrics::render(id, scale_name, &r.registry, r.half_rtt, runner)
+}
+
+/// The Chrome-trace JSON for one experiment (`--trace ID`), loadable in
+/// `chrome://tracing` or Perfetto. Traces one round trip of the fixed
+/// 1 KiB GPU-controlled ping-pong on the experiment's interconnect;
+/// hardware layers group into one process per node (`node0/gpu`,
+/// `node0/pcie`, ...). Deterministic — byte-identical across runs.
+pub fn trace_report(id: &str) -> String {
+    use tc_putget::{create_pair, Backend, Cluster, QueueLoc};
+    let backend = if experiment_uses_ib(id) {
+        Backend::Infiniband
+    } else {
+        Backend::Extoll
+    };
+    const LEN: u64 = 1024;
+    let cluster = Cluster::new(backend);
+    let tx0 = cluster.nodes[0].gpu.alloc(LEN, 256);
+    let rx1 = cluster.nodes[1].gpu.alloc(LEN, 256);
+    let rx0 = cluster.nodes[0].gpu.alloc(LEN, 256);
+    let tx1 = cluster.nodes[1].gpu.alloc(LEN, 256);
+    let (a0, a1) = create_pair(&cluster, tx0, rx1, LEN, QueueLoc::Host);
+    let (b0, b1) = create_pair(&cluster, rx0, tx1, LEN, QueueLoc::Host);
+    cluster.sim.trace_enable();
+    let gpu0 = cluster.nodes[0].gpu.clone();
+    let gpu1 = cluster.nodes[1].gpu.clone();
+    cluster.sim.spawn("ping", async move {
+        let t = gpu0.thread();
+        // On Infiniband the notify-put is write-with-immediate, so each
+        // receiver arms a slot up front (no-op on EXTOLL).
+        b0.arm_arrival(&t).await;
+        a0.put(&t, 0, 0, LEN as u32, true).await;
+        a0.quiet(&t).await.unwrap();
+        b0.wait_arrival(&t).await.unwrap();
+    });
+    cluster.sim.spawn("pong", async move {
+        let t = gpu1.thread();
+        a1.arm_arrival(&t).await;
+        a1.wait_arrival(&t).await.unwrap();
+        b1.put(&t, 0, 0, LEN as u32, true).await;
+        b1.quiet(&t).await.unwrap();
+    });
+    cluster.sim.run();
+    let events = cluster.sim.recorder().take_events();
+    tc_trace::chrome::to_chrome_json(&events)
+}
+
 /// Every experiment id accepted by the `reproduce` binary.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
+    "pingpong",
     "fig1a",
     "fig1b",
     "fig2",
@@ -466,6 +562,10 @@ pub const ALL_EXPERIMENTS: [&str; 18] = [
 /// calling this).
 pub fn plan(id: &str, scale: Scale) -> ExperimentPlan {
     match id {
+        "pingpong" => single_plan("pingpong", move || {
+            let r = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, scale.iters, scale.warmup);
+            render_pingpong(&r, "EXTOLL")
+        }),
         "fig1a" => plan_fig1a(scale),
         "fig1b" => plan_fig1b(scale),
         "fig2" => rate_plan(
@@ -555,8 +655,10 @@ pub fn run_experiment_with(pool: &Pool, id: &str, scale: Scale) -> String {
 
 /// Run many experiments as **one** flattened task list: the pool schedules
 /// every sweep point of every experiment, so a slow experiment cannot
-/// serialize the rest. Reports are returned in `ids` order.
-pub fn run_all(pool: &Pool, ids: &[&str], scale: Scale) -> Vec<String> {
+/// serialize the rest. Reports are returned in `ids` order, together with
+/// the pool's self-profile of the batch (host wall-clock; the reports
+/// themselves never depend on it).
+pub fn run_all(pool: &Pool, ids: &[&str], scale: Scale) -> (Vec<String>, PoolStats) {
     let mut tasks: Vec<Task> = Vec::new();
     let mut renders: Vec<Box<dyn FnOnce() -> String + Send>> = Vec::new();
     for id in ids {
@@ -566,8 +668,13 @@ pub fn run_all(pool: &Pool, ids: &[&str], scale: Scale) -> Vec<String> {
         tasks.extend(t);
         renders.push(render);
     }
-    pool.run_tasks(tasks);
-    renders.into_iter().map(|r| r()).collect()
+    let stats = pool.run_tasks(tasks);
+    (renders.into_iter().map(|r| r()).collect(), stats)
+}
+
+/// The `pingpong` smoke experiment.
+pub fn pingpong(scale: Scale) -> String {
+    run_experiment("pingpong", scale)
 }
 
 /// Fig. 1a — EXTOLL ping-pong latency.
@@ -693,6 +800,37 @@ mod tests {
         let r = verbs_instr_report();
         assert!(r.contains("ibv_post_send"));
         assert!(r.contains("442") && r.contains("283"));
+    }
+
+    #[test]
+    fn pingpong_report_summarizes_the_smoke_run() {
+        let r = pingpong(Scale::quick());
+        assert!(r.contains("half round trip") && r.contains("us"), "{r}");
+        assert!(r.contains("gpu instructions"), "{r}");
+    }
+
+    #[test]
+    fn metrics_report_validates_and_is_deterministic() {
+        let stats = PoolStats::default();
+        let a = metrics_report("pingpong", "quick", &stats);
+        metrics::validate(&a).expect("emitted metrics must pass the schema self-check");
+        let b = metrics_report("pingpong", "quick", &stats);
+        assert_eq!(a, b, "sim section must be byte-identical across runs");
+        assert!(a.contains("\"gpu0.instructions\""), "{a}");
+        assert!(a.contains("\"extoll0.wr_queue_depth\""), "{a}");
+        // The IB family maps to the verbs scenario.
+        let ib = metrics_report("table2", "quick", &stats);
+        metrics::validate(&ib).unwrap();
+        assert!(ib.contains("\"ib0.doorbells\""), "{ib}");
+    }
+
+    #[test]
+    fn trace_report_is_deterministic_and_grouped_per_node() {
+        let a = trace_report("pingpong");
+        assert_eq!(a, trace_report("pingpong"));
+        assert!(a.contains("\"node0/gpu\"") && a.contains("\"node1/"), "{a}");
+        let ib = trace_report("fig5");
+        assert!(ib.contains("\"node0/"), "{ib}");
     }
 
     #[test]

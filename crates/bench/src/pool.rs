@@ -14,11 +14,76 @@
 //! The workspace is intentionally zero-external-crate, so this is built on
 //! `std` only (`thread::scope` + `Mutex`/`AtomicUsize`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A boxed unit of schedulable work.
 pub type Task = Box<dyn FnOnce() + Send>;
+
+/// Runner self-profile of one [`Pool::run_tasks`] call (host wall-clock,
+/// **not** simulated time — simulation results never depend on these).
+///
+/// Queue wait is measured from the moment the batch is submitted to the
+/// moment a worker claims the task, so with a saturated pool it reflects
+/// how long work sat behind other tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolStats {
+    /// Worker threads the batch ran on.
+    pub jobs: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Wall-clock of the whole batch, nanoseconds.
+    pub wall_ns: u64,
+    /// Sum of per-task execution times, nanoseconds.
+    pub busy_ns: u64,
+    /// Sum of per-task queue waits, nanoseconds.
+    pub queue_wait_ns: u64,
+    /// Longest single task, nanoseconds.
+    pub max_task_ns: u64,
+}
+
+impl PoolStats {
+    /// Fraction of worker capacity (`jobs * wall`) spent executing tasks.
+    pub fn utilization(&self) -> f64 {
+        let capacity = (self.jobs as u64).saturating_mul(self.wall_ns);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / capacity as f64
+        }
+    }
+
+    /// Fold another batch into this one (wall-clock adds; batches that ran
+    /// sequentially sum, which is what the end-of-run summary wants).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.jobs = self.jobs.max(other.jobs);
+        self.tasks += other.tasks;
+        self.wall_ns += other.wall_ns;
+        self.busy_ns += other.busy_ns;
+        self.queue_wait_ns += other.queue_wait_ns;
+        self.max_task_ns = self.max_task_ns.max(other.max_task_ns);
+    }
+
+    /// The `--verbose` end-of-run summary block.
+    pub fn summary(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        format!(
+            "# runner: {} task(s) on {} job(s)\n\
+             #   wall       {:>10.1} ms\n\
+             #   busy       {:>10.1} ms (pool utilization {:.0}%)\n\
+             #   queue wait {:>10.1} ms total\n\
+             #   max task   {:>10.1} ms",
+            self.tasks,
+            self.jobs,
+            ms(self.wall_ns),
+            ms(self.busy_ns),
+            self.utilization() * 100.0,
+            ms(self.queue_wait_ns),
+            ms(self.max_task_ns),
+        )
+    }
+}
 
 /// A fixed-width job pool. `jobs == 1` degenerates to exact serial
 /// execution in input order (no threads are spawned at all), which is the
@@ -49,34 +114,58 @@ impl Pool {
         self.jobs
     }
 
-    /// Run every task to completion. Tasks are claimed in FIFO order;
-    /// with more than one worker the *completion* order is unspecified,
-    /// which is why tasks communicate results through their own slots
-    /// rather than through a shared accumulator.
+    /// Run every task to completion and return the batch's self-profile.
+    /// Tasks are claimed in FIFO order; with more than one worker the
+    /// *completion* order is unspecified, which is why tasks communicate
+    /// results through their own slots rather than through a shared
+    /// accumulator.
     ///
     /// A panicking task panics the calling thread once the scope closes
     /// (`std::thread::scope` re-raises worker panics).
-    pub fn run_tasks(&self, tasks: Vec<Task>) {
-        if self.jobs == 1 || tasks.len() <= 1 {
+    pub fn run_tasks(&self, tasks: Vec<Task>) -> PoolStats {
+        let n = tasks.len();
+        let t0 = Instant::now();
+        let busy = AtomicU64::new(0);
+        let wait = AtomicU64::new(0);
+        let max_task = AtomicU64::new(0);
+        let run_one = |t: Task| {
+            let claimed = t0.elapsed().as_nanos() as u64;
+            let started = Instant::now();
+            t();
+            let took = started.elapsed().as_nanos() as u64;
+            busy.fetch_add(took, Ordering::Relaxed);
+            wait.fetch_add(claimed, Ordering::Relaxed);
+            max_task.fetch_max(took, Ordering::Relaxed);
+        };
+        if self.jobs == 1 || n <= 1 {
             for t in tasks {
-                t();
+                run_one(t);
             }
-            return;
+        } else {
+            let workers = self.jobs.min(n);
+            let queue = Mutex::new(tasks.into_iter());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        // Hold the lock only while claiming, never while
+                        // running.
+                        let task = queue.lock().unwrap().next();
+                        match task {
+                            Some(t) => run_one(t),
+                            None => break,
+                        }
+                    });
+                }
+            });
         }
-        let workers = self.jobs.min(tasks.len());
-        let queue = Mutex::new(tasks.into_iter());
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    // Hold the lock only while claiming, never while running.
-                    let task = queue.lock().unwrap().next();
-                    match task {
-                        Some(t) => t(),
-                        None => break,
-                    }
-                });
-            }
-        });
+        PoolStats {
+            jobs: self.jobs.min(n.max(1)),
+            tasks: n,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            busy_ns: busy.into_inner(),
+            queue_wait_ns: wait.into_inner(),
+            max_task_ns: max_task.into_inner(),
+        }
     }
 
     /// Evaluate `f(0..n)` and return the results **in index order**,
@@ -157,5 +246,59 @@ mod tests {
     fn zero_jobs_clamps_to_one() {
         assert_eq!(Pool::new(0).jobs(), 1);
         assert!(Pool::auto().jobs() >= 1);
+    }
+
+    #[test]
+    fn run_tasks_profiles_the_batch() {
+        for jobs in [1, 4] {
+            let tasks: Vec<Task> = (0..6)
+                .map(|_| {
+                    Box::new(|| std::thread::sleep(std::time::Duration::from_millis(2))) as Task
+                })
+                .collect();
+            let stats = Pool::new(jobs).run_tasks(tasks);
+            assert_eq!(stats.tasks, 6);
+            assert_eq!(stats.jobs, jobs);
+            assert!(stats.wall_ns > 0);
+            // Six 2 ms sleeps: at least ~12 ms of busy time in any schedule.
+            assert!(stats.busy_ns >= 6 * 1_500_000, "busy {}", stats.busy_ns);
+            assert!(stats.max_task_ns >= 1_500_000);
+            assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_merge_sums_batches() {
+        let mut a = PoolStats {
+            jobs: 2,
+            tasks: 3,
+            wall_ns: 100,
+            busy_ns: 150,
+            queue_wait_ns: 10,
+            max_task_ns: 80,
+        };
+        let b = PoolStats {
+            jobs: 4,
+            tasks: 1,
+            wall_ns: 50,
+            busy_ns: 40,
+            queue_wait_ns: 5,
+            max_task_ns: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks, 4);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.wall_ns, 150);
+        assert_eq!(a.busy_ns, 190);
+        assert_eq!(a.max_task_ns, 80);
+        let s = a.summary();
+        assert!(s.contains("4 task(s)") && s.contains("utilization"), "{s}");
+    }
+
+    #[test]
+    fn empty_batch_has_zero_utilization() {
+        let stats = Pool::new(4).run_tasks(Vec::new());
+        assert_eq!(stats.tasks, 0);
+        assert_eq!(stats.utilization(), 0.0);
     }
 }

@@ -16,13 +16,18 @@ use crate::wr::{RmaCommand, WorkRequest, WrFlags};
 pub struct NotifConsumer {
     layout: NotifQueueLayout,
     rp: Cell<u64>,
+    /// Registry counter (`extoll{n}.notif_poll_spins`) bumped once per
+    /// probe of an empty queue head — each spin is a real memory round
+    /// trip for the poller.
+    poll_spins: tc_trace::Counter,
 }
 
 impl NotifConsumer {
-    fn new(layout: NotifQueueLayout) -> Self {
+    fn new(layout: NotifQueueLayout, poll_spins: tc_trace::Counter) -> Self {
         NotifConsumer {
             layout,
             rp: Cell::new(0),
+            poll_spins,
         }
     }
 
@@ -37,7 +42,11 @@ impl NotifConsumer {
         // rma_notification_get is a library call: queue bounds checks,
         // 128-bit decode, unit dispatch, loop bookkeeping.
         p.instr(40).await;
-        Notification::decode([w0, w1])
+        let n = Notification::decode([w0, w1]);
+        if n.is_none() {
+            self.poll_spins.inc();
+        }
+        n
     }
 
     /// Spin until a record is pending, then return it (still not freed).
@@ -169,9 +178,9 @@ impl ExtollNic {
             port,
             peer_node: Cell::new(if self.node() == 0 { 1 } else { 0 }),
             bar_page: self.bar_page(port),
-            requester: NotifConsumer::new(q.requester),
-            completer: NotifConsumer::new(q.completer),
-            responder: NotifConsumer::new(q.responder),
+            requester: NotifConsumer::new(q.requester, self.stats().notif_poll_spins.clone()),
+            completer: NotifConsumer::new(q.completer, self.stats().notif_poll_spins.clone()),
+            responder: NotifConsumer::new(q.responder, self.stats().notif_poll_spins.clone()),
         }
     }
 

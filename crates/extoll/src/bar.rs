@@ -6,6 +6,7 @@ use std::cell::{Cell, RefCell};
 
 use tc_desim::sync::Channel;
 use tc_mem::MmioDevice;
+use tc_trace::Gauge;
 
 use crate::wr::WorkRequest;
 
@@ -20,16 +21,32 @@ pub struct RequesterBar {
     wr_out: Channel<(u16, WorkRequest)>,
     posted: Cell<u64>,
     malformed: Cell<u64>,
+    /// Depth of the hardware WR FIFO towards the requester unit. The BAR
+    /// raises it on enqueue; the requester engine lowers it on dequeue.
+    wr_queue: Gauge,
 }
 
 impl RequesterBar {
     /// A BAR with `ports` requester pages, emitting descriptors on `wr_out`.
+    /// The WR-queue depth gauge is detached (use
+    /// [`RequesterBar::instrumented`] to register it).
     pub fn new(ports: u16, wr_out: Channel<(u16, WorkRequest)>) -> Self {
+        RequesterBar::instrumented(ports, wr_out, Gauge::detached())
+    }
+
+    /// [`RequesterBar::new`] with an explicit WR-queue depth gauge (a
+    /// registry handle such as `extoll0.wr_queue_depth`).
+    pub fn instrumented(
+        ports: u16,
+        wr_out: Channel<(u16, WorkRequest)>,
+        wr_queue: Gauge,
+    ) -> Self {
         RequesterBar {
             assembly: RefCell::new(vec![[None; 3]; ports as usize]),
             wr_out,
             posted: Cell::new(0),
             malformed: Cell::new(0),
+            wr_queue,
         }
     }
 
@@ -72,6 +89,7 @@ impl MmioDevice for RequesterBar {
                     // Hardware FIFO towards the requester unit (unbounded
                     // here; flow control is the requester-notification
                     // protocol).
+                    self.wr_queue.inc();
                     self.wr_out
                         .try_send((port as u16, wr))
                         .unwrap_or_else(|_| unreachable!("wr channel unbounded"));

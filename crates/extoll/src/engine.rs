@@ -8,7 +8,7 @@ use tc_desim::sync::Channel;
 use tc_desim::time::{self, Freq};
 use tc_desim::Sim;
 use tc_link::Port;
-use tc_trace::{Counter, Scope};
+use tc_trace::{Counter, Gauge, Scope};
 use tc_mem::{layout, Addr, Bus, Heap, RegionKind};
 use tc_pcie::{Endpoint, Pcie};
 
@@ -151,6 +151,12 @@ pub struct NicStats {
     pub velo_delivered: Counter,
     /// VELO messages dropped on mailbox overflow.
     pub velo_drops: Counter,
+    /// Spins of a notification-queue poll loop (each is a PCIe round trip
+    /// when the poller is the GPU — the cost behind Table I).
+    pub notif_poll_spins: Counter,
+    /// Depth of the hardware WR FIFO between the requester BAR and the
+    /// requester unit (current/high-water).
+    pub wr_queue_depth: Gauge,
 }
 
 impl NicStats {
@@ -163,6 +169,8 @@ impl NicStats {
             notif_overflows: scope.counter("notif_overflows"),
             velo_delivered: scope.counter("velo_delivered"),
             velo_drops: scope.counter("velo_drops"),
+            notif_poll_spins: scope.counter("notif_poll_spins"),
+            wr_queue_depth: scope.gauge("wr_queue_depth"),
         }
     }
 }
@@ -207,7 +215,12 @@ impl ExtollNic {
         notif_heap: &Heap,
     ) -> Self {
         let wr_ch: Channel<(u16, WorkRequest)> = Channel::new(sim, 0);
-        let bar = Rc::new(RequesterBar::new(cfg.ports, wr_ch.clone()));
+        let stats = NicStats::in_scope(&sim.registry().scope_named(&format!("extoll{node}")));
+        let bar = Rc::new(RequesterBar::instrumented(
+            cfg.ports,
+            wr_ch.clone(),
+            stats.wr_queue_depth.clone(),
+        ));
         let bar_base = layout::extoll_bar(node);
         bus.add_mmio(
             bar_base,
@@ -259,7 +272,7 @@ impl ExtollNic {
                 ports,
                 bar,
                 bar_base,
-                stats: NicStats::in_scope(&sim.registry().scope_named(&format!("extoll{node}"))),
+                stats,
                 velo_bar,
                 velo_mailboxes,
                 next_port: Cell::new(0),
@@ -408,6 +421,7 @@ impl ExtollNic {
                 let inner = &nic.inner;
                 let cyc = |n| inner.cfg.clock.cycles(n);
                 while let Some((port, wr)) = wr_ch.recv().await {
+                    inner.stats.wr_queue_depth.dec();
                     let rec = inner.sim.recorder();
                     if rec.on() {
                         rec.instant(

@@ -187,6 +187,45 @@ fn puts_on_one_port_arrive_in_order() {
 }
 
 #[test]
+fn wr_queue_gauge_and_poll_spin_counter_observe_a_put() {
+    let sim = Sim::new();
+    let (bus, n0, n1) = two_nodes(&sim);
+    let src = n0.host_heap.alloc(64, 64);
+    let dst = n1.host_heap.alloc(64, 64);
+    bus.write(src, &[7u8; 64]);
+    let src_nla = n0.nic.register_memory(src, 64);
+    let dst_nla = n1.nic.register_memory(dst, 64);
+    let p0 = n0.nic.open_port();
+    let p1 = n1.nic.open_port();
+    let cpu = n0.cpu.clone();
+    sim.spawn("put", async move {
+        p0.post_put(
+            &cpu,
+            p1.index(),
+            src_nla,
+            dst_nla,
+            64,
+            WrFlags {
+                notify_requester: true,
+                ..Default::default()
+            },
+        )
+        .await;
+        p0.requester.wait(&cpu).await;
+        p0.requester.free(&cpu).await;
+    });
+    sim.run();
+    let snap = sim.registry().snapshot();
+    // The wait loop spun on an empty requester queue at least once before
+    // the notification landed (one PCIe-latency round trip per spin).
+    assert!(snap.get("extoll0.notif_poll_spins") > 0);
+    // The BAR raised the WR FIFO depth and the requester engine drained it.
+    let g = snap.gauge("extoll0.wr_queue_depth").expect("gauge registered");
+    assert_eq!(g.current, 0);
+    assert!(g.high_water >= 1);
+}
+
+#[test]
 fn gpu_and_cpu_can_share_a_port_sequentially() {
     // The same port handle driven first by the CPU, then by the GPU — the
     // API code path is processor-agnostic.

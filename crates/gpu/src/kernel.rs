@@ -94,21 +94,50 @@ impl Gpu {
             sim.delay(launch_overhead).await;
             let pred = predecessor.clone();
             completion.wait_until(|| pred.get()).await;
+            // Execution-window baseline for the per-kernel histograms
+            // (`gpu{n}.kernel.*`): counters now vs. at completion.
+            let t_start = sim.now();
+            let c_start = gpu.counters().snapshot();
             let remaining = Rc::new(Cell::new(blocks));
             let body = Rc::new(body);
+            // Warp spans of this launch group on their own recorder track.
+            let track: Rc<str> = format!("gpu{}.{name}", gpu.node()).into();
+            let name = Rc::<str>::from(name);
             for b in 0..blocks {
                 let gpu2 = gpu.clone();
                 let remaining = remaining.clone();
                 let body = body.clone();
                 let done = done.clone();
                 let completion = completion.clone();
+                let track = track.clone();
+                let name = name.clone();
                 sim.spawn(&format!("kernel.{name}.b{b}"), async move {
                     // Residency: blocks beyond the device limit wait.
                     gpu2.resident_slots().acquire().await;
-                    body(b, gpu2.thread()).await;
+                    body(b, GpuThread::on_track(gpu2.clone(), track.clone())).await;
                     gpu2.resident_slots().release();
                     remaining.set(remaining.get() - 1);
                     if remaining.get() == 0 {
+                        let sim = gpu2.sim();
+                        let delta = gpu2.counters().snapshot().delta(&c_start);
+                        let m = gpu2.kernel_metrics();
+                        m.instructions.record(delta.instructions);
+                        m.mem_accesses.record(delta.mem_accesses);
+                        m.duration_ps.record(sim.now() - t_start);
+                        let rec = sim.recorder();
+                        if rec.on() {
+                            rec.span(
+                                t_start,
+                                sim.now(),
+                                "gpu",
+                                track.to_string(),
+                                format!("kernel.{name}"),
+                                vec![
+                                    ("blocks", (blocks as u64).into()),
+                                    ("instructions", delta.instructions.into()),
+                                ],
+                            );
+                        }
                         done.set(true);
                         completion.notify_all();
                     }
@@ -234,6 +263,30 @@ mod tests {
         });
         sim.run();
         assert_eq!(sim.live_processes(), 0);
+    }
+
+    #[test]
+    fn kernel_completion_records_instruction_mix_histograms() {
+        let (sim, _bus, gpu) = test_gpu();
+        let stream = gpu.stream();
+        let g = gpu.clone();
+        sim.spawn("host", async move {
+            let k = g.launch(&stream, "mix", 4, |_b, t| async move { t.instr(25).await });
+            k.wait().await;
+            let k2 = g.launch(&stream, "mix2", 1, |_b, t| async move { t.instr(7).await });
+            k2.wait().await;
+        });
+        sim.run();
+        let snap = sim.registry().snapshot();
+        let h = snap
+            .histogram("gpu0.kernel.instructions")
+            .expect("histogram registered");
+        assert_eq!(h.count, 2, "one sample per launch");
+        assert_eq!(h.sum, 4 * 25 + 7);
+        assert_eq!(h.max, 100);
+        let d = snap.histogram("gpu0.kernel.duration_ps").unwrap();
+        assert_eq!(d.count, 2);
+        assert!(d.max > 0);
     }
 
     #[test]

@@ -40,8 +40,21 @@ use std::rc::Rc;
 use tc_desim::Sim;
 use tc_mem::{layout, Addr, Bus, Heap, RegionKind, SparseMem};
 use tc_pcie::{Endpoint, Pcie};
+use tc_trace::Histogram;
 
 use l2::L2Model;
+
+/// Per-kernel-launch distributions, recorded at kernel completion under
+/// `gpu{node}.kernel.*`. Each sample is one launch; the instruction-mix
+/// values are deltas of the device-wide counters across the kernel's
+/// execution window (concurrent kernels on other streams overlap into each
+/// other's windows — the histograms characterise workloads, they are not
+/// paper-facing counters).
+pub(crate) struct KernelMetrics {
+    pub instructions: Histogram,
+    pub mem_accesses: Histogram,
+    pub duration_ps: Histogram,
+}
 
 /// One GPU: device memory, L2, PCIe endpoint, counters, kernel scheduler.
 #[derive(Clone)]
@@ -58,6 +71,7 @@ struct GpuInner {
     heap: Heap,
     l2: L2Model,
     counters: Rc<GpuCounters>,
+    kernel_metrics: KernelMetrics,
     resident: tc_desim::sync::Semaphore,
     /// The single store path to PCIe: uncached stores from *all* threads
     /// drain through it one at a time, which throttles many-block posting
@@ -88,6 +102,14 @@ impl Gpu {
                 heap: Heap::new(layout::gpu_dram(node), cfg.dram_bytes),
                 l2: L2Model::new(cfg.l2_bytes, cfg.l2_line_bytes),
                 counters: Rc::new(GpuCounters::in_scope(&scope)),
+                kernel_metrics: {
+                    let k = scope.scope("kernel");
+                    KernelMetrics {
+                        instructions: k.histogram("instructions"),
+                        mem_accesses: k.histogram("mem_accesses"),
+                        duration_ps: k.histogram("duration_ps"),
+                    }
+                },
                 resident,
                 store_path: tc_pcie::Link::new(sim.clone()),
                 cfg,
@@ -137,6 +159,10 @@ impl Gpu {
 
     pub(crate) fn resident_slots(&self) -> &tc_desim::sync::Semaphore {
         &self.inner.resident
+    }
+
+    pub(crate) fn kernel_metrics(&self) -> &KernelMetrics {
+        &self.inner.kernel_metrics
     }
 
     pub(crate) fn store_path(&self) -> &tc_pcie::Link {

@@ -6,6 +6,8 @@
 //! Rust `async` control flow; every operation charges simulated time *and*
 //! the `nvprof`-style counters, routed by the kind of memory it touches.
 
+use std::rc::Rc;
+
 use tc_mem::{Addr, RegionKind};
 
 use crate::counters::GpuCounters;
@@ -18,11 +20,20 @@ const SYSMEM_TX_BYTES: u64 = 32;
 #[derive(Clone)]
 pub struct GpuThread {
     gpu: Gpu,
+    /// Recorder track warp spans land on. Ad-hoc threads use
+    /// `gpu{node}.warp`; threads of a launched kernel use
+    /// `gpu{node}.{kernel}` so each launch groups as its own timeline row.
+    track: Rc<str>,
 }
 
 impl GpuThread {
     pub(crate) fn new(gpu: Gpu) -> Self {
-        GpuThread { gpu }
+        let track = format!("gpu{}.warp", gpu.node()).into();
+        GpuThread { gpu, track }
+    }
+
+    pub(crate) fn on_track(gpu: Gpu, track: Rc<str>) -> Self {
+        GpuThread { gpu, track }
     }
 
     /// The GPU this thread runs on.
@@ -102,7 +113,7 @@ impl GpuThread {
                 t0,
                 gpu.sim().now(),
                 "gpu",
-                format!("gpu{}.warp", gpu.node()),
+                self.track.to_string(),
                 "warp_ld",
                 vec![
                     ("addr", addr.into()),
@@ -145,7 +156,7 @@ impl GpuThread {
                 t0,
                 gpu.sim().now(),
                 "gpu",
-                format!("gpu{}.warp", gpu.node()),
+                self.track.to_string(),
                 "warp_st",
                 vec![
                     ("addr", addr.into()),

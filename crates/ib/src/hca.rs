@@ -10,7 +10,7 @@ use tc_desim::Sim;
 use tc_link::Port;
 use tc_mem::{layout, Addr, Bus, MmioDevice, RegionKind};
 use tc_pcie::{Endpoint, Pcie};
-use tc_trace::{Counter, Scope};
+use tc_trace::{Counter, Gauge, Scope};
 
 use crate::mr::MrTable;
 use crate::qp::{Cq, Qp};
@@ -179,6 +179,13 @@ pub struct HcaStats {
     pub rnr_events: Counter,
     /// Doorbells that pointed at stamped/stale WQEs.
     pub stale_wqe_fetches: Counter,
+    /// Spins of a CQ poll loop that found no valid CQE (each spin is a
+    /// memory probe — a PCIe round trip when the poller sits across the
+    /// bus from the CQ buffer).
+    pub cq_poll_spins: Counter,
+    /// WQEs announced by doorbells but not yet executed by the SQ engine
+    /// (the hardware send-queue backlog).
+    pub sq_backlog: Gauge,
 }
 
 impl HcaStats {
@@ -193,6 +200,8 @@ impl HcaStats {
             remote_access_errors: scope.counter("remote_access_errors"),
             rnr_events: scope.counter("rnr_events"),
             stale_wqe_fetches: scope.counter("stale_wqe_fetches"),
+            cq_poll_spins: scope.counter("cq_poll_spins"),
+            sq_backlog: scope.gauge("sq_backlog"),
         }
     }
 
@@ -412,8 +421,11 @@ impl IbHca {
                 while let Some((qpn, new_pi)) = db_ch.recv().await {
                     HcaStats::bump(&hca.inner.stats.doorbells);
                     let qp = hca.qp(qpn);
+                    let backlog = (new_pi as u64).saturating_sub(qp.sq_head.get());
+                    hca.inner.stats.sq_backlog.add(backlog);
                     while qp.sq_head.get() < new_pi as u64 {
                         hca.execute_one(&qp, &tx).await;
+                        hca.inner.stats.sq_backlog.dec();
                     }
                 }
             });

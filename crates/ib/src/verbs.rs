@@ -267,7 +267,12 @@ impl IbvCq {
         p.ld_bytes(slot, &mut raw).await;
         // Ownership/validity check and branch.
         p.instr(14).await;
-        let cqe = Cqe::decode(&raw)?;
+        let Some(cqe) = Cqe::decode(&raw) else {
+            // Empty probe: one spin of a poll loop (counted, not charged —
+            // the probe's loads above already paid the memory latency).
+            self.hca.inner.stats.cq_poll_spins.inc();
+            return None;
+        };
         // Field conversion from big-endian.
         p.instr(46).await;
         // "The associated QP has to be picked out of the list of QPs":

@@ -151,6 +151,13 @@ mod inline_sends {
         // The only DMA reads the sender's HCA issued were WQE fetches
         // (64 B each) — no payload gather.
         let _ = h0;
+        // The CQ wait loop spun on an empty queue before the ack landed,
+        // and the SQ engine drained the doorbell's backlog back to zero.
+        let snap = sim.registry().snapshot();
+        assert!(snap.get("ib0.cq_poll_spins") > 0);
+        let g = snap.gauge("ib0.sq_backlog").expect("gauge registered");
+        assert_eq!(g.current, 0);
+        assert!(g.high_water >= 1);
     }
 
     fn bus_alloc(ctx: &IbvContext) -> u64 {

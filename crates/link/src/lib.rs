@@ -180,12 +180,38 @@ impl<T: 'static> Port<T> {
         let tx_done = start + ser;
         me.tx_busy_until.set(tx_done);
         inner.sim.delay(tx_done - now).await;
+        let rec = inner.sim.recorder().clone();
+        if rec.on() {
+            // The span starts when the TX engine begins clocking the frame
+            // out, which may be later than the caller's arrival if the
+            // serializer was still busy with an earlier frame.
+            rec.span(
+                start,
+                tx_done,
+                "link",
+                format!("fabric.port{}.tx", self.side),
+                "serialize",
+                vec![("bytes", payload_bytes.into()), ("dst", (dst as u64).into())],
+            );
+        }
         // Propagation: enqueue at the destination after `latency`.
         let rx = inner.ports[dst].rx.clone();
         let sim = inner.sim.clone();
         let lat = inner.cfg.latency;
+        let src = self.side;
         inner.sim.spawn("fabric.prop", async move {
+            let t0 = sim.now();
             sim.delay(lat).await;
+            if rec.on() {
+                rec.span(
+                    t0,
+                    sim.now(),
+                    "link",
+                    format!("fabric.port{dst}.rx"),
+                    "deserialize",
+                    vec![("bytes", payload_bytes.into()), ("src", (src as u64).into())],
+                );
+            }
             rx.send(frame).await;
         });
     }
@@ -399,6 +425,34 @@ mod tests {
         sim.run();
         let d = done.borrow();
         assert_eq!(d[0], d[1], "independent TX links must not serialize");
+    }
+
+    #[test]
+    fn tracing_records_serialize_and_deserialize_spans() {
+        let sim = Sim::new();
+        sim.trace_enable();
+        let cable: Cable<u64> = Cable::new(&sim, cfg());
+        let tx = cable.port(0);
+        let rx = cable.port(1);
+        sim.spawn("tx", async move { tx.send(1, 100).await });
+        sim.spawn("rx", async move {
+            rx.recv().await.unwrap();
+        });
+        sim.run();
+        let events = sim.recorder().take_events();
+        let ser: Vec<_> = events.iter().filter(|e| e.name == "serialize").collect();
+        let des: Vec<_> = events.iter().filter(|e| e.name == "deserialize").collect();
+        assert_eq!(ser.len(), 1);
+        assert_eq!(des.len(), 1);
+        assert_eq!(ser[0].layer, "link");
+        assert_eq!(ser[0].track, "fabric.port0.tx");
+        assert_eq!(ser[0].phase, crate::tests::span_of(ns(100)));
+        assert_eq!(des[0].track, "fabric.port1.rx");
+        assert_eq!(des[0].phase, crate::tests::span_of(ns(400)));
+    }
+
+    fn span_of(dur: Time) -> tc_trace::Phase {
+        tc_trace::Phase::Span { dur }
     }
 
     #[test]

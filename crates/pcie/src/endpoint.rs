@@ -83,6 +83,9 @@ impl Endpoint {
         let wire = self.cfg.wire_time(data.len() as u64, self.cfg.dma_bw);
         let issued = self.link.reserve(wire);
         let deliver_at = issued + self.cfg.posted_write_lat;
+        self.stats
+            .mmio_write_ps
+            .record(deliver_at - self.sim.now());
         let bus = self.bus.clone();
         let sim = self.sim.clone();
         // Delivery happens asynchronously; `reserve` above hands out
@@ -107,6 +110,7 @@ impl Endpoint {
         let now = self.sim.now();
         self.sim.delay(end - now).await;
         self.bus.read(addr, buf);
+        self.stats.np_read_ps.record(self.sim.now() - now);
         let rec = self.sim.recorder();
         if rec.on() {
             rec.span(
@@ -143,8 +147,11 @@ impl Endpoint {
             self.cfg.dma_time(len)
         };
         let t0 = self.sim.now();
+        self.stats.dma_in_flight.inc();
         self.link.transfer(dur).await;
+        self.stats.dma_in_flight.dec();
         self.bus.read(addr, buf);
+        self.stats.dma_read_ps.record(self.sim.now() - t0);
         let rec = self.sim.recorder();
         if rec.on() {
             rec.span(
@@ -176,8 +183,11 @@ impl Endpoint {
             self.cfg.dma_time(len)
         };
         let t0 = self.sim.now();
+        self.stats.dma_in_flight.inc();
         self.link.transfer(dur).await;
+        self.stats.dma_in_flight.dec();
         self.bus.write(addr, data);
+        self.stats.dma_write_ps.record(self.sim.now() - t0);
         let rec = self.sim.recorder();
         if rec.on() {
             rec.span(
@@ -326,6 +336,33 @@ mod tests {
             p2p_t.get(),
             host_t.get()
         );
+    }
+
+    #[test]
+    fn latency_histograms_and_inflight_gauge_track_traffic() {
+        let (sim, bus, pcie) = setup();
+        bus.write_u64(layout::host_dram(0), 7);
+        let ep = pcie.endpoint("nic");
+        sim.spawn("io", async move {
+            let _ = ep.read_u64(layout::host_dram(0)).await;
+            ep.posted_write(layout::host_dram(0) + 64, vec![1u8; 8]).await;
+            let mut buf = vec![0u8; 4096];
+            ep.dma_read_bulk(layout::host_dram(0), &mut buf).await;
+            ep.dma_write_bulk(layout::host_dram(0), &buf).await;
+        });
+        sim.run();
+        let s = pcie.stats();
+        assert_eq!(s.np_read_ps.count(), 1);
+        assert!(s.np_read_ps.max() >= ns(650));
+        assert_eq!(s.mmio_write_ps.count(), 1);
+        assert_eq!(s.dma_read_ps.count(), 1);
+        assert_eq!(s.dma_write_ps.count(), 1);
+        assert_eq!(s.dma_in_flight.get(), 0);
+        assert_eq!(s.dma_in_flight.high_water(), 1);
+        // The registry sees the same cells as the typed view.
+        let snap = sim.registry().snapshot();
+        assert_eq!(snap.histogram("pcie0.dma_read_ps").unwrap().count, 1);
+        assert_eq!(snap.gauge("pcie0.dma_in_flight").unwrap().high_water, 1);
     }
 
     #[test]

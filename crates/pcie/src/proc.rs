@@ -13,6 +13,7 @@ use std::rc::Rc;
 use tc_desim::time::{self, Time};
 use tc_desim::Sim;
 use tc_mem::Addr;
+use tc_trace::Counter;
 
 use crate::endpoint::Endpoint;
 
@@ -93,16 +94,29 @@ pub struct CpuThread {
     cfg: Rc<CpuConfig>,
     endpoint: Endpoint,
     node: usize,
+    /// Registry counters under `cpu{node}` — the CPU-side mirror of the
+    /// GPU's load/store accounting, so Table I/II-style comparisons can
+    /// read both processors from one snapshot. Name-interning makes every
+    /// `CpuThread` of a node share the same cells.
+    loads: Counter,
+    load_bytes: Counter,
+    stores: Counter,
+    store_bytes: Counter,
 }
 
 impl CpuThread {
     /// A CPU thread on `node` attached through `endpoint` (the root port).
     pub fn new(sim: Sim, node: usize, cfg: CpuConfig, endpoint: Endpoint) -> Self {
+        let scope = sim.registry().scope_named(&format!("cpu{node}"));
         CpuThread {
-            sim,
             cfg: Rc::new(cfg),
             endpoint,
             node,
+            loads: scope.counter("loads"),
+            load_bytes: scope.counter("load_bytes"),
+            stores: scope.counter("stores"),
+            store_bytes: scope.counter("store_bytes"),
+            sim,
         }
     }
 
@@ -124,6 +138,8 @@ impl CpuThread {
     }
 
     async fn load(&self, addr: Addr, buf: &mut [u8]) {
+        self.loads.inc();
+        self.load_bytes.add(buf.len() as u64);
         if self.is_local_dram(addr) {
             self.sim.delay(self.cfg.dram).await;
             self.endpoint.bus().read(addr, buf);
@@ -134,6 +150,8 @@ impl CpuThread {
     }
 
     async fn store(&self, addr: Addr, data: &[u8]) {
+        self.stores.inc();
+        self.store_bytes.add(data.len() as u64);
         if self.is_local_dram(addr) {
             self.sim.delay(self.cfg.cached).await;
             self.endpoint.bus().write(addr, data);
@@ -187,6 +205,8 @@ impl Processor for CpuThread {
 
     async fn ld_state(&self, addr: Addr) -> u64 {
         // Hot driver state lives in the L1.
+        self.loads.inc();
+        self.load_bytes.add(8);
         self.sim.delay(self.cfg.cached).await;
         let mut b = [0u8; 8];
         self.endpoint.bus().read(addr, &mut b);
@@ -194,6 +214,8 @@ impl Processor for CpuThread {
     }
 
     async fn st_state(&self, addr: Addr, v: u64) {
+        self.stores.inc();
+        self.store_bytes.add(8);
         self.sim.delay(self.cfg.cached).await;
         self.endpoint.bus().write(addr, &v.to_le_bytes());
     }
@@ -256,6 +278,23 @@ mod tests {
             assert!(h.now() - t0 >= time::ns(600));
         });
         sim.run();
+    }
+
+    #[test]
+    fn cpu_loads_and_stores_are_counted_in_the_registry() {
+        let (sim, _bus, cpu) = setup();
+        sim.spawn("cpu", async move {
+            cpu.st_u64(layout::host_dram(0), 1).await;
+            let _ = cpu.ld_u64(layout::host_dram(0)).await;
+            let _ = cpu.ld_u32(layout::host_dram(0) + 8).await;
+            cpu.st_state(layout::host_dram(0) + 16, 2).await;
+        });
+        sim.run();
+        let s = sim.registry().snapshot();
+        assert_eq!(s.get("cpu0.loads"), 2);
+        assert_eq!(s.get("cpu0.load_bytes"), 12);
+        assert_eq!(s.get("cpu0.stores"), 2);
+        assert_eq!(s.get("cpu0.store_bytes"), 16);
     }
 
     #[test]

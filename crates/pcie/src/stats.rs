@@ -1,6 +1,6 @@
 //! PCIe traffic statistics.
 
-use tc_trace::{Counter, Scope};
+use tc_trace::{Counter, Gauge, Histogram, Scope};
 
 /// Fabric-wide transaction counters (data-plane truth, used by tests and to
 /// cross-check the GPU performance-counter model).
@@ -32,6 +32,16 @@ pub struct PcieStats {
     pub dma_write_bytes: Counter,
     /// Bulk DMA writes that targeted a GPU BAR (peer-to-peer).
     pub p2p_writes: Counter,
+    /// Non-posted read round-trip latency, picoseconds.
+    pub np_read_ps: Histogram,
+    /// Posted-write issue-to-delivery latency, picoseconds.
+    pub mmio_write_ps: Histogram,
+    /// Bulk DMA read duration, picoseconds.
+    pub dma_read_ps: Histogram,
+    /// Bulk DMA write duration, picoseconds.
+    pub dma_write_ps: Histogram,
+    /// Bulk DMA operations currently on the wire (current/high-water).
+    pub dma_in_flight: Gauge,
 }
 
 impl PcieStats {
@@ -48,10 +58,15 @@ impl PcieStats {
             dma_writes: scope.counter("dma_writes"),
             dma_write_bytes: scope.counter("dma_write_bytes"),
             p2p_writes: scope.counter("p2p_writes"),
+            np_read_ps: scope.histogram("np_read_ps"),
+            mmio_write_ps: scope.histogram("mmio_write_ps"),
+            dma_read_ps: scope.histogram("dma_read_ps"),
+            dma_write_ps: scope.histogram("dma_write_ps"),
+            dma_in_flight: scope.gauge("dma_in_flight"),
         }
     }
 
-    /// Reset every counter to zero.
+    /// Reset every metric to zero.
     pub fn reset(&self) {
         self.reads.set(0);
         self.read_bytes.set(0);
@@ -63,6 +78,11 @@ impl PcieStats {
         self.dma_writes.set(0);
         self.dma_write_bytes.set(0);
         self.p2p_writes.set(0);
+        self.np_read_ps.reset();
+        self.mmio_write_ps.reset();
+        self.dma_read_ps.reset();
+        self.dma_write_ps.reset();
+        self.dma_in_flight.reset();
     }
 
     pub(crate) fn bump(c: &Counter, by: u64) {

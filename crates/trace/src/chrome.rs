@@ -1,9 +1,13 @@
 //! Chrome trace-event JSON export.
 //!
 //! Serializes recorded events into the [Trace Event Format] consumed by
-//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`. Layers map
-//! to *processes* and tracks to *threads*, so a transfer's journey reads
-//! top-to-bottom: gpu → pcie → nic → desim.
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`. Events are
+//! grouped into *processes* per node and layer (`node0/gpu`, `node0/pcie`,
+//! `node1/nic`, …, derived from the instance index in the track name) and
+//! tracks become *threads*, so a multi-node trace reads node by node and a
+//! transfer's journey within a node reads top-to-bottom: gpu → pcie → nic.
+//! Node-less tracks (the DES executor, the cable) keep their bare layer
+//! name as the process.
 //!
 //! The output is fully deterministic: pids/tids are assigned in order of
 //! first appearance (the simulator's event order is deterministic),
@@ -64,15 +68,31 @@ fn args_obj(out: &mut String, args: &[(&'static str, ArgVal)]) {
     out.push('}');
 }
 
+/// The process an event belongs to: `node<N>/<layer>` when the track's
+/// first dotted segment carries an instance index (`gpu0.warp` → node 0,
+/// `pcie1.nic0` → node 1, `extoll0.requester` → node 0), else the bare
+/// layer name (`desim`, `link`, `user`).
+fn process_key(layer: &str, track: &str) -> String {
+    let seg = track.split('.').next().unwrap_or("");
+    if let Some(i) = seg.find(|c: char| c.is_ascii_digit()) {
+        if i > 0 && seg[i..].bytes().all(|b| b.is_ascii_digit()) {
+            return format!("node{}/{layer}", &seg[i..]);
+        }
+    }
+    layer.to_string()
+}
+
 /// Serialize `events` as a Chrome trace-event JSON document.
 ///
-/// Each distinct `layer` becomes a process (with a `process_name` metadata
-/// record) and each distinct `(layer, track)` a thread within it (with a
-/// `thread_name` record), both numbered by first appearance. Spans become
-/// `ph:"X"` complete events, instants `ph:"i"` thread-scoped instants.
+/// Each distinct node/layer pair becomes a process (with a `process_name`
+/// metadata record naming it `node0/gpu`, `node1/nic`, …) and each
+/// distinct `(process, track)` a thread within it (with a `thread_name`
+/// record), both numbered by first appearance. Spans become `ph:"X"`
+/// complete events, instants `ph:"i"` thread-scoped instants.
 pub fn to_chrome_json(events: &[TraceEvent]) -> String {
-    // pid per layer, tid per (layer, track) — first-appearance order.
-    let mut pids: HashMap<&'static str, u64> = HashMap::new();
+    // pid per node/layer process, tid per (process, track) —
+    // first-appearance order.
+    let mut pids: HashMap<String, u64> = HashMap::new();
     let mut tids: HashMap<(u64, &str), u64> = HashMap::new();
     let mut meta = String::new();
     let mut next_tid: HashMap<u64, u64> = HashMap::new();
@@ -80,11 +100,12 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
 
     for ev in events {
         let npid = pids.len() as u64 + 1;
-        let pid = *pids.entry(ev.layer).or_insert_with(|| {
+        let key = process_key(ev.layer, &ev.track);
+        let pid = *pids.entry(key.clone()).or_insert_with(|| {
             meta.push_str("  {\"ph\":\"M\",\"pid\":");
             let _ = write!(meta, "{npid}");
             meta.push_str(",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":");
-            escape(&mut meta, ev.layer);
+            escape(&mut meta, &key);
             meta.push_str("}},\n");
             npid
         });
@@ -180,9 +201,9 @@ mod tests {
         let j = to_chrome_json(&sample());
         assert!(j.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"));
         assert!(j.ends_with("]}\n"));
-        // Process/thread metadata for both layers.
-        assert!(j.contains("\"process_name\",\"args\":{\"name\":\"pcie\"}"));
-        assert!(j.contains("\"process_name\",\"args\":{\"name\":\"gpu\"}"));
+        // Per-node process metadata for both layers.
+        assert!(j.contains("\"process_name\",\"args\":{\"name\":\"node0/pcie\"}"));
+        assert!(j.contains("\"process_name\",\"args\":{\"name\":\"node0/gpu\"}"));
         assert!(j.contains("\"thread_name\",\"args\":{\"name\":\"gpu0.warp\"}"));
         // Span with exact µs timestamps: 1.5 µs start, 2 µs duration.
         assert!(j.contains("\"ts\":1.500000,\"dur\":2.000000,\"name\":\"dma_read\""));
@@ -192,6 +213,30 @@ mod tests {
         assert!(j.contains("\"args\":{\"addr\":\"0x10\"}"));
         // No trailing comma before the closing bracket.
         assert!(!j.contains(",\n]"));
+    }
+
+    #[test]
+    fn process_keys_group_by_node_and_fall_back_to_layer() {
+        assert_eq!(process_key("gpu", "gpu0.warp"), "node0/gpu");
+        assert_eq!(process_key("pcie", "pcie1.nic0"), "node1/pcie");
+        assert_eq!(process_key("nic", "extoll0.requester"), "node0/nic");
+        assert_eq!(process_key("nic", "ib12.sq"), "node12/nic");
+        // No instance index: the layer stays the process.
+        assert_eq!(process_key("desim", "exec"), "desim");
+        assert_eq!(process_key("link", "fabric.cable"), "link");
+        // A bare number is not an instance-indexed component name.
+        assert_eq!(process_key("user", "0"), "user");
+    }
+
+    #[test]
+    fn two_nodes_become_two_processes() {
+        let r = Recorder::new();
+        r.enable();
+        r.instant(1, "gpu", "gpu0.warp", "ld", vec![]);
+        r.instant(2, "gpu", "gpu1.warp", "ld", vec![]);
+        let j = to_chrome_json(&r.take_events());
+        assert!(j.contains("\"name\":\"node0/gpu\""));
+        assert!(j.contains("\"name\":\"node1/gpu\""));
     }
 
     #[test]

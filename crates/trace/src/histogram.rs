@@ -1,0 +1,298 @@
+//! Fixed log2-bucket latency/size histograms.
+//!
+//! The paper's argument rests on *distributions*, not just totals: latency
+//! spread across message sizes, per-kernel instruction mixes, DMA transfer
+//! times. A [`Histogram`] buckets `u64` samples by their bit length (bucket
+//! 0 holds the value 0; bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i)`),
+//! which makes recording allocation-free and O(1) and keeps snapshots
+//! byte-for-byte deterministic. Percentiles are reported as the upper bound
+//! of the bucket that crosses the requested rank, clamped to the true
+//! maximum — exact enough for trend tracking at a 2× resolution.
+//!
+//! Like [`crate::Counter`], a `Histogram` is a cheap `Rc` handle: a
+//! [`crate::Registry`] and every typed stats view built over it share the
+//! same cells, and `Histogram::default()` is *detached* (no registry).
+//! Recording only mutates plain cells — it never allocates, awaits or
+//! schedules — so instrumented simulations stay bit-identical whether the
+//! data is exported or not.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Number of log2 buckets: one for 0, one per bit length 1..=64.
+pub const BUCKETS: usize = 65;
+
+/// Inclusive upper bound of bucket `i` (0, 1, 3, 7, …, `u64::MAX`).
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Bucket index of a sample: 0 for 0, else its bit length.
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+pub(crate) struct HistCell {
+    count: Cell<u64>,
+    sum: Cell<u64>,
+    max: Cell<u64>,
+    buckets: [Cell<u64>; BUCKETS],
+}
+
+impl HistCell {
+    pub(crate) fn new() -> Self {
+        HistCell {
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            max: Cell::new(0),
+            buckets: std::array::from_fn(|_| Cell::new(0)),
+        }
+    }
+}
+
+/// A handle to one named log2-bucket histogram.
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Rc<HistCell>,
+}
+
+impl Histogram {
+    /// A detached histogram, not visible in any registry.
+    pub fn detached() -> Self {
+        Histogram {
+            cell: Rc::new(HistCell::new()),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Rc<HistCell>) -> Self {
+        Histogram { cell }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.cell;
+        c.count.set(c.count.get() + 1);
+        c.sum.set(c.sum.get().saturating_add(v));
+        if v > c.max.get() {
+            c.max.set(v);
+        }
+        let b = &c.buckets[bucket_index(v)];
+        b.set(b.get() + 1);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.cell.count.get()
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.cell.sum.get()
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.cell.max.get()
+    }
+
+    /// Capture the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets: self.cell.buckets.iter().map(Cell::get).collect(),
+        }
+    }
+
+    /// Zero all buckets, the count, sum and max.
+    pub fn reset(&self) {
+        self.cell.count.set(0);
+        self.cell.sum.set(0);
+        self.cell.max.set(0);
+        for b in &self.cell.buckets {
+            b.set(0);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::detached()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, sum={}, max={})",
+            self.count(),
+            self.sum(),
+            self.max()
+        )
+    }
+}
+
+/// The state of one histogram at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (saturating).
+    pub sum: u64,
+    /// Largest sample seen since the last reset (a high-water mark: a
+    /// [`HistogramSnapshot::delta`] keeps the later snapshot's max).
+    pub max: u64,
+    /// Per-bucket sample counts, `BUCKETS` entries.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-quantile (`0.0..=1.0`), reported as the upper bound of the
+    /// bucket whose cumulative count crosses the rank, clamped to `max`.
+    /// 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (log2-bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile (log2-bucket resolution).
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile (log2-bucket resolution).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Per-field difference `self - earlier` (saturating). `max` is kept
+    /// from `self`: it is a high-water mark since the last reset, not a
+    /// windowed quantity.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_by_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let h = Histogram::detached();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.max(), 100);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[7], 1); // 100 is 7 bits
+    }
+
+    #[test]
+    fn percentiles_use_bucket_bounds_clamped_to_max() {
+        let h = Histogram::detached();
+        for _ in 0..99 {
+            h.record(10); // bucket 4, bound 15
+        }
+        h.record(1000); // bucket 10, bound 1023
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 15);
+        assert_eq!(s.p95(), 15);
+        // The single outlier sits at rank 100; p99 needs rank 99.
+        assert_eq!(s.p99(), 15);
+        assert_eq!(s.percentile(1.0), 1000); // clamped to true max
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::detached().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counts_and_keeps_later_max() {
+        let h = Histogram::detached();
+        h.record(7);
+        let s0 = h.snapshot();
+        h.record(300);
+        h.record(2);
+        let d = h.snapshot().delta(&s0);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 302);
+        assert_eq!(d.max, 300);
+        assert_eq!(d.buckets[3], 0); // the pre-window sample is gone
+        assert_eq!(d.buckets[2], 1);
+        assert_eq!(d.buckets[9], 1);
+    }
+
+    #[test]
+    fn clones_share_cells() {
+        let a = Histogram::detached();
+        let b = a.clone();
+        b.record(5);
+        assert_eq!(a.count(), 1);
+    }
+}

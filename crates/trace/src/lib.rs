@@ -7,11 +7,13 @@
 //! makes that cross-layer view first-class instead of scattered across
 //! hand-rolled per-crate stats structs:
 //!
-//! * [`Registry`] — named, hierarchical counters (`pcie0.dma_reads`,
+//! * [`Registry`] — named, hierarchical metrics (`pcie0.dma_reads`,
 //!   `gpu0.l2.read_hits`, …) with one shared snapshot/delta/reset
-//!   implementation. The legacy typed stats structs (`PcieStats`,
-//!   `GpuCounters`, `NicStats`, `HcaStats`) are thin views whose fields are
-//!   [`Counter`] handles into a registry.
+//!   implementation and three metric kinds: monotone [`Counter`]s,
+//!   log2-bucket [`Histogram`]s (p50/p95/p99/max) and current/high-water
+//!   [`Gauge`]s (queue depths, in-flight operations). The legacy typed
+//!   stats structs (`PcieStats`, `GpuCounters`, `NicStats`, `HcaStats`)
+//!   are thin views whose fields are handles into a registry.
 //! * [`Recorder`] — a structured event recorder capturing timestamped
 //!   spans and instants from every layer (DES executor, PCIe, GPU, NIC),
 //!   exportable as Chrome trace-event JSON ([`chrome::to_chrome_json`])
@@ -27,10 +29,14 @@
 
 pub mod chrome;
 pub mod counter;
+pub mod gauge;
+pub mod histogram;
 pub mod recorder;
 pub mod registry;
 pub mod rng;
 
 pub use counter::Counter;
+pub use gauge::{Gauge, GaugeSnapshot};
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use recorder::{ArgVal, Phase, Recorder, TraceEvent};
 pub use registry::{Registry, Scope, Snapshot};

@@ -1,16 +1,20 @@
-//! Named, hierarchical counter registry.
+//! Named, hierarchical metric registry.
 //!
-//! Every instrumented component registers its counters under a dotted
+//! Every instrumented component registers its metrics under a dotted
 //! hierarchical name (`pcie0.dma_reads`, `gpu0.l2.read_hits`,
 //! `extoll0.notif_overflows`, …). The registry owns the one shared
 //! snapshot / delta / reset implementation that used to be copy-pasted
-//! across four per-crate stats structs.
+//! across four per-crate stats structs. Three metric kinds share the
+//! namespace: monotone [`Counter`]s, log2-bucket [`Histogram`]s and
+//! current/high-water [`Gauge`]s.
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use crate::counter::Counter;
+use crate::gauge::{Gauge, GaugeCell, GaugeSnapshot};
+use crate::histogram::{HistCell, Histogram, HistogramSnapshot};
 
 #[derive(Default)]
 struct Inner {
@@ -18,6 +22,12 @@ struct Inner {
     by_name: HashMap<String, Rc<Cell<u64>>>,
     /// Registration order, for deterministic iteration independent of hashing.
     order: Vec<(String, Rc<Cell<u64>>)>,
+    /// Histograms, same interning discipline as counters.
+    hists_by_name: HashMap<String, Rc<HistCell>>,
+    hist_order: Vec<(String, Rc<HistCell>)>,
+    /// Gauges, same interning discipline as counters.
+    gauges_by_name: HashMap<String, Rc<GaugeCell>>,
+    gauge_order: Vec<(String, Rc<GaugeCell>)>,
     /// Next auto-index per scope base name ("pcie" → 2 after pcie0, pcie1).
     next_index: HashMap<String, u32>,
 }
@@ -51,6 +61,32 @@ impl Registry {
         Counter::from_cell(cell)
     }
 
+    /// Intern a histogram by full dotted name. Repeated calls with the
+    /// same name return handles to the same cells.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(cell) = inner.hists_by_name.get(name) {
+            return Histogram::from_cell(cell.clone());
+        }
+        let cell = Rc::new(HistCell::new());
+        inner.hists_by_name.insert(name.to_string(), cell.clone());
+        inner.hist_order.push((name.to_string(), cell.clone()));
+        Histogram::from_cell(cell)
+    }
+
+    /// Intern a gauge by full dotted name. Repeated calls with the same
+    /// name return handles to the same cells.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(cell) = inner.gauges_by_name.get(name) {
+            return Gauge::from_cell(cell.clone());
+        }
+        let cell = Rc::new(GaugeCell::new());
+        inner.gauges_by_name.insert(name.to_string(), cell.clone());
+        inner.gauge_order.push((name.to_string(), cell.clone()));
+        Gauge::from_cell(cell)
+    }
+
     /// Open an auto-indexed scope: the first `scope("pcie")` is named
     /// `pcie0`, the next `pcie1`, and so on. Instance numbering therefore
     /// follows construction order, which the simulator makes deterministic.
@@ -76,7 +112,7 @@ impl Registry {
         }
     }
 
-    /// Snapshot every counter, sorted by name.
+    /// Snapshot every metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.borrow();
         Snapshot {
@@ -85,14 +121,31 @@ impl Registry {
                 .iter()
                 .map(|(n, c)| (n.clone(), c.get()))
                 .collect(),
+            hists: inner
+                .hist_order
+                .iter()
+                .map(|(n, c)| (n.clone(), Histogram::from_cell(c.clone()).snapshot()))
+                .collect(),
+            gauges: inner
+                .gauge_order
+                .iter()
+                .map(|(n, c)| (n.clone(), Gauge::from_cell(c.clone()).snapshot()))
+                .collect(),
         }
     }
 
-    /// Zero every counter.
+    /// Zero every metric (counters, histograms and gauges, including
+    /// high-water marks).
     pub fn reset_all(&self) {
         let inner = self.inner.borrow();
         for (_, c) in &inner.order {
             c.set(0);
+        }
+        for (_, h) in &inner.hist_order {
+            Histogram::from_cell(h.clone()).reset();
+        }
+        for (_, g) in &inner.gauge_order {
+            Gauge::from_cell(g.clone()).reset();
         }
     }
 
@@ -125,6 +178,16 @@ impl Scope {
         self.registry.counter(&format!("{}.{}", self.name, sub))
     }
 
+    /// Intern histogram `<scope>.<sub>` in the underlying registry.
+    pub fn histogram(&self, sub: &str) -> Histogram {
+        self.registry.histogram(&format!("{}.{}", self.name, sub))
+    }
+
+    /// Intern gauge `<scope>.<sub>` in the underlying registry.
+    pub fn gauge(&self, sub: &str) -> Gauge {
+        self.registry.gauge(&format!("{}.{}", self.name, sub))
+    }
+
     /// Open a nested scope `<scope>.<sub>`.
     pub fn scope(&self, sub: &str) -> Scope {
         Scope {
@@ -143,6 +206,8 @@ impl Scope {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
     values: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistogramSnapshot>,
+    gauges: BTreeMap<String, GaugeSnapshot>,
 }
 
 impl Snapshot {
@@ -151,8 +216,20 @@ impl Snapshot {
         self.values.get(name).copied().unwrap_or(0)
     }
 
-    /// Per-counter difference `self - earlier` (saturating, so a counter
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.get(name)
+    }
+
+    /// The gauge registered under `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSnapshot> {
+        self.gauges.get(name)
+    }
+
+    /// Per-metric difference `self - earlier` (saturating, so a counter
     /// reset between snapshots reads as 0 rather than wrapping).
+    /// Histogram counts/sums/buckets subtract; histogram maxima and gauges
+    /// are levels, not flows, and keep the later snapshot's values.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             values: self
@@ -160,7 +237,29 @@ impl Snapshot {
                 .iter()
                 .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.get(n))))
                 .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| {
+                    let d = match earlier.hists.get(n) {
+                        Some(e) => h.delta(e),
+                        None => h.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
         }
+    }
+
+    /// Iterate `(name, histogram)` sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.hists.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Iterate `(name, gauge)` sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, GaugeSnapshot)> {
+        self.gauges.iter().map(|(n, g)| (n.as_str(), *g))
     }
 
     /// Iterate `(name, value)` sorted by name.
@@ -246,5 +345,71 @@ mod tests {
         d.add(9);
         assert!(reg.is_empty());
         assert_eq!(d.get(), 9);
+    }
+
+    #[test]
+    fn histograms_and_gauges_intern_and_snapshot() {
+        let reg = Registry::new();
+        let scope = reg.scope_named("pcie0");
+        let h = scope.histogram("dma_read_ps");
+        let h2 = reg.histogram("pcie0.dma_read_ps");
+        h.record(100);
+        h2.record(300);
+        let g = scope.gauge("dma_in_flight");
+        g.add(3);
+        g.dec();
+        let s = reg.snapshot();
+        let hs = s.histogram("pcie0.dma_read_ps").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 400);
+        let gs = s.gauge("pcie0.dma_in_flight").unwrap();
+        assert_eq!(gs.current, 2);
+        assert_eq!(gs.high_water, 3);
+        assert!(s.histogram("nope").is_none());
+        assert!(s.gauge("nope").is_none());
+    }
+
+    #[test]
+    fn snapshot_delta_covers_all_metric_kinds() {
+        let reg = Registry::new();
+        let h = reg.histogram("n.lat");
+        let g = reg.gauge("n.depth");
+        h.record(10);
+        g.add(5);
+        let s0 = reg.snapshot();
+        h.record(20);
+        g.sub(4);
+        let d = reg.snapshot().delta(&s0);
+        assert_eq!(d.histogram("n.lat").unwrap().count, 1);
+        assert_eq!(d.histogram("n.lat").unwrap().sum, 20);
+        // Gauges are levels: delta keeps the later state.
+        assert_eq!(d.gauge("n.depth").unwrap().current, 1);
+        assert_eq!(d.gauge("n.depth").unwrap().high_water, 5);
+    }
+
+    #[test]
+    fn reset_all_clears_histograms_and_gauges() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        let g = reg.gauge("g");
+        h.record(9);
+        g.add(9);
+        reg.reset_all();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.high_water(), 0);
+    }
+
+    #[test]
+    fn snapshots_with_metrics_compare_equal_across_identical_runs() {
+        let run = || {
+            let reg = Registry::new();
+            reg.counter("c").add(2);
+            reg.histogram("h").record(33);
+            reg.gauge("g").set(4);
+            reg.snapshot()
+        };
+        assert_eq!(run(), run());
     }
 }

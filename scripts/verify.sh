@@ -23,4 +23,14 @@ cargo test -q --test parallel_golden
 echo "== paper-claims self-check (reproduce check --quick; fails on any [FAIL]) =="
 cargo run --release -p tc-bench --bin reproduce -- check --quick > /dev/null
 
+echo "== metrics export + strict schema self-check (tc-metrics-v1) =="
+metrics_dir="$(mktemp -d)"
+trap 'rm -rf "$metrics_dir"' EXIT
+cargo run --release -p tc-bench --bin reproduce -- \
+    --ids pingpong --metrics "$metrics_dir" --trace pingpong > /dev/null
+test -s "$metrics_dir/pingpong.trace.json"
+# Fails on unknown or missing keys anywhere in the emitted JSON.
+cargo run --release -p tc-bench --bin reproduce -- \
+    --validate-metrics "$metrics_dir/pingpong.metrics.json"
+
 echo "verify: OK"

@@ -20,8 +20,9 @@ fn parallel_output_is_byte_identical_to_serial() {
 fn run_all_returns_reports_in_input_order() {
     let scale = Scale::quick();
     let ids = ["table2", "table1"];
-    let reports = run_all(&Pool::new(4), &ids, scale);
+    let (reports, stats) = run_all(&Pool::new(4), &ids, scale);
     assert_eq!(reports.len(), 2);
+    assert_eq!(stats.tasks, 4, "two 2-task table experiments");
     assert!(reports[0].contains("Table II"), "first report must be table2");
     assert!(reports[1].contains("Table I:"), "second report must be table1");
     // And each matches its serial single-experiment run.

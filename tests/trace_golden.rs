@@ -4,6 +4,8 @@
 //! must agree with the legacy typed counter structs for the paper's
 //! Table I and Table II scenarios.
 
+use tc_repro::bench::pool::{Pool, PoolStats};
+use tc_repro::bench::{metrics, metrics_report, run_all, trace_report, Scale};
 use tc_repro::putget::api::{create_pair, QueueLoc};
 use tc_repro::putget::bench::pingpong::{extoll_pingpong, ib_pingpong};
 use tc_repro::putget::bench::{ExtollMode, IbMode};
@@ -59,9 +61,13 @@ fn chrome_trace_is_byte_identical_across_runs() {
 #[test]
 fn chrome_trace_covers_all_hardware_layers() {
     let (json, _, _) = pingpong_run(true);
-    for layer in ["\"desim\"", "\"gpu\"", "\"pcie\"", "\"nic\""] {
-        assert!(json.contains(layer), "no events from layer {layer}");
+    // Hardware layers group into one Chrome process per node
+    // (`node{n}/{layer}`); the executor's own events keep the bare layer.
+    for process in ["\"desim\"", "\"node0/gpu\"", "\"node0/pcie\"", "\"node0/nic\""] {
+        assert!(json.contains(process), "no events from process {process}");
     }
+    // Both nodes of the cluster are represented.
+    assert!(json.contains("\"node1/"), "node 1 has no process group");
 }
 
 #[test]
@@ -72,6 +78,45 @@ fn recording_does_not_perturb_the_simulation() {
     assert_eq!(reg_on, reg_off, "tracing changed counter values");
     // A disabled recorder captures nothing.
     assert!(!json_off.contains("\"ph\":\"X\"") && !json_off.contains("\"ph\":\"i\""));
+}
+
+/// The metrics JSON is a golden artifact: its `sim` section must be
+/// byte-identical across runs *and* across pool widths, because it comes
+/// from a serial representative simulation that cannot observe wall-clock
+/// scheduling. The `runner` section is pinned here by passing the same
+/// [`PoolStats`] to both renders.
+#[test]
+fn metrics_json_is_byte_identical_across_runs_and_jobs() {
+    let stats = PoolStats::default();
+    let _ = run_all(&Pool::new(1), &["pingpong"], Scale::quick());
+    let a = metrics_report("pingpong", "quick", &stats);
+    let _ = run_all(&Pool::new(4), &["pingpong"], Scale::quick());
+    let b = metrics_report("pingpong", "quick", &stats);
+    assert_eq!(a, b, "metrics JSON diverged between --jobs 1 and --jobs 4 runs");
+    metrics::validate(&a).expect("golden metrics JSON must pass the schema self-check");
+    // The trace export is a golden artifact under the same contract.
+    assert_eq!(trace_report("pingpong"), trace_report("pingpong"));
+}
+
+/// Zero-perturbation: rendering the metrics JSON only *reads* a snapshot,
+/// so a run whose metrics were exported must agree bit-for-bit — simulated
+/// time, paper-facing counters, histograms, gauges — with one that never
+/// exported anything.
+#[test]
+fn metrics_export_does_not_perturb_the_simulation() {
+    let with_export = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 10, 2);
+    let json = metrics::render(
+        "pingpong",
+        "quick",
+        &with_export.registry,
+        with_export.half_rtt,
+        &PoolStats::default(),
+    );
+    let without = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 10, 2);
+    assert_eq!(with_export.half_rtt, without.half_rtt, "export changed simulated time");
+    assert_eq!(with_export.registry, without.registry, "export changed metric values");
+    assert_counters_match(&without.counters, &with_export.registry);
+    assert!(json.contains(&format!("\"simulated_ps\": {}", without.half_rtt)));
 }
 
 /// Table I scenario (EXTOLL 1 KiB ping-pong, GPU polling): the registry
