@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use tc_bench::cli::{parse, usage, Options};
 use tc_bench::pool::Pool;
-use tc_bench::{metrics, metrics_report, run_all, trace_report, Scale, ALL_EXPERIMENTS};
+use tc_bench::{desimbench, metrics, metrics_report, run_all, trace_report, Scale, ALL_EXPERIMENTS};
 
 fn write_file(path: &str, contents: &str) {
     match std::fs::File::create(path) {
@@ -63,9 +63,16 @@ fn main() {
                 exit(2);
             }
         };
-        match metrics::validate(&text) {
+        // Dispatch on the document's schema: desim-bench reports and
+        // per-experiment metrics share one validation entry point.
+        let (schema, result) = if text.contains(desimbench::SCHEMA) {
+            (desimbench::SCHEMA, desimbench::validate(&text))
+        } else {
+            (metrics::SCHEMA, metrics::validate(&text))
+        };
+        match result {
             Ok(()) => {
-                println!("{file}: valid {}", metrics::SCHEMA);
+                println!("{file}: valid {schema}");
                 return;
             }
             Err(e) => {
@@ -73,6 +80,54 @@ fn main() {
                 exit(1);
             }
         }
+    }
+
+    if let Some((old_file, new_file)) = &opts.bench_compare {
+        let read = |f: &str| {
+            std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {f:?}: {e}");
+                exit(2);
+            })
+        };
+        let (old_text, new_text) = (read(old_file), read(new_file));
+        match desimbench::compare(&old_text, &new_text) {
+            Ok((report, regressed)) => {
+                print!("{report}");
+                if regressed {
+                    eprintln!(
+                        "error: wheel throughput regressed by more than {:.0}%",
+                        desimbench::REGRESSION_LIMIT * 100.0
+                    );
+                    exit(1);
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(file) = &opts.bench_desim {
+        let (samples, results) = desimbench::run_suite();
+        for r in &results {
+            println!(
+                "# {}: {:.0} events/s wheel vs {:.0} events/s ref-heap ({:.2}x)",
+                r.name,
+                r.wheel_eps,
+                r.heap_eps,
+                r.speedup()
+            );
+        }
+        let text = desimbench::render(samples, &results);
+        if let Err(e) = desimbench::validate(&text) {
+            eprintln!("error: generated report failed self-validation: {e}");
+            exit(1);
+        }
+        write_file(file, &text);
+        println!("# wrote {file} (schema {})", desimbench::SCHEMA);
+        return;
     }
 
     let scale = if opts.full {

@@ -32,8 +32,16 @@ pub struct Options {
     /// Print the pool self-profile at the end of the run.
     pub verbose: bool,
     /// Validate FILE against the metrics schema and exit (no experiments
-    /// run) — the `scripts/verify.sh` self-check entry point.
+    /// run) — the `scripts/verify.sh` self-check entry point. Dispatches
+    /// on the document's `schema` field, so both `tc-metrics-v1` and
+    /// `tc-desim-bench-v1` files are accepted.
     pub validate_metrics: Option<String>,
+    /// Run the DES-kernel microbench suite, write the
+    /// `tc-desim-bench-v1` JSON report to FILE, and exit.
+    pub bench_desim: Option<String>,
+    /// Compare two `tc-desim-bench-v1` reports (OLD, NEW) and exit
+    /// nonzero on a >25% wheel-throughput regression.
+    pub bench_compare: Option<(String, String)>,
     /// `--help` / `-h` was given.
     pub help: bool,
 }
@@ -45,6 +53,8 @@ pub fn usage() -> String {
         "usage: reproduce [--quick|--full] [--jobs N] [--out DIR] [--metrics DIR]\n\
          \x20                [--trace ID] [--verbose] [EXPERIMENT...]\n\
          \x20      reproduce --validate-metrics FILE\n\
+         \x20      reproduce --bench-desim FILE\n\
+         \x20      reproduce --bench-compare OLD NEW\n\
          \n\
          options:\n\
          \x20 --quick        CI-scale iteration counts (default)\n\
@@ -62,7 +72,15 @@ pub fn usage() -> String {
          \x20                them as positional arguments)\n\
          \x20 -v, --verbose  print the runner self-profile at the end\n\
          \x20 --validate-metrics FILE\n\
-         \x20                check FILE against the metrics schema and exit\n\
+         \x20                check FILE against its schema (tc-metrics-v1 or\n\
+         \x20                tc-desim-bench-v1) and exit\n\
+         \x20 --bench-desim FILE\n\
+         \x20                run the DES-kernel microbenchmarks (timing wheel\n\
+         \x20                vs reference heap) and write FILE (schema\n\
+         \x20                tc-desim-bench-v1)\n\
+         \x20 --bench-compare OLD NEW\n\
+         \x20                print per-benchmark events/sec deltas between two\n\
+         \x20                reports; exit 1 on a >25% regression\n\
          \x20 -h, --help     this message\n\
          \n\
          known experiments: {}",
@@ -105,6 +123,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--validate-metrics" => {
                 opts.validate_metrics =
                     Some(args.next().ok_or("--validate-metrics needs a file")?);
+            }
+            "--bench-desim" => {
+                opts.bench_desim = Some(args.next().ok_or("--bench-desim needs a file")?);
+            }
+            "--bench-compare" => {
+                let old = args.next().ok_or("--bench-compare needs OLD and NEW files")?;
+                let new = args.next().ok_or("--bench-compare needs OLD and NEW files")?;
+                opts.bench_compare = Some((old, new));
             }
             "--verbose" | "-v" => opts.verbose = true,
             "--jobs" | "-j" => {
@@ -227,6 +253,24 @@ mod tests {
         let o = p(&["--validate-metrics", "x.json"]).unwrap();
         assert_eq!(o.validate_metrics.as_deref(), Some("x.json"));
         assert!(p(&["--validate-metrics"]).is_err());
+    }
+
+    #[test]
+    fn bench_desim_takes_an_output_file() {
+        let o = p(&["--bench-desim", "BENCH_desim.json"]).unwrap();
+        assert_eq!(o.bench_desim.as_deref(), Some("BENCH_desim.json"));
+        assert!(p(&["--bench-desim"]).is_err());
+    }
+
+    #[test]
+    fn bench_compare_takes_two_files() {
+        let o = p(&["--bench-compare", "old.json", "new.json"]).unwrap();
+        assert_eq!(
+            o.bench_compare,
+            Some(("old.json".to_string(), "new.json".to_string()))
+        );
+        assert!(p(&["--bench-compare"]).is_err());
+        assert!(p(&["--bench-compare", "old.json"]).is_err());
     }
 
     #[test]

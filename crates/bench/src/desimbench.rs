@@ -1,0 +1,467 @@
+//! DES-kernel microbenchmarks: events/sec for the timing wheel vs the
+//! reference heap.
+//!
+//! Four kernels stress the hot paths of `tc_desim`'s executor — timer
+//! churn across wheel levels, a spawn/join storm, channel ping-pong, and
+//! a many-process periodic interleave. Each kernel runs the *identical*
+//! workload under both [`QueueKind::Wheel`] and [`QueueKind::RefHeap`],
+//! so the throughput ratio isolates the event-queue implementation (slab
+//! timers + bitmap wheel vs per-timer `Rc` + binary heap).
+//!
+//! `reproduce --bench-desim FILE` runs the suite and writes a
+//! schema-versioned JSON report (schema [`SCHEMA`]); `scripts/verify.sh`
+//! commits it as `BENCH_desim.json` so the events/sec trajectory is
+//! tracked PR over PR. `reproduce --bench-compare OLD NEW` diffs two such
+//! reports and fails on a >25% wheel-throughput regression.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tc_desim::sync::{Channel, Signal};
+use tc_desim::time::ns;
+use tc_desim::{QueueKind, Sim};
+use tc_trace::rng::XorShift64;
+
+use crate::harness::Harness;
+use crate::metrics::{parse_json, Json};
+
+/// Schema identifier stamped into (and required from) the JSON report.
+pub const SCHEMA: &str = "tc-desim-bench-v1";
+
+/// Relative wheel-throughput drop that makes [`compare`] fail.
+pub const REGRESSION_LIMIT: f64 = 0.25;
+
+/// One microbenchmark: a named kernel plus its analytic event count.
+///
+/// `events` counts the scheduler-visible operations the kernel performs
+/// (timers fired, processes spawned, channel transfers); it is fixed by
+/// the kernel's constants, so events/sec is comparable across runs.
+pub struct BenchSpec {
+    /// Kernel name, used in the harness table and the JSON report.
+    pub name: &'static str,
+    /// Scheduler-visible operations one run performs.
+    pub events: u64,
+    /// The kernel body; runs one full simulation under `QueueKind`.
+    pub run: fn(QueueKind),
+}
+
+/// Measured throughput of one kernel under both queue implementations.
+pub struct BenchResult {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Scheduler-visible operations one run performs.
+    pub events: u64,
+    /// Median events/sec with the timing-wheel queue.
+    pub wheel_eps: f64,
+    /// Median events/sec with the reference binary-heap queue.
+    pub heap_eps: f64,
+}
+
+impl BenchResult {
+    /// Wheel throughput relative to the reference heap.
+    pub fn speedup(&self) -> f64 {
+        self.wheel_eps / self.heap_eps
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+const CHURN_PROCS: u64 = 256;
+const CHURN_ITERS: u64 = 200;
+
+/// Timer churn: many processes, each sleeping for pseudo-random durations
+/// spanning several wheel levels, keeping ~256 timers outstanding.
+fn timer_churn(kind: QueueKind) {
+    let sim = Sim::with_queue(kind);
+    for p in 0..CHURN_PROCS {
+        let h = sim.clone();
+        let mut rng = XorShift64::new(0x9e37_79b9_7f4a_7c15 ^ (p + 1));
+        sim.spawn("churn", async move {
+            for _ in 0..CHURN_ITERS {
+                // 1 ps .. ~16.8 us: exercises wheel levels 0 through 4.
+                h.delay(1 + (rng.next_u64() & 0xff_ffff)).await;
+            }
+        });
+    }
+    sim.run();
+}
+
+const STORM_WAVES: u32 = 60;
+const STORM_PER_WAVE: u32 = 200;
+
+/// Spawn/join storm: waves of short-lived processes, joined via a
+/// [`Signal`]; stresses slot reuse, name interning, and wake-up batching.
+fn spawn_join(kind: QueueKind) {
+    let sim = Sim::with_queue(kind);
+    let root = sim.clone();
+    sim.spawn("storm.root", async move {
+        for _ in 0..STORM_WAVES {
+            let done = Rc::new(Cell::new(0u32));
+            let sig: Signal = root.signal();
+            for w in 0..STORM_PER_WAVE {
+                let h = root.clone();
+                let d = done.clone();
+                let s = sig.clone();
+                root.spawn("storm.worker", async move {
+                    h.delay(ns(1 + (w % 7) as u64)).await;
+                    d.set(d.get() + 1);
+                    if d.get() == STORM_PER_WAVE {
+                        s.notify_all();
+                    }
+                });
+            }
+            sig.wait_until(|| done.get() == STORM_PER_WAVE).await;
+        }
+    });
+    sim.run();
+}
+
+const PINGPONG_ITERS: u32 = 8000;
+
+/// Channel ping-pong: two processes exchange a token over `sync.rs`
+/// channels, with a put-style delay pipeline per hop (doorbell, WQE
+/// fetch, payload DMA, wire, delivery, completion) so timer scheduling
+/// dominates the cost per hop.
+fn chan_pingpong(kind: QueueKind) {
+    let sim = Sim::with_queue(kind);
+    let ping: Channel<u64> = Channel::new(&sim, 1);
+    let pong: Channel<u64> = Channel::new(&sim, 1);
+    let (p1, q1) = (ping.clone(), pong.clone());
+    let h0 = sim.clone();
+    sim.spawn("pp.node0", async move {
+        for i in 0..PINGPONG_ITERS as u64 {
+            h0.delay(ns(8)).await; // doorbell write
+            h0.delay(ns(32)).await; // WQE fetch
+            h0.delay(ns(64)).await; // payload DMA read
+            h0.delay(ns(120)).await; // wire
+            ping.send(i).await;
+            let _ = pong.recv().await;
+        }
+    });
+    let h1 = sim.clone();
+    sim.spawn("pp.node1", async move {
+        for _ in 0..PINGPONG_ITERS {
+            let v = p1.recv().await.unwrap();
+            h1.delay(ns(4)).await; // delivery to memory
+            h1.delay(ns(16)).await; // completion write
+            q1.send(v).await;
+        }
+    });
+    sim.run();
+}
+
+const INTERLEAVE_PROCS: u64 = 64;
+const INTERLEAVE_TICKS: u64 = 500;
+
+/// Many-process interleave: 64 processes on four repeating periods, so
+/// every tick fires a batch of same-instant timers (seq-ordered drain).
+fn interleave(kind: QueueKind) {
+    let sim = Sim::with_queue(kind);
+    for p in 0..INTERLEAVE_PROCS {
+        let h = sim.clone();
+        let period = ns(1) << (p % 4); // 1, 2, 4, 8 ns
+        sim.spawn("tick", async move {
+            for _ in 0..INTERLEAVE_TICKS {
+                h.delay(period).await;
+            }
+        });
+    }
+    sim.run();
+}
+
+/// The benchmark suite, in report order.
+pub fn suite() -> Vec<BenchSpec> {
+    vec![
+        BenchSpec {
+            name: "timer_churn",
+            events: CHURN_PROCS * CHURN_ITERS,
+            run: timer_churn,
+        },
+        BenchSpec {
+            name: "spawn_join",
+            // Per wave: one spawn and one delay per worker, plus the join.
+            events: (STORM_WAVES * STORM_PER_WAVE) as u64 * 2,
+            run: spawn_join,
+        },
+        BenchSpec {
+            name: "chan_pingpong",
+            // Per iteration: 6 pipeline delays + 2 channel transfers.
+            events: PINGPONG_ITERS as u64 * 8,
+            run: chan_pingpong,
+        },
+        BenchSpec {
+            name: "interleave",
+            events: INTERLEAVE_PROCS * INTERLEAVE_TICKS,
+            run: interleave,
+        },
+    ]
+}
+
+/// Run every kernel under both queue kinds and return median throughput.
+/// Prints the harness min/median/max table as it goes.
+pub fn run_suite() -> (u32, Vec<BenchResult>) {
+    let mut h = Harness::new("desim");
+    let results = suite()
+        .into_iter()
+        .map(|b| {
+            // Interleave the two sides sample by sample so machine-load
+            // drift cannot bias the wheel/heap ratio.
+            let (wheel_ns, heap_ns) = h.bench_pair_median_ns(
+                &format!("{}/wheel", b.name),
+                || (b.run)(QueueKind::Wheel),
+                &format!("{}/ref-heap", b.name),
+                || (b.run)(QueueKind::RefHeap),
+            );
+            BenchResult {
+                name: b.name,
+                events: b.events,
+                wheel_eps: b.events as f64 * 1e9 / wheel_ns as f64,
+                heap_eps: b.events as f64 * 1e9 / heap_ns as f64,
+            }
+        })
+        .collect();
+    (h.samples(), results)
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+/// Render the suite results as the `tc-desim-bench-v1` JSON document.
+pub fn render(samples: u32, results: &[BenchResult]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"benches\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"events\": {}, \"wheel_eps\": {:.1}, \
+             \"heap_eps\": {:.1}, \"speedup\": {:.3} }}{}\n",
+            r.name,
+            r.events,
+            r.wheel_eps,
+            r.heap_eps,
+            r.speedup(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn obj<'a>(v: &'a Json, what: &str) -> Result<&'a std::collections::BTreeMap<String, Json>, String> {
+    match v {
+        Json::Obj(m) => Ok(m),
+        _ => Err(format!("{what}: expected an object")),
+    }
+}
+
+fn num(v: &Json, what: &str) -> Result<f64, String> {
+    match v {
+        Json::Num(n) => Ok(*n),
+        _ => Err(format!("{what}: expected a number")),
+    }
+}
+
+fn exact_keys(
+    m: &std::collections::BTreeMap<String, Json>,
+    keys: &[&str],
+    what: &str,
+) -> Result<(), String> {
+    for k in keys {
+        if !m.contains_key(*k) {
+            return Err(format!("{what}: missing key {k:?}"));
+        }
+    }
+    for k in m.keys() {
+        if !keys.contains(&k.as_str()) {
+            return Err(format!("{what}: unexpected key {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Strict schema check for a `tc-desim-bench-v1` document. Every level
+/// must have exactly the expected keys; throughputs must be positive.
+pub fn validate(text: &str) -> Result<(), String> {
+    let root = parse_json(text)?;
+    let m = obj(&root, "root")?;
+    exact_keys(m, &["schema", "samples", "benches"], "root")?;
+    match &m["schema"] {
+        Json::Str(s) if s == SCHEMA => {}
+        Json::Str(s) => return Err(format!("schema: expected {SCHEMA:?}, found {s:?}")),
+        _ => return Err("schema: expected a string".into()),
+    }
+    let samples = num(&m["samples"], "samples")?;
+    if samples < 1.0 || samples.fract() != 0.0 {
+        return Err(format!("samples: expected a positive integer, found {samples}"));
+    }
+    let benches = obj(&m["benches"], "benches")?;
+    if benches.is_empty() {
+        return Err("benches: expected at least one benchmark".into());
+    }
+    for (name, v) in benches {
+        let what = format!("benches.{name}");
+        let b = obj(v, &what)?;
+        exact_keys(b, &["events", "wheel_eps", "heap_eps", "speedup"], &what)?;
+        let events = num(&b["events"], &format!("{what}.events"))?;
+        if events < 1.0 || events.fract() != 0.0 {
+            return Err(format!("{what}.events: expected a positive integer"));
+        }
+        for k in ["wheel_eps", "heap_eps", "speedup"] {
+            let x = num(&b[k], &format!("{what}.{k}"))?;
+            if !(x > 0.0) || !x.is_finite() {
+                return Err(format!("{what}.{k}: expected a positive finite number"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Comparison mode
+// ---------------------------------------------------------------------------
+
+fn bench_map(text: &str, what: &str) -> Result<Vec<(String, f64)>, String> {
+    validate(text).map_err(|e| format!("{what}: {e}"))?;
+    let root = parse_json(text)?;
+    let m = obj(&root, "root")?;
+    let benches = obj(&m["benches"], "benches")?;
+    benches
+        .iter()
+        .map(|(name, v)| {
+            let b = obj(v, name)?;
+            Ok((name.clone(), num(&b["wheel_eps"], name)?))
+        })
+        .collect()
+}
+
+/// Compare two `tc-desim-bench-v1` reports. Returns the human-readable
+/// per-benchmark delta table and whether any benchmark's wheel throughput
+/// regressed by more than [`REGRESSION_LIMIT`] (or disappeared).
+pub fn compare(old_text: &str, new_text: &str) -> Result<(String, bool), String> {
+    let old = bench_map(old_text, "OLD")?;
+    let new = bench_map(new_text, "NEW")?;
+    let mut out = String::new();
+    let mut regressed = false;
+    out.push_str(&format!(
+        "{:20} {:>16} {:>16} {:>9}\n",
+        "benchmark", "old events/s", "new events/s", "delta"
+    ));
+    for (name, old_eps) in &old {
+        match new.iter().find(|(n, _)| n == name) {
+            Some((_, new_eps)) => {
+                let delta = new_eps / old_eps - 1.0;
+                let flag = if delta < -REGRESSION_LIMIT {
+                    regressed = true;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                out.push_str(&format!(
+                    "{:20} {:>16.0} {:>16.0} {:>+8.1}%{}\n",
+                    name,
+                    old_eps,
+                    new_eps,
+                    delta * 100.0,
+                    flag
+                ));
+            }
+            None => {
+                regressed = true;
+                out.push_str(&format!(
+                    "{name:20} {old_eps:>16.0} {:>16} {:>9}  REGRESSION (missing)\n",
+                    "-", "-"
+                ));
+            }
+        }
+    }
+    for (name, new_eps) in &new {
+        if !old.iter().any(|(n, _)| n == name) {
+            out.push_str(&format!(
+                "{name:20} {:>16} {new_eps:>16.0} {:>9}  (new)\n",
+                "-", "-"
+            ));
+        }
+    }
+    Ok((out, regressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_results() -> Vec<BenchResult> {
+        vec![
+            BenchResult {
+                name: "timer_churn",
+                events: 1000,
+                wheel_eps: 2.0e6,
+                heap_eps: 1.0e6,
+            },
+            BenchResult {
+                name: "chan_pingpong",
+                events: 500,
+                wheel_eps: 3.0e6,
+                heap_eps: 1.5e6,
+            },
+        ]
+    }
+
+    #[test]
+    fn rendered_report_validates() {
+        let text = render(10, &sample_results());
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_and_stray_keys() {
+        let good = render(10, &sample_results());
+        let bad = good.replace(SCHEMA, "tc-desim-bench-v0");
+        assert!(validate(&bad).unwrap_err().contains("schema"));
+        let bad = good.replace("\"samples\": 10,", "\"samples\": 10, \"extra\": 1,");
+        assert!(validate(&bad).unwrap_err().contains("unexpected key"));
+        let bad = good.replace("\"events\": 1000,", "");
+        assert!(validate(&bad).unwrap_err().contains("missing key"));
+    }
+
+    #[test]
+    fn compare_flags_large_regressions_only() {
+        let old = render(10, &sample_results());
+        let mut slower = sample_results();
+        slower[0].wheel_eps = 1.4e6; // -30%: over the limit
+        let new = render(10, &slower);
+        let (report, regressed) = compare(&old, &new).unwrap();
+        assert!(regressed, "30% drop must regress:\n{report}");
+        assert!(report.contains("REGRESSION"));
+
+        let mut ok = sample_results();
+        ok[0].wheel_eps = 1.6e6; // -20%: within the limit
+        let new = render(10, &ok);
+        let (report, regressed) = compare(&old, &new).unwrap();
+        assert!(!regressed, "20% drop must pass:\n{report}");
+    }
+
+    #[test]
+    fn compare_treats_missing_benchmark_as_regression() {
+        let old = render(10, &sample_results());
+        let mut kept = sample_results();
+        kept.truncate(1);
+        let new = render(10, &kept);
+        let (report, regressed) = compare(&old, &new).unwrap();
+        assert!(regressed);
+        assert!(report.contains("missing"));
+    }
+
+    #[test]
+    fn every_kernel_runs_under_both_queue_kinds() {
+        for b in suite() {
+            (b.run)(QueueKind::Wheel);
+            (b.run)(QueueKind::RefHeap);
+        }
+    }
+}

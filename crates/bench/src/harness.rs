@@ -33,9 +33,20 @@ impl Harness {
         }
     }
 
+    /// The sample count this group times each closure with.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
     /// Time `f` over the group's sample count (after one warm-up call) and
     /// print a `group/name  min median max` row.
-    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) {
+        self.bench_median_ns(name, f);
+    }
+
+    /// Like [`Harness::bench`], but also return the median wall-clock
+    /// nanoseconds per run so callers can derive throughput figures.
+    pub fn bench_median_ns<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> u64 {
         if !self.header_printed {
             println!(
                 "{:44} {:>12} {:>12} {:>12}  ({} samples)",
@@ -59,6 +70,56 @@ impl Harness {
             fmt_duration(times[times.len() / 2]),
             fmt_duration(times[times.len() - 1]),
         );
+        (times[times.len() / 2].as_nanos() as u64).max(1)
+    }
+
+    /// Time two closures with *interleaved* samples — `a, b, a, b, …` —
+    /// so load drift during the run biases both the same way. Prints one
+    /// row per closure and returns both median nanoseconds. Use this when
+    /// the ratio between the two timings is the result (e.g. the desim
+    /// wheel-vs-heap suite).
+    pub fn bench_pair_median_ns<A, B, FA, FB>(
+        &mut self,
+        name_a: &str,
+        mut fa: FA,
+        name_b: &str,
+        mut fb: FB,
+    ) -> (u64, u64)
+    where
+        FA: FnMut() -> A,
+        FB: FnMut() -> B,
+    {
+        if !self.header_printed {
+            println!(
+                "{:44} {:>12} {:>12} {:>12}  ({} samples)",
+                "benchmark", "min", "median", "max", self.samples
+            );
+            self.header_printed = true;
+        }
+        black_box(fa());
+        black_box(fb());
+        let mut times_a: Vec<Duration> = Vec::with_capacity(self.samples as usize);
+        let mut times_b: Vec<Duration> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(fa());
+            times_a.push(t0.elapsed());
+            let t0 = Instant::now();
+            black_box(fb());
+            times_b.push(t0.elapsed());
+        }
+        let median = |name: &str, times: &mut Vec<Duration>| {
+            times.sort();
+            println!(
+                "{:44} {:>12} {:>12} {:>12}",
+                format!("{}/{}", self.group, name),
+                fmt_duration(times[0]),
+                fmt_duration(times[times.len() / 2]),
+                fmt_duration(times[times.len() - 1]),
+            );
+            (times[times.len() / 2].as_nanos() as u64).max(1)
+        };
+        (median(name_a, &mut times_a), median(name_b, &mut times_b))
     }
 }
 

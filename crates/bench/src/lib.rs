@@ -16,6 +16,7 @@
 //! counters cannot observe wall-clock scheduling.
 
 pub mod cli;
+pub mod desimbench;
 pub mod harness;
 pub mod metrics;
 pub mod pool;
@@ -602,13 +603,33 @@ pub fn plan(id: &str, scale: Scale) -> ExperimentPlan {
             move |i| ablation::section(i, 1024, scale.iters),
             |sections| sections.concat(),
         ),
-        "staging" => single_plan("staging", move || {
-            tc_putget::bench::staging::report(scale.bw_messages)
-        }),
-        "twosided" => single_plan("twosided", move || {
-            tc_putget::bench::twosided::report(scale.iters)
-        }),
-        "velo" => single_plan("velo", move || tc_putget::bench::velo::report(scale.iters)),
+        "staging" => {
+            let sizes = tc_putget::bench::staging::sizes();
+            plan_points(
+                "staging",
+                sizes.len(),
+                move |i| tc_putget::bench::staging::point(sizes[i], scale.bw_messages),
+                |results| tc_putget::bench::staging::render(&results),
+            )
+        }
+        "twosided" => {
+            let sizes = tc_putget::bench::twosided::sizes();
+            plan_points(
+                "twosided",
+                sizes.len(),
+                move |i| tc_putget::bench::twosided::point(sizes[i], scale.iters),
+                |results| tc_putget::bench::twosided::render(&results),
+            )
+        }
+        "velo" => {
+            let sizes = tc_putget::bench::velo::sizes();
+            plan_points(
+                "velo",
+                sizes.len(),
+                move |i| tc_putget::bench::velo::point(sizes[i], scale.iters),
+                |results| tc_putget::bench::velo::render(&results),
+            )
+        }
         "timeline" => single_plan("timeline", || tc_putget::bench::timeline::report(1024)),
         "scaling" => plan_points(
             "scaling",
@@ -786,6 +807,11 @@ mod tests {
         // The figures decompose point-wise, not mode-wise.
         assert_eq!(plan("fig1a", Scale::quick()).task_count(), 4 * 9);
         assert_eq!(plan("table1", Scale::quick()).task_count(), 2);
+        // The extension sweeps decompose per size, so a wide --jobs run
+        // is not serialized behind one long task.
+        assert_eq!(plan("staging", Scale::quick()).task_count(), 7);
+        assert_eq!(plan("twosided", Scale::quick()).task_count(), 5);
+        assert_eq!(plan("velo", Scale::quick()).task_count(), 3);
     }
 
     #[test]

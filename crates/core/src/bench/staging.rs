@@ -111,8 +111,26 @@ fn run_once(backend: Backend, size: u64, messages: u32, staged: bool) -> Time {
     (done.get() - started.get()).max(1)
 }
 
-/// Render the extension experiment as a text report.
-pub fn report(messages: u32) -> String {
+/// Message sizes swept by [`report`]: 4 KiB to 16 MiB in ×4 steps.
+pub fn sizes() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut size = 4096u64;
+    while size <= (16 << 20) {
+        v.push(size);
+        size *= 4;
+    }
+    v
+}
+
+/// One sweep point of [`report`]: `size` bytes, with the message count
+/// clamped so a single point never streams more than 64 MiB.
+pub fn point(size: u64, messages: u32) -> StagingResult {
+    let msgs = messages.min(((64u64 << 20) / size).max(4) as u32);
+    staged_vs_direct(Backend::Extoll, size, msgs)
+}
+
+/// Render sweep results (in [`sizes`] order) as the text report.
+pub fn render(results: &[StagingResult]) -> String {
     let mut out = String::from(
         "# extension: host-staged pipeline vs GPUDirect (host-controlled, EXTOLL)\n",
     );
@@ -120,18 +138,14 @@ pub fn report(messages: u32) -> String {
         "{:>10} {:>16} {:>16} {:>10}\n",
         "bytes", "GPUDirect MB/s", "staged MB/s", "winner"
     ));
-    let mut size = 4096u64;
-    while size <= (16 << 20) {
-        let msgs = messages.min(((64u64 << 20) / size).max(4) as u32);
-        let r = staged_vs_direct(Backend::Extoll, size, msgs);
+    for r in results {
         out.push_str(&format!(
             "{:>10} {:>16.1} {:>16.1} {:>10}\n",
-            size,
+            r.size,
             r.direct_mbs(),
             r.staged_mbs(),
             if r.direct < r.staged { "direct" } else { "staged" }
         ));
-        size *= 4;
     }
     out.push_str(
         "Throughput is cable-bound below the 1 MiB knee (the pipelines tie);\n\
@@ -141,6 +155,13 @@ pub fn report(messages: u32) -> String {
          [14,15] documented.\n",
     );
     out
+}
+
+/// Render the extension experiment as a text report (serial sweep; the
+/// parallel runner fans out [`point`] per size instead).
+pub fn report(messages: u32) -> String {
+    let results: Vec<StagingResult> = sizes().into_iter().map(|s| point(s, messages)).collect();
+    render(&results)
 }
 
 #[cfg(test)]

@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with('{') && a.trim_end().ends_with('}'));
         assert!(a.contains("\"traceEvents\""));
-        for pname in ["\"desim\"", "\"gpu\"", "\"pcie\"", "\"nic\""] {
+        // Instance-indexed tracks (gpu0.*, pcie0.*, …) group under a
+        // per-node Perfetto process; layer-global tracks keep the bare
+        // layer name.
+        for pname in ["\"desim\"", "\"node0/gpu\"", "\"node0/pcie\"", "\"node0/nic\""] {
             assert!(a.contains(pname), "missing process {pname}");
         }
     }

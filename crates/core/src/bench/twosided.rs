@@ -179,8 +179,24 @@ fn run(size: u64, iters: u32, two_sided: bool) -> Time {
     (t_end.get() - t_start.get()) / iters as u64 / 2
 }
 
-/// Render the extension experiment as a text report.
-pub fn report(iters: u32) -> String {
+/// Message sizes swept by [`report`]: 4 B to 256 KiB in ×16 steps.
+pub fn sizes() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut size = 4u64;
+    while size <= (256 << 10) {
+        v.push(size);
+        size *= 16;
+    }
+    v
+}
+
+/// One sweep point of [`report`].
+pub fn point(size: u64, iters: u32) -> TwoSidedResult {
+    one_vs_two_sided(size, iters)
+}
+
+/// Render sweep results (in [`sizes`] order) as the text report.
+pub fn render(results: &[TwoSidedResult]) -> String {
     let mut out = String::from(
         "# extension: one-sided (RDMA write) vs two-sided (send/recv), host-driven IB\n",
     );
@@ -188,17 +204,14 @@ pub fn report(iters: u32) -> String {
         "{:>10} {:>16} {:>16} {:>12}\n",
         "bytes", "one-sided us", "two-sided us", "overhead"
     ));
-    let mut size = 4u64;
-    while size <= (256 << 10) {
-        let r = one_vs_two_sided(size, iters);
+    for r in results {
         out.push_str(&format!(
             "{:>10} {:>16.2} {:>16.2} {:>11.1}%\n",
-            size,
+            r.size,
             tc_desim::time::to_us_f64(r.one_sided),
             tc_desim::time::to_us_f64(r.two_sided),
             100.0 * (r.two_sided as f64 / r.one_sided as f64 - 1.0),
         ));
-        size *= 16;
     }
     out.push_str(
         "Two-sided messaging pays the receive-WQE management on every message\n\
@@ -206,6 +219,13 @@ pub fn report(iters: u32) -> String {
          need nothing from the receiver's CPU on the data path.\n",
     );
     out
+}
+
+/// Render the extension experiment as a text report (serial sweep; the
+/// parallel runner fans out [`point`] per size instead).
+pub fn report(iters: u32) -> String {
+    let results: Vec<TwoSidedResult> = sizes().into_iter().map(|s| point(s, iters)).collect();
+    render(&results)
 }
 
 #[cfg(test)]

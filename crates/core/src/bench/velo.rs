@@ -174,8 +174,18 @@ fn velo_side(size: u64, iters: u32) -> (Time, f64) {
     )
 }
 
-/// Render the extension experiment as a text report.
-pub fn report(iters: u32) -> String {
+/// Payload sizes swept by [`report`].
+pub fn sizes() -> Vec<u64> {
+    vec![8, 32, 64]
+}
+
+/// One sweep point of [`report`].
+pub fn point(size: u64, iters: u32) -> VeloResult {
+    velo_vs_rma(size, iters)
+}
+
+/// Render sweep results (in [`sizes`] order) as the text report.
+pub fn render(results: &[VeloResult]) -> String {
     let mut out = String::from(
         "# extension: VELO small-message engine vs RMA put (GPU-driven, EXTOLL)\n",
     );
@@ -183,11 +193,10 @@ pub fn report(iters: u32) -> String {
         "{:>8} {:>14} {:>14} {:>14} {:>14}\n",
         "bytes", "RMA lat us", "VELO lat us", "RMA msg/s", "VELO msg/s"
     ));
-    for size in [8u64, 32, 64] {
-        let r = velo_vs_rma(size, iters);
+    for r in results {
         out.push_str(&format!(
             "{:>8} {:>14.2} {:>14.2} {:>14.0} {:>14.0}\n",
-            size,
+            r.size,
             tc_desim::time::to_us_f64(r.rma_latency),
             tc_desim::time::to_us_f64(r.velo_latency),
             r.rma_rate,
@@ -200,6 +209,13 @@ pub fn report(iters: u32) -> String {
          the hardware embodiment of the paper's SVI claims.\n",
     );
     out
+}
+
+/// Render the extension experiment as a text report (serial sweep; the
+/// parallel runner fans out [`point`] per size instead).
+pub fn report(iters: u32) -> String {
+    let results: Vec<VeloResult> = sizes().into_iter().map(|s| point(s, iters)).collect();
+    render(&results)
 }
 
 #[cfg(test)]

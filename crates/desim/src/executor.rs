@@ -4,10 +4,18 @@
 //! executor never uses real wakers: every wake-up is explicit through the
 //! simulation's own data structures (timer events or the primitives in
 //! [`crate::sync`]), which keeps scheduling fully deterministic.
+//!
+//! The hot path is allocation- and borrow-lean: timers live in the slab of
+//! the [timing wheel](crate::queue), process names are interned (see
+//! `intern.rs`), `now()`/`current_proc()` read `Cell`s without touching the
+//! `RefCell`-guarded state, and polling a process takes exactly two
+//! `borrow_mut`s (take the future out, put it back). The seed binary-heap
+//! event queue is retained behind [`QueueKind::RefHeap`] as the golden
+//! reference; both queues pop timers in identical `(time, seq)` order, so
+//! the choice is invisible to simulation results.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -15,7 +23,9 @@ use std::task::{Context, Poll, Waker};
 
 use tc_trace::{Recorder, Registry};
 
-use crate::sync::Signal;
+use crate::intern::{NameId, NameTable};
+use crate::queue::{QueueKind, TimerId, TimerQueue, TimerRef};
+use crate::sync::{Signal, WaitCells, WaitToken};
 use crate::time::Time;
 
 /// Identifier of a spawned process. Stable for the lifetime of the process.
@@ -26,53 +36,48 @@ type BoxedProc = Pin<Box<dyn Future<Output = ()>>>;
 
 struct ProcSlot {
     fut: Option<BoxedProc>,
-    name: String,
+    name: NameId,
     /// Set while the process is on the runnable queue, to avoid duplicates.
     queued: bool,
 }
 
-/// A timer that fires at a given simulated time.
-struct TimerState {
-    fired: Cell<bool>,
-    waiter: Cell<Option<ProcId>>,
-}
-
-struct Ev {
-    at: Time,
-    seq: u64,
-    timer: Rc<TimerState>,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 pub(crate) struct Inner {
-    now: Time,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Ev>>,
+    queue: TimerQueue,
     runnable: VecDeque<ProcId>,
     procs: Vec<Option<ProcSlot>>,
     free: Vec<usize>,
     live: usize,
-    current: Option<ProcId>,
+    names: NameTable,
+    waits: WaitCells,
 }
 
-/// Handle to a simulation. Cheap to clone; all clones refer to the same
-/// simulated world.
+impl Inner {
+    /// Queue `pid` if it is live and not already queued. Callers already
+    /// hold the `borrow_mut`, so notify storms pay one borrow total.
+    fn make_runnable(&mut self, pid: ProcId) {
+        if let Some(Some(slot)) = self.procs.get_mut(pid.0) {
+            if !slot.queued {
+                slot.queued = true;
+                self.runnable.push_back(pid);
+            }
+        }
+    }
+}
+
+struct Shared {
+    /// Clock fast path: mirrors the run loop's notion of "now" so `now()`
+    /// is a `Cell` read, never a `RefCell` borrow.
+    now: Cell<Time>,
+    /// Process currently being polled, if any (fast path for
+    /// `current_proc()` and trace track names).
+    current: Cell<Option<ProcId>>,
+    inner: RefCell<Inner>,
+    registry: Registry,
+    recorder: Recorder,
+}
+
+/// Handle to a simulation. Cheap to clone (one reference-count bump); all
+/// clones refer to the same simulated world.
 ///
 /// Every simulation carries the instrumentation layer with it: a
 /// [`Registry`] of named counters the hardware models register into, and a
@@ -81,9 +86,7 @@ pub(crate) struct Inner {
 /// simulated behaviour.
 #[derive(Clone)]
 pub struct Sim {
-    inner: Rc<RefCell<Inner>>,
-    registry: Registry,
-    recorder: Recorder,
+    shared: Rc<Shared>,
 }
 
 impl Default for Sim {
@@ -93,59 +96,91 @@ impl Default for Sim {
 }
 
 impl Sim {
-    /// Create an empty simulation at time zero.
+    /// Create an empty simulation at time zero, using the default event
+    /// queue ([`QueueKind::Wheel`] unless the `ref-heap` feature is on).
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::default())
+    }
+
+    /// Create an empty simulation with an explicit event-queue
+    /// implementation. Scheduling order is identical for every
+    /// [`QueueKind`]; this switch exists for the equivalence tests and the
+    /// wheel-vs-heap microbenchmarks.
+    pub fn with_queue(kind: QueueKind) -> Self {
         Sim {
-            inner: Rc::new(RefCell::new(Inner {
-                now: 0,
-                seq: 0,
-                queue: BinaryHeap::new(),
-                runnable: VecDeque::new(),
-                procs: Vec::new(),
-                free: Vec::new(),
-                live: 0,
-                current: None,
-            })),
-            registry: Registry::new(),
-            recorder: Recorder::new(),
+            shared: Rc::new(Shared {
+                now: Cell::new(0),
+                current: Cell::new(None),
+                inner: RefCell::new(Inner {
+                    queue: TimerQueue::new(kind),
+                    runnable: VecDeque::new(),
+                    procs: Vec::new(),
+                    free: Vec::new(),
+                    live: 0,
+                    names: NameTable::new(),
+                    waits: WaitCells::new(),
+                }),
+                registry: Registry::new(),
+                recorder: Recorder::new(),
+            }),
         }
+    }
+
+    /// Which event-queue implementation this simulation runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.shared.inner.borrow().queue.kind()
     }
 
     /// The counter registry shared by every component of this simulation.
     pub fn registry(&self) -> &Registry {
-        &self.registry
+        &self.shared.registry
     }
 
     /// The structured event recorder shared by every component of this
     /// simulation. Disabled by default; see [`Recorder::enable`].
     pub fn recorder(&self) -> &Recorder {
-        &self.recorder
+        &self.shared.recorder
     }
 
     /// Current simulated time in picoseconds.
+    #[inline]
     pub fn now(&self) -> Time {
-        self.inner.borrow().now
+        self.shared.now.get()
     }
 
     /// Number of processes that have been spawned and not yet finished.
     pub fn live_processes(&self) -> usize {
-        self.inner.borrow().live
+        self.shared.inner.borrow().live
+    }
+
+    /// Number of timers currently scheduled. (On the reference heap this
+    /// includes abandoned timers that will fire into the void, mirroring
+    /// the seed's accounting; the wheel frees cancelled timers eagerly.)
+    pub fn pending_timers(&self) -> usize {
+        self.shared.inner.borrow().queue.len()
     }
 
     /// Spawn a process. It becomes runnable at the current simulated time.
+    /// The name is interned: spawning many processes under a repeated name
+    /// costs no allocation for the name after the first.
     pub fn spawn<F>(&self, name: &str, fut: F) -> ProcId
     where
         F: Future<Output = ()> + 'static,
     {
-        if self.recorder.on() {
-            let now = self.inner.borrow().now;
-            self.recorder
-                .instant(now, "desim", "executor", "spawn", vec![("proc", name.into())]);
+        if self.shared.recorder.on() {
+            self.shared.recorder.instant(
+                self.shared.now.get(),
+                "desim",
+                "executor",
+                "spawn",
+                vec![("proc", name.into())],
+            );
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.shared.inner.borrow_mut();
+        let name = inner.names.intern(name);
         let slot = ProcSlot {
             fut: Some(Box::pin(fut)),
-            name: name.to_string(),
+            name,
             queued: true,
         };
         let id = match inner.free.pop() {
@@ -166,54 +201,87 @@ impl Sim {
     /// Mark `pid` runnable at the current time (no-op if already queued or
     /// finished). Used by the sync primitives.
     pub(crate) fn make_runnable(&self, pid: ProcId) {
-        let mut inner = self.inner.borrow_mut();
-        if let Some(Some(slot)) = inner.procs.get_mut(pid.0) {
-            if !slot.queued {
-                slot.queued = true;
-                inner.runnable.push_back(pid);
-            }
-        }
+        self.shared.inner.borrow_mut().make_runnable(pid);
     }
 
+    #[inline]
     pub(crate) fn current_proc(&self) -> ProcId {
-        self.inner
-            .borrow()
+        self.shared
             .current
+            .get()
             .expect("sim primitive awaited outside of a simulation process")
     }
 
+    // -- wait-cell plumbing for crate::sync ---------------------------------
+
+    pub(crate) fn wait_alloc(&self) -> WaitToken {
+        self.shared.inner.borrow_mut().waits.alloc()
+    }
+
+    /// If the cell behind `tok` has been set, free it and return true.
+    pub(crate) fn wait_take(&self, tok: WaitToken) -> bool {
+        self.shared.inner.borrow_mut().waits.take(tok)
+    }
+
+    /// Release a wait cell that will never be taken (dropped `Wait`).
+    pub(crate) fn wait_cancel(&self, tok: WaitToken) {
+        if let Ok(mut inner) = self.shared.inner.try_borrow_mut() {
+            inner.waits.cancel(tok);
+        }
+    }
+
+    /// Wake every `(pid, token)` pair, in order, under a single borrow.
+    /// Stale tokens (their `Wait` was dropped) still wake the process —
+    /// exactly the seed's orphan-waiter behaviour — they just can't set a
+    /// recycled cell.
+    pub(crate) fn wake_waiters(&self, waiters: &mut Vec<(ProcId, WaitToken)>) {
+        let mut inner = self.shared.inner.borrow_mut();
+        for (pid, tok) in waiters.drain(..) {
+            inner.waits.set(tok);
+            inner.make_runnable(pid);
+        }
+    }
+
+    /// Wake a single waiter.
+    pub(crate) fn wake_one(&self, pid: ProcId, tok: WaitToken) {
+        let mut inner = self.shared.inner.borrow_mut();
+        inner.waits.set(tok);
+        inner.make_runnable(pid);
+    }
+
+    // -----------------------------------------------------------------------
+
     fn poll_proc(&self, pid: ProcId) {
         // Move the future out of the slab so polling can re-borrow `inner`.
-        let (mut fut, wake_ev) = {
-            let mut inner = self.inner.borrow_mut();
-            let now = inner.now;
+        let mut fut = {
+            let mut inner = self.shared.inner.borrow_mut();
             let slot = match inner.procs.get_mut(pid.0) {
                 Some(Some(s)) => s,
                 _ => return,
             };
             slot.queued = false;
-            let wake_ev = if self.recorder.on() {
-                Some((now, slot.name.clone()))
-            } else {
-                None
-            };
-            match slot.fut.take() {
-                Some(f) => {
-                    inner.current = Some(pid);
-                    (f, wake_ev)
-                }
+            let fut = match slot.fut.take() {
+                Some(f) => f,
                 None => return,
+            };
+            if self.shared.recorder.on() {
+                let name = slot.name;
+                self.shared.recorder.instant(
+                    self.shared.now.get(),
+                    "desim",
+                    "executor",
+                    "wake",
+                    vec![("proc", (&**inner.names.get(name)).into())],
+                );
             }
+            fut
         };
-        if let Some((now, name)) = wake_ev {
-            self.recorder
-                .instant(now, "desim", "executor", "wake", vec![("proc", name.into())]);
-        }
+        self.shared.current.set(Some(pid));
         let waker = Waker::noop();
         let mut cx = Context::from_waker(waker);
         let done = fut.as_mut().poll(&mut cx).is_ready();
-        let mut inner = self.inner.borrow_mut();
-        inner.current = None;
+        self.shared.current.set(None);
+        let mut inner = self.shared.inner.borrow_mut();
         if done {
             inner.procs[pid.0] = None;
             inner.free.push(pid.0);
@@ -235,32 +303,30 @@ impl Sim {
         loop {
             // Drain everything runnable at the current instant.
             loop {
-                let next = self.inner.borrow_mut().runnable.pop_front();
+                let next = self.shared.inner.borrow_mut().runnable.pop_front();
                 match next {
                     Some(pid) => self.poll_proc(pid),
                     None => break,
                 }
             }
-            // Advance to the next timer event.
-            let timer = {
-                let mut inner = self.inner.borrow_mut();
-                match inner.queue.pop() {
-                    Some(Reverse(ev)) => {
-                        if ev.at > deadline {
-                            inner.queue.push(Reverse(ev));
-                            inner.now = deadline;
-                            return deadline;
-                        }
-                        debug_assert!(ev.at >= inner.now, "time went backwards");
-                        inner.now = ev.at;
-                        ev.timer
-                    }
-                    None => return inner.now,
+            // Advance to the next timer event. `next_at(deadline)` may
+            // return a conservative bound when the true next event is past
+            // the deadline; either way `at > deadline` means "stop here".
+            let mut inner = self.shared.inner.borrow_mut();
+            match inner.queue.next_at(deadline) {
+                Some(at) if at > deadline => {
+                    self.shared.now.set(deadline);
+                    return deadline;
                 }
-            };
-            timer.fired.set(true);
-            if let Some(pid) = timer.waiter.take() {
-                self.make_runnable(pid);
+                Some(_) => {
+                    let (at, waiter) = inner.queue.pop().expect("due timer vanished");
+                    debug_assert!(at >= self.shared.now.get(), "time went backwards");
+                    self.shared.now.set(at);
+                    if let Some(pid) = waiter {
+                        inner.make_runnable(pid);
+                    }
+                }
+                None => return self.shared.now.get(),
             }
         }
     }
@@ -292,36 +358,43 @@ impl Sim {
     /// over [`Sim::recorder`]: it enables the structured recorder and
     /// discards any previously recorded events.
     pub fn trace_enable(&self) {
-        self.recorder.clear();
-        self.recorder.enable();
+        self.shared.recorder.clear();
+        self.shared.recorder.enable();
     }
 
     /// Record a timestamped string label. A no-op unless recording is
     /// enabled — hardware models and drivers sprinkle these at interesting
-    /// points and pay one branch when tracing is off. Labels land in the
-    /// structured recorder as instants on layer `"user"`, tracked by the
-    /// emitting process, so they appear alongside hardware events in a
-    /// Chrome trace export.
+    /// points and pay one branch (and zero allocation) when tracing is off.
+    /// Labels land in the structured recorder as instants on layer
+    /// `"user"`, tracked by the emitting process, so they appear alongside
+    /// hardware events in a Chrome trace export.
     pub fn trace(&self, label: impl FnOnce() -> String) {
-        if !self.recorder.on() {
+        if !self.shared.recorder.on() {
             return;
         }
-        let now = self.now();
-        let track = self
-            .current_proc_name()
-            .unwrap_or_else(|| "main".to_string());
-        self.recorder.instant(now, "user", track, label(), vec![]);
+        let now = self.shared.now.get();
+        match self.current_proc_name() {
+            Some(name) => self
+                .shared
+                .recorder
+                .instant(now, "user", &*name, label(), vec![]),
+            None => self
+                .shared
+                .recorder
+                .instant(now, "user", "main", label(), vec![]),
+        }
     }
 
     /// Whether trace recording is currently enabled.
     pub fn trace_enabled(&self) -> bool {
-        self.recorder.on()
+        self.shared.recorder.on()
     }
 
     /// Take the recorded string labels (layer `"user"` only — structured
     /// hardware events stay in the recorder), leaving tracing enabled.
     pub fn take_trace(&self) -> Vec<(Time, String)> {
-        self.recorder
+        self.shared
+            .recorder
             .take_layer("user")
             .into_iter()
             .map(|ev| (ev.ts, ev.name))
@@ -329,50 +402,43 @@ impl Sim {
     }
 
     /// Name of the process currently being polled, if any.
-    fn current_proc_name(&self) -> Option<String> {
-        let inner = self.inner.borrow();
-        let pid = inner.current?;
-        inner
-            .procs
-            .get(pid.0)?
-            .as_ref()
-            .map(|s| s.name.clone())
+    fn current_proc_name(&self) -> Option<Rc<str>> {
+        let pid = self.shared.current.get()?;
+        let inner = self.shared.inner.borrow();
+        let slot = inner.procs.get(pid.0)?.as_ref()?;
+        Some(inner.names.get(slot.name).clone())
     }
 
     /// Names of processes that are still alive (useful to diagnose
     /// deadlocks after [`Sim::run`] returns with live processes).
     pub fn stuck_processes(&self) -> Vec<String> {
-        self.inner
-            .borrow()
+        let inner = self.shared.inner.borrow();
+        inner
             .procs
             .iter()
             .flatten()
-            .map(|s| s.name.clone())
+            .map(|s| inner.names.get(s.name).to_string())
             .collect()
     }
 
-    fn schedule_timer(&self, at: Time) -> Rc<TimerState> {
-        let timer = Rc::new(TimerState {
-            fired: Cell::new(false),
-            waiter: Cell::new(None),
-        });
-        let mut inner = self.inner.borrow_mut();
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.queue.push(Reverse(Ev {
-            at,
-            seq,
-            timer: timer.clone(),
-        }));
-        timer
+    fn schedule_timer(&self, at: Time, waiter: ProcId) -> TimerRef {
+        self.shared.inner.borrow_mut().queue.schedule(at, waiter)
+    }
+
+    fn timer_pending(&self, id: TimerId) -> bool {
+        self.shared.inner.borrow().queue.is_pending(id)
     }
 }
 
 /// Future returned by [`Sim::delay`].
+///
+/// Dropping a pending wheel-backed `Delay` cancels its timer and frees the
+/// slab slot. (The reference heap mirrors the seed instead: the abandoned
+/// event stays queued and fires into the void.)
 pub struct Delay {
     sim: Sim,
     dur: Time,
-    timer: Option<Rc<TimerState>>,
+    timer: Option<TimerRef>,
 }
 
 impl Future for Delay {
@@ -385,13 +451,21 @@ impl Future for Delay {
                 if this.dur == 0 {
                     return Poll::Ready(());
                 }
+                let pid = this.sim.current_proc();
                 let at = this.sim.now() + this.dur;
-                let timer = this.sim.schedule_timer(at);
-                timer.waiter.set(Some(this.sim.current_proc()));
-                this.timer = Some(timer);
+                this.timer = Some(this.sim.schedule_timer(at, pid));
                 Poll::Pending
             }
-            Some(t) => {
+            Some(TimerRef::Wheel(id)) => {
+                if this.sim.timer_pending(*id) {
+                    Poll::Pending
+                } else {
+                    // Fired; the queue already freed the slot.
+                    this.timer = None;
+                    Poll::Ready(())
+                }
+            }
+            Some(TimerRef::Heap(t)) => {
                 if t.fired.get() {
                     Poll::Ready(())
                 } else {
@@ -399,6 +473,16 @@ impl Future for Delay {
                     t.waiter.set(Some(this.sim.current_proc()));
                     Poll::Pending
                 }
+            }
+        }
+    }
+}
+
+impl Drop for Delay {
+    fn drop(&mut self) {
+        if let Some(TimerRef::Wheel(id)) = self.timer.take() {
+            if let Ok(mut inner) = self.sim.shared.inner.try_borrow_mut() {
+                inner.queue.cancel(id);
             }
         }
     }
@@ -421,13 +505,7 @@ impl Future for YieldNow {
             this.yielded = true;
             let pid = this.sim.current_proc();
             // Requeue ourselves behind everything currently runnable.
-            let mut inner = this.sim.inner.borrow_mut();
-            if let Some(Some(slot)) = inner.procs.get_mut(pid.0) {
-                if !slot.queued {
-                    slot.queued = true;
-                    inner.runnable.push_back(pid);
-                }
-            }
+            this.sim.make_runnable(pid);
             Poll::Pending
         }
     }
@@ -623,5 +701,50 @@ mod tests {
         let b = one_run();
         assert_eq!(a, b);
         assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn both_queue_kinds_run_the_same_schedule() {
+        fn one_run(kind: QueueKind) -> Vec<(u64, &'static str)> {
+            let sim = Sim::with_queue(kind);
+            assert_eq!(sim.queue_kind(), kind);
+            let log = Rc::new(StdRefCell::new(Vec::new()));
+            for (name, start, period) in
+                [("p1", 3u64, 7u64), ("p2", 1, 5), ("p3", 4, 7), ("p4", 2, 3)]
+            {
+                let h = sim.clone();
+                let log2 = log.clone();
+                sim.spawn(name, async move {
+                    h.delay(ns(start)).await;
+                    for _ in 0..50 {
+                        h.delay(ns(period)).await;
+                        log2.borrow_mut().push((h.now(), name));
+                    }
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(one_run(QueueKind::Wheel), one_run(QueueKind::RefHeap));
+    }
+
+    #[test]
+    fn dropped_delay_cancels_wheel_timer() {
+        let sim = Sim::with_queue(QueueKind::Wheel);
+        let h = sim.clone();
+        sim.spawn("canceller", async move {
+            {
+                let mut d = h.delay(ns(500));
+                // Poll once to schedule the timer, then drop it.
+                std::future::poll_fn(|cx| {
+                    assert!(Pin::new(&mut d).poll(cx).is_pending());
+                    Poll::Ready(())
+                })
+                .await;
+            }
+            h.delay(ns(10)).await;
+        });
+        // The cancelled 500 ns timer must not extend the run.
+        assert_eq!(sim.run(), ns(10));
     }
 }

@@ -1,0 +1,104 @@
+//! Process-name interning.
+//!
+//! The seed executor cloned every process name into its slot (`String` per
+//! spawn) and again for every recorded wake event. Models spawn the same
+//! handful of role names ("requester", "completer", "warp", ...) thousands
+//! of times, so the executor now interns names once into a `Rc<str>` table
+//! and stores a 4-byte id per process. The recorder-off hot path does a
+//! hash lookup instead of an allocation; the table only grows by the number
+//! of *distinct* names.
+//!
+//! The map uses an in-tree FxHash-style hasher (the workspace has no
+//! external dependencies): multiply-xor over 8-byte chunks — not
+//! DoS-resistant, which is irrelevant for simulation-internal keys, and
+//! several times faster than SipHash on short strings.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// FxHash-style multiply-xor hasher for short simulation-internal keys.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.hash = (self.hash.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(SEED);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Interned process-name id, an index into the [`NameTable`].
+pub(crate) type NameId = u32;
+
+pub(crate) struct NameTable {
+    names: Vec<Rc<str>>,
+    index: HashMap<Rc<str>, NameId, FxBuild>,
+}
+
+impl NameTable {
+    pub(crate) fn new() -> Self {
+        NameTable {
+            names: Vec::new(),
+            index: HashMap::default(),
+        }
+    }
+
+    /// Id for `name`, allocating it in the table on first sight only.
+    pub(crate) fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let rc: Rc<str> = Rc::from(name);
+        let id = self.names.len() as NameId;
+        self.names.push(rc.clone());
+        self.index.insert(rc, id);
+        id
+    }
+
+    pub(crate) fn get(&self, id: NameId) -> &Rc<str> {
+        &self.names[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_repeat_names() {
+        let mut t = NameTable::new();
+        let a = t.intern("requester");
+        let b = t.intern("completer");
+        let a2 = t.intern("requester");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(&**t.get(a), "requester");
+        assert_eq!(&**t.get(b), "completer");
+        assert_eq!(t.names.len(), 2, "repeat interns must not grow the table");
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        fn h(s: &str) -> u64 {
+            let mut hh = FxHasher::default();
+            hh.write(s.as_bytes());
+            hh.finish()
+        }
+        assert_eq!(h("gpu0.warp"), h("gpu0.warp"));
+        assert_ne!(h("gpu0.warp"), h("gpu1.warp"));
+    }
+}

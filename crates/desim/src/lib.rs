@@ -2,9 +2,11 @@
 //! `tc-desim` — a deterministic discrete-event simulation (DES) kernel.
 //!
 //! This crate provides the simulation substrate used by every hardware model
-//! in the workspace: a picosecond-resolution virtual clock, a binary-heap
-//! event queue, and a single-threaded cooperative executor that runs
-//! *processes* expressed as ordinary Rust `async` blocks.
+//! in the workspace: a picosecond-resolution virtual clock, a slab-backed
+//! hierarchical timing-wheel event queue (with the original binary heap
+//! kept as a selectable golden reference — see [`QueueKind`]), and a
+//! single-threaded cooperative executor that runs *processes* expressed as
+//! ordinary Rust `async` blocks.
 //!
 //! # Model
 //!
@@ -42,10 +44,13 @@
 //! ```
 
 pub mod executor;
+mod intern;
+mod queue;
 pub mod sync;
 pub mod time;
 
 pub use executor::{ProcId, Sim};
+pub use queue::QueueKind;
 pub use time::{Freq, Time};
 
 // Re-exported so hardware models can name instrumentation types through

@@ -13,14 +13,95 @@ use std::task::{Context, Poll};
 
 use crate::executor::{ProcId, Sim};
 
-struct Waiter {
-    pid: ProcId,
-    woken: Rc<Cell<bool>>,
+/// Handle to a slab wait cell (see [`WaitCells`]). Stale once the cell is
+/// taken or cancelled — the generation counter moves on with the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WaitToken {
+    idx: u32,
+    gen: u32,
+}
+
+struct WaitCell {
+    set: bool,
+    gen: u32,
+}
+
+/// Slab of one-shot wake flags, owned by the executor.
+///
+/// The seed allocated an `Rc<Cell<bool>>` per `Signal::wait`; under
+/// channel/semaphore churn that is one heap allocation per blocking
+/// operation. Cells in this slab are recycled through a free list, and a
+/// per-slot generation keeps recycled cells safe: a notifier holding a
+/// stale token wakes the process (seed orphan-waiter semantics) but cannot
+/// set the recycled cell.
+pub(crate) struct WaitCells {
+    cells: Vec<WaitCell>,
+    free: Vec<u32>,
+}
+
+impl WaitCells {
+    pub(crate) fn new() -> Self {
+        WaitCells {
+            cells: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    pub(crate) fn alloc(&mut self) -> WaitToken {
+        match self.free.pop() {
+            Some(idx) => {
+                self.cells[idx as usize].set = false;
+                WaitToken {
+                    idx,
+                    gen: self.cells[idx as usize].gen,
+                }
+            }
+            None => {
+                self.cells.push(WaitCell { set: false, gen: 0 });
+                WaitToken {
+                    idx: (self.cells.len() - 1) as u32,
+                    gen: 0,
+                }
+            }
+        }
+    }
+
+    /// Set the cell, unless `tok` is stale (its `Wait` was dropped and the
+    /// slot may have been recycled).
+    pub(crate) fn set(&mut self, tok: WaitToken) {
+        let c = &mut self.cells[tok.idx as usize];
+        if c.gen == tok.gen {
+            c.set = true;
+        }
+    }
+
+    /// If the cell is set, free it and return true. Only the token's owner
+    /// calls this, so a live token can never observe a recycled slot.
+    pub(crate) fn take(&mut self, tok: WaitToken) -> bool {
+        let c = &mut self.cells[tok.idx as usize];
+        debug_assert_eq!(c.gen, tok.gen, "wait cell taken through a stale token");
+        if c.gen == tok.gen && c.set {
+            c.gen = c.gen.wrapping_add(1);
+            self.free.push(tok.idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Free a cell whose owner is going away without taking it.
+    pub(crate) fn cancel(&mut self, tok: WaitToken) {
+        let c = &mut self.cells[tok.idx as usize];
+        if c.gen == tok.gen {
+            c.gen = c.gen.wrapping_add(1);
+            self.free.push(tok.idx);
+        }
+    }
 }
 
 struct SignalInner {
     sim: Sim,
-    waiters: RefCell<Vec<Waiter>>,
+    waiters: RefCell<Vec<(ProcId, WaitToken)>>,
 }
 
 /// A broadcast/wake signal: processes block on [`Signal::wait`] until another
@@ -63,13 +144,15 @@ impl Signal {
         }
     }
 
-    /// Wake every process currently blocked in [`Signal::wait`].
+    /// Wake every process currently blocked in [`Signal::wait`]. All
+    /// waiters are flagged and queued under one executor borrow, in FIFO
+    /// order.
     pub fn notify_all(&self) {
-        let waiters = std::mem::take(&mut *self.inner.waiters.borrow_mut());
-        for w in waiters {
-            w.woken.set(true);
-            self.inner.sim.make_runnable(w.pid);
+        let mut ws = self.inner.waiters.borrow_mut();
+        if ws.is_empty() {
+            return;
         }
+        self.inner.sim.wake_waiters(&mut ws);
     }
 
     /// Wake the longest-waiting blocked process, if any.
@@ -82,9 +165,8 @@ impl Signal {
                 Some(ws.remove(0))
             }
         };
-        if let Some(w) = w {
-            w.woken.set(true);
-            self.inner.sim.make_runnable(w.pid);
+        if let Some((pid, tok)) = w {
+            self.inner.sim.wake_one(pid, tok);
         }
     }
 
@@ -97,7 +179,7 @@ impl Signal {
     pub fn wait(&self) -> Wait {
         Wait {
             signal: self.clone(),
-            woken: None,
+            token: None,
         }
     }
 
@@ -112,10 +194,11 @@ impl Signal {
     }
 }
 
-/// Future returned by [`Signal::wait`].
+/// Future returned by [`Signal::wait`]. The wake flag is a recycled slab
+/// cell in the executor, not a fresh allocation per wait.
 pub struct Wait {
     signal: Signal,
-    woken: Option<Rc<Cell<bool>>>,
+    token: Option<WaitToken>,
 }
 
 impl Future for Wait {
@@ -123,24 +206,35 @@ impl Future for Wait {
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
         let this = self.get_mut();
-        match &this.woken {
+        match this.token {
             None => {
-                let woken = Rc::new(Cell::new(false));
-                let pid = this.signal.inner.sim.current_proc();
-                this.signal.inner.waiters.borrow_mut().push(Waiter {
-                    pid,
-                    woken: woken.clone(),
-                });
-                this.woken = Some(woken);
+                let sim = &this.signal.inner.sim;
+                let pid = sim.current_proc();
+                let tok = sim.wait_alloc();
+                this.signal.inner.waiters.borrow_mut().push((pid, tok));
+                this.token = Some(tok);
                 Poll::Pending
             }
-            Some(w) => {
-                if w.get() {
+            Some(tok) => {
+                if this.signal.inner.sim.wait_take(tok) {
+                    this.token = None;
                     Poll::Ready(())
                 } else {
                     Poll::Pending
                 }
             }
+        }
+    }
+}
+
+impl Drop for Wait {
+    fn drop(&mut self) {
+        // A never-completed wait frees its cell; its entry on the waiter
+        // list (if still there) becomes a stale token, which wakes the
+        // process without touching the recycled cell — the same observable
+        // behaviour as the seed's orphaned `Rc<Cell<bool>>` waiters.
+        if let Some(tok) = self.token.take() {
+            self.signal.inner.sim.wait_cancel(tok);
         }
     }
 }

@@ -1,0 +1,251 @@
+//! Wheel-vs-heap equivalence under randomized schedules.
+//!
+//! The timing wheel must be *observationally identical* to the reference
+//! binary heap: same wake times, same process interleaving, same final
+//! clock. These tests drive thousands of seeded pseudo-random schedules —
+//! mixed-magnitude delays straddling every wheel-level boundary, process
+//! spawns, yields, and channel traffic — through `Sim::with_queue` under
+//! both [`QueueKind`]s and assert the execution logs match event for
+//! event. A failing seed prints, so any divergence replays exactly.
+//!
+//! A second suite pins down the `run_until` deadline semantics the
+//! wheel's bounded-peek contract has to honor (events exactly at the
+//! deadline fire, later ones do not, pausing at cascade boundaries and
+//! resuming changes nothing).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tc_desim::sync::Channel;
+use tc_desim::time::Time;
+use tc_desim::{QueueKind, Sim};
+use tc_trace::rng::XorShift64;
+
+/// One observed step: (sim time, actor tag, step counter).
+type Log = Rc<RefCell<Vec<(Time, u64, u32)>>>;
+
+/// A delay whose magnitude lands on or near the wheel's cascade
+/// boundaries (64, 4096, 64^3, …) as often as deep inside a level.
+fn random_delay(rng: &mut XorShift64) -> Time {
+    match rng.below(7) {
+        0 => rng.range(1, 64),                        // level 0
+        1 => rng.range(60, 70),                       // straddles 64
+        2 => rng.range(4090, 4103),                   // straddles 64^2
+        3 => rng.range(1, 1 << 18),                   // levels 0..=2
+        4 => rng.range((1 << 18) - 50, (1 << 18) + 50), // straddles 64^3
+        5 => rng.range(1, 1 << 30),                   // mid levels
+        _ => rng.range(1, 1 << 42),                   // high levels
+    }
+}
+
+/// Run one seeded schedule to completion and return its execution log.
+/// Every random draw comes from per-process generators seeded only by
+/// `seed` and the process index, so both queue kinds see the exact same
+/// program.
+fn run_schedule(kind: QueueKind, seed: u64) -> Vec<(Time, u64, u32)> {
+    let sim = Sim::with_queue(kind);
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let chan: Channel<u64> = Channel::new(&sim, 4);
+    let procs = 3 + seed % 4;
+    for p in 0..procs {
+        let h = sim.clone();
+        let l = log.clone();
+        let c = chan.clone();
+        let mut rng = XorShift64::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (p + 1));
+        sim.spawn("stress", async move {
+            let steps = 8 + rng.below(24) as u32;
+            for step in 0..steps {
+                l.borrow_mut().push((h.now(), p, step));
+                match rng.below(10) {
+                    0..=4 => h.delay(random_delay(&mut rng)).await,
+                    5 => h.yield_now().await,
+                    6 => {
+                        // Non-blocking traffic keeps the schedule free of
+                        // cross-process deadlock while still exercising
+                        // the waiter paths via the blocking ops below.
+                        let _ = c.try_send(step as u64);
+                    }
+                    7 => {
+                        let _ = c.try_recv();
+                    }
+                    8 => c.send(step as u64).await,
+                    _ => {
+                        // Children interleave with their parents and log
+                        // under a unique tag.
+                        let hh = h.clone();
+                        let ll = l.clone();
+                        let d = random_delay(&mut rng);
+                        let tag = (p + 1) << 32 | step as u64;
+                        h.spawn("stress.child", async move {
+                            hh.delay(d).await;
+                            ll.borrow_mut().push((hh.now(), tag, 0));
+                        });
+                    }
+                }
+            }
+            l.borrow_mut().push((h.now(), p, u32::MAX));
+        });
+    }
+    // Drain leftover channel backlog so blocked senders finish. The
+    // period matches the largest random delay so the drain adds a bounded
+    // handful of events per schedule.
+    let h = sim.clone();
+    let c = chan.clone();
+    sim.spawn("stress.drain", async move {
+        loop {
+            h.delay(1 << 42).await;
+            while c.try_recv().is_some() {}
+            if h.live_processes() <= 1 {
+                break;
+            }
+        }
+    });
+    sim.run();
+    Rc::try_unwrap(log).expect("all schedule processes ended").into_inner()
+}
+
+/// Same schedule, but executed as a series of `run_until` steps at
+/// pseudo-random deadlines before the final `run()`. Pausing must never
+/// change what the simulation does.
+fn run_schedule_stepped(kind: QueueKind, seed: u64) -> Vec<(Time, u64, u32)> {
+    let sim = Sim::with_queue(kind);
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let procs = 3 + seed % 4;
+    for p in 0..procs {
+        let h = sim.clone();
+        let l = log.clone();
+        let mut rng = XorShift64::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (p + 1));
+        sim.spawn("stepped", async move {
+            let steps = 8 + rng.below(16) as u32;
+            for step in 0..steps {
+                l.borrow_mut().push((h.now(), p, step));
+                h.delay(random_delay(&mut rng)).await;
+            }
+            l.borrow_mut().push((h.now(), p, u32::MAX));
+        });
+    }
+    let mut pacer = XorShift64::new(seed ^ 0x5bd1_e995);
+    let mut deadline = 0u64;
+    for _ in 0..12 {
+        deadline += pacer.range(1, 1 << 34);
+        sim.run_until(deadline);
+    }
+    sim.run();
+    Rc::try_unwrap(log).expect("all schedule processes ended").into_inner()
+}
+
+#[test]
+fn thousands_of_random_schedules_agree() {
+    let mut total_events = 0usize;
+    for seed in 0..1500u64 {
+        let wheel = run_schedule(QueueKind::Wheel, seed);
+        let heap = run_schedule(QueueKind::RefHeap, seed);
+        assert_eq!(
+            wheel, heap,
+            "wheel and heap diverged on seed {seed} \
+             (first difference at index {:?})",
+            wheel.iter().zip(&heap).position(|(a, b)| a != b)
+        );
+        assert!(!wheel.is_empty(), "seed {seed} produced an empty schedule");
+        total_events += wheel.len();
+    }
+    // Guard against the generator degenerating into trivial schedules.
+    assert!(
+        total_events > 50_000,
+        "schedules too small to be meaningful: {total_events} events"
+    );
+}
+
+#[test]
+fn pausing_at_random_deadlines_changes_nothing() {
+    for seed in 0..300u64 {
+        let wheel = run_schedule_stepped(QueueKind::Wheel, seed);
+        let heap = run_schedule_stepped(QueueKind::RefHeap, seed);
+        assert_eq!(wheel, heap, "stepped schedules diverged on seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run_until deadline edge cases
+// ---------------------------------------------------------------------------
+
+/// Spawn a process that logs each wake time after fixed delays.
+fn wake_logger(sim: &Sim, delays: &'static [Time]) -> Log {
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let h = sim.clone();
+    let l = log.clone();
+    sim.spawn("edge", async move {
+        for (i, &d) in delays.iter().enumerate() {
+            h.delay(d).await;
+            l.borrow_mut().push((h.now(), 0, i as u32));
+        }
+    });
+    log
+}
+
+#[test]
+fn event_exactly_at_the_deadline_fires() {
+    for kind in [QueueKind::Wheel, QueueKind::RefHeap] {
+        let sim = Sim::with_queue(kind);
+        let log = wake_logger(&sim, &[100, 1]);
+        // The first delay lands exactly on the deadline: it must fire,
+        // and the follow-up at 101 must not.
+        assert_eq!(sim.run_until(100), 100);
+        assert_eq!(&*log.borrow(), &[(100, 0, 0)], "kind {kind:?}");
+        assert_eq!(sim.run(), 101);
+        assert_eq!(log.borrow().len(), 2);
+    }
+}
+
+#[test]
+fn event_one_past_the_deadline_waits() {
+    for kind in [QueueKind::Wheel, QueueKind::RefHeap] {
+        let sim = Sim::with_queue(kind);
+        let log = wake_logger(&sim, &[101]);
+        assert_eq!(sim.run_until(100), 100, "clock parks on the deadline");
+        assert!(log.borrow().is_empty(), "kind {kind:?}");
+        assert_eq!(sim.now(), 100);
+        assert_eq!(sim.run(), 101);
+        assert_eq!(&*log.borrow(), &[(101, 0, 0)]);
+    }
+}
+
+#[test]
+fn deadlines_on_cascade_boundaries_pause_and_resume_cleanly() {
+    // Park the clock exactly on wheel slot/level boundaries while a
+    // far-future timer is pending, then schedule nearer work — the
+    // bounded peek must leave the wheel able to accept it.
+    for kind in [QueueKind::Wheel, QueueKind::RefHeap] {
+        let sim = Sim::with_queue(kind);
+        let log = wake_logger(&sim, &[1 << 30]);
+        for deadline in [63, 64, 65, 4095, 4096, (1 << 18) - 1, 1 << 18, 1 << 24] {
+            assert_eq!(sim.run_until(deadline), deadline);
+            assert!(log.borrow().is_empty());
+        }
+        let h = sim.clone();
+        let l = log.clone();
+        sim.spawn("late", async move {
+            h.delay(5).await; // now + 5, far below the pending timer
+            l.borrow_mut().push((h.now(), 1, 0));
+        });
+        sim.run();
+        assert_eq!(
+            &*log.borrow(),
+            &[((1 << 24) + 5, 1, 0), (1 << 30, 0, 0)],
+            "kind {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn run_until_with_nothing_pending_returns_now() {
+    for kind in [QueueKind::Wheel, QueueKind::RefHeap] {
+        let sim = Sim::with_queue(kind);
+        assert_eq!(sim.run_until(1000), 0, "kind {kind:?}: idle sim stays put");
+        let log = wake_logger(&sim, &[10]);
+        sim.run();
+        assert_eq!(&*log.borrow(), &[(10, 0, 0)]);
+        // Everything already ran: a later deadline is a no-op at `now`.
+        assert_eq!(sim.run_until(50), 10);
+    }
+}

@@ -33,4 +33,18 @@ test -s "$metrics_dir/pingpong.trace.json"
 cargo run --release -p tc-bench --bin reproduce -- \
     --validate-metrics "$metrics_dir/pingpong.metrics.json"
 
+echo "== DES-kernel microbenchmarks (tc-desim-bench-v1 -> BENCH_desim.json) =="
+# Wheel-vs-reference-heap events/sec; the committed JSON tracks the
+# trajectory PR over PR. Compare against the previous report first so a
+# >25% wheel-throughput regression fails verification.
+TC_BENCH_SAMPLES="${TC_BENCH_SAMPLES:-9}" cargo run --release -p tc-bench --bin reproduce -- \
+    --bench-desim "$metrics_dir/BENCH_desim.json"
+cargo run --release -p tc-bench --bin reproduce -- \
+    --validate-metrics "$metrics_dir/BENCH_desim.json"
+if [ -s BENCH_desim.json ]; then
+    cargo run --release -p tc-bench --bin reproduce -- \
+        --bench-compare BENCH_desim.json "$metrics_dir/BENCH_desim.json"
+fi
+cp "$metrics_dir/BENCH_desim.json" BENCH_desim.json
+
 echo "verify: OK"
