@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p tc-bench --bin reproduce -- [--quick|--full] \
 //!     [--jobs N] [--out DIR] [--metrics DIR] [--trace ID] [--verbose] \
-//!     [experiment ...]
+//!     [--conns N] [--load LIST] [experiment ...]
 //! ```
 //!
 //! With no experiment ids, every experiment in
@@ -29,7 +29,10 @@ use std::time::Instant;
 
 use tc_bench::cli::{parse, usage, Options};
 use tc_bench::pool::Pool;
-use tc_bench::{desimbench, metrics, metrics_report, run_all, trace_report, Scale, ALL_EXPERIMENTS};
+use tc_bench::{
+    desimbench, metrics, metrics_report, run_all_with, trace_report, Scale, WorkloadKnobs,
+    ALL_EXPERIMENTS,
+};
 
 fn write_file(path: &str, contents: &str) {
     match std::fs::File::create(path) {
@@ -154,23 +157,29 @@ fn main() {
         }
     }
 
+    let defaults = WorkloadKnobs::default();
+    let knobs = WorkloadKnobs {
+        conns: opts.conns.unwrap_or(defaults.conns),
+        loads: opts.load.clone().unwrap_or(defaults.loads),
+    };
+
     let t0 = Instant::now();
-    let (reports, stats) = run_all(&pool, &ids, scale);
+    let (outputs, stats) = run_all_with(&pool, &ids, scale, &knobs);
     let elapsed = t0.elapsed();
 
     let mut check_failed = false;
-    for (id, report) in ids.iter().zip(&reports) {
-        println!("{report}");
+    for (id, out) in ids.iter().zip(&outputs) {
+        println!("{}", out.text);
         if let Some(dir) = &opts.out_dir {
-            write_file(&format!("{dir}/{id}.txt"), report);
+            write_file(&format!("{dir}/{id}.txt"), &out.text);
         }
         if let Some(dir) = &opts.metrics_dir {
             write_file(
                 &format!("{dir}/{id}.metrics.json"),
-                &metrics_report(id, scale_name, &stats),
+                &metrics_report(id, scale_name, out.sim.as_ref(), &stats),
             );
         }
-        if *id == "check" && report.contains("[FAIL]") {
+        if *id == "check" && out.text.contains("[FAIL]") {
             check_failed = true;
         }
     }

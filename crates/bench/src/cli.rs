@@ -15,7 +15,7 @@
 use crate::ALL_EXPERIMENTS;
 
 /// Parsed `reproduce` invocation.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Options {
     /// Run at the paper's full iteration counts instead of quick scale.
     pub full: bool,
@@ -42,6 +42,12 @@ pub struct Options {
     /// Compare two `tc-desim-bench-v1` reports (OLD, NEW) and exit
     /// nonzero on a >25% wheel-throughput regression.
     pub bench_compare: Option<(String, String)>,
+    /// `workload` experiment: concurrent connections per load point
+    /// (1..=32); `None` means the default.
+    pub conns: Option<u32>,
+    /// `workload` experiment: offered loads to sweep, in kop/s per
+    /// connection; `None` means the default sweep.
+    pub load: Option<Vec<f64>>,
     /// `--help` / `-h` was given.
     pub help: bool,
 }
@@ -70,6 +76,11 @@ pub fn usage() -> String {
          \x20                representative run\n\
          \x20 --ids LIST     comma-separated experiment ids (same as listing\n\
          \x20                them as positional arguments)\n\
+         \x20 --conns N      workload: concurrent connections per load point\n\
+         \x20                (1..=32, default 4)\n\
+         \x20 --load LIST    workload: comma-separated offered loads to sweep,\n\
+         \x20                in kop/s per connection (positive numbers,\n\
+         \x20                default 4,16,64,256)\n\
          \x20 -v, --verbose  print the runner self-profile at the end\n\
          \x20 --validate-metrics FILE\n\
          \x20                check FILE against its schema (tc-metrics-v1 or\n\
@@ -94,6 +105,36 @@ fn parse_jobs(v: &str) -> Result<usize, String> {
         Ok(n) => Ok(n),
         Err(_) => Err(format!("--jobs expects a number, got {v:?}")),
     }
+}
+
+fn parse_conns(v: &str) -> Result<u32, String> {
+    match v.parse::<u32>() {
+        Ok(n) if (1..=32).contains(&n) => Ok(n),
+        Ok(n) => Err(format!("--conns must be in 1..=32, got {n}")),
+        Err(_) => Err(format!("--conns expects a number, got {v:?}")),
+    }
+}
+
+fn parse_load(list: &str) -> Result<Vec<f64>, String> {
+    let loads: Vec<f64> = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| format!("--load expects numbers, got {s:?}"))
+                .and_then(|x| {
+                    if x.is_finite() && x > 0.0 {
+                        Ok(x)
+                    } else {
+                        Err(format!("--load values must be positive, got {s:?}"))
+                    }
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if loads.is_empty() {
+        return Err("--load needs at least one value".to_string());
+    }
+    Ok(loads)
 }
 
 /// Parse the arguments after the program name. Returns a usage error for
@@ -131,6 +172,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
                 let old = args.next().ok_or("--bench-compare needs OLD and NEW files")?;
                 let new = args.next().ok_or("--bench-compare needs OLD and NEW files")?;
                 opts.bench_compare = Some((old, new));
+            }
+            "--conns" => {
+                let v = args.next().ok_or("--conns needs a connection count")?;
+                opts.conns = Some(parse_conns(&v)?);
+            }
+            "--load" => {
+                let v = args.next().ok_or("--load needs a comma-separated list")?;
+                opts.load = Some(parse_load(&v)?);
             }
             "--verbose" | "-v" => opts.verbose = true,
             "--jobs" | "-j" => {
@@ -271,6 +320,28 @@ mod tests {
         );
         assert!(p(&["--bench-compare"]).is_err());
         assert!(p(&["--bench-compare", "old.json"]).is_err());
+    }
+
+    #[test]
+    fn workload_knob_flags_parse_and_reject_garbage() {
+        let o = p(&["workload", "--conns", "8", "--load", "4,16,64"]).unwrap();
+        assert_eq!(o.conns, Some(8));
+        assert_eq!(o.load, Some(vec![4.0, 16.0, 64.0]));
+        // Trailing comma tolerated, like --ids.
+        assert_eq!(p(&["--load", "8,"]).unwrap().load, Some(vec![8.0]));
+        // Malformed values are usage errors before anything runs.
+        assert!(p(&["--conns"]).is_err());
+        assert!(p(&["--conns", "0"]).is_err());
+        assert!(p(&["--conns", "33"]).is_err());
+        assert!(p(&["--conns", "four"]).is_err());
+        assert!(p(&["--load"]).is_err());
+        assert!(p(&["--load", ""]).is_err());
+        assert!(p(&["--load", "abc"]).is_err());
+        assert!(p(&["--load", "-5"]).is_err());
+        assert!(p(&["--load", "0"]).is_err());
+        assert!(p(&["--load", "nan"]).is_err());
+        assert!(p(&["--load", "inf"]).is_err());
+        assert!(p(&["--load", "4,,0"]).is_err());
     }
 
     #[test]

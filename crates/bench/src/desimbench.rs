@@ -314,7 +314,7 @@ pub fn validate(text: &str) -> Result<(), String> {
         }
         for k in ["wheel_eps", "heap_eps", "speedup"] {
             let x = num(&b[k], &format!("{what}.{k}"))?;
-            if !(x > 0.0) || !x.is_finite() {
+            if x <= 0.0 || !x.is_finite() {
                 return Err(format!("{what}.{k}: expected a positive finite number"));
             }
         }

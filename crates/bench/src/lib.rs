@@ -35,12 +35,14 @@ use tc_putget::bench::msgrate::{extoll_msgrate, ib_msgrate};
 use tc_putget::bench::pingpong::{extoll_pingpong, ib_pingpong, PingPongResult};
 use tc_putget::bench::scaling as scaling_mod;
 use tc_putget::bench::sensitivity as sensitivity_mod;
+use tc_putget::bench::workload::{self, ArrivalProcess, WorkloadSpec};
 use tc_putget::bench::{
     bandwidth_sizes, latency_sizes, pair_counts, pollratio_sizes, render_series_table, ExtollMode,
     IbMode, RateMode, Series,
 };
 use tc_putget::time;
-use tc_putget::CounterSnapshot;
+use tc_putget::{Backend, CounterSnapshot};
+use tc_trace::Snapshot;
 
 /// Workload scale: `quick` for CI-speed runs, `full` for the paper's
 /// iteration counts.
@@ -54,6 +56,8 @@ pub struct Scale {
     pub bw_messages: u32,
     /// Messages per connection pair in the rate benchmarks.
     pub rate_msgs: u32,
+    /// Arrivals per connection in the open-loop `workload` experiment.
+    pub workload_ops: u32,
 }
 
 impl Scale {
@@ -64,6 +68,7 @@ impl Scale {
             warmup: 3,
             bw_messages: 24,
             rate_msgs: 60,
+            workload_ops: 120,
         }
     }
 
@@ -74,6 +79,7 @@ impl Scale {
             warmup: 10,
             bw_messages: 64,
             rate_msgs: 300,
+            workload_ops: 400,
         }
     }
 }
@@ -84,6 +90,48 @@ fn bw_msgs(scale: Scale, size: u64) -> u32 {
     cap as u32
 }
 
+/// The deterministic simulation-side contribution of one experiment to
+/// its metrics report: the merged registry deltas of its own sweep points
+/// plus their total simulated duration.
+///
+/// Contributions are folded in point-index order (and
+/// [`Snapshot::merge`] is associative and commutative anyway), so the
+/// result is byte-identical across `--jobs` widths.
+#[derive(Debug, Clone, Default)]
+pub struct SimContribution {
+    /// Merged registry delta of every contributing sweep point.
+    pub registry: Snapshot,
+    /// Total simulated picoseconds across the contributing points.
+    pub simulated_ps: u64,
+}
+
+impl SimContribution {
+    /// One sweep point's contribution.
+    pub fn point(registry: Snapshot, simulated_ps: u64) -> Self {
+        SimContribution {
+            registry,
+            simulated_ps,
+        }
+    }
+
+    /// Fold another contribution into this one.
+    pub fn absorb(&mut self, other: &SimContribution) {
+        self.registry = self.registry.merge(&other.registry);
+        self.simulated_ps = self.simulated_ps.saturating_add(other.simulated_ps);
+    }
+}
+
+/// The rendered outcome of one experiment: the text report plus the
+/// experiment's own metrics `sim` section (when its sweep points carry
+/// registry deltas; experiments that only produce bare counters fall back
+/// to the representative scenario in [`metrics_report`]).
+pub struct ExperimentOutput {
+    /// The aligned text report.
+    pub text: String,
+    /// Merged sweep-point registry contribution, if the experiment has one.
+    pub sim: Option<SimContribution>,
+}
+
 /// One experiment, decomposed for scheduling: independent sweep-point
 /// tasks plus a render step over the results in index order. Build one
 /// with [`plan`], run it with [`ExperimentPlan::run`], or flatten many
@@ -91,7 +139,7 @@ fn bw_msgs(scale: Scale, size: u64) -> u32 {
 pub struct ExperimentPlan {
     id: &'static str,
     tasks: Vec<Task>,
-    render: Box<dyn FnOnce() -> String + Send>,
+    render: Box<dyn FnOnce() -> ExperimentOutput + Send>,
 }
 
 impl ExperimentPlan {
@@ -107,20 +155,28 @@ impl ExperimentPlan {
 
     /// Run every task on `pool` and render the report. The output is
     /// byte-identical for every pool width.
-    pub fn run(self, pool: &Pool) -> String {
+    pub fn run(self, pool: &Pool) -> ExperimentOutput {
         let ExperimentPlan { tasks, render, .. } = self;
         pool.run_tasks(tasks);
         render()
     }
 }
 
-/// Build an [`ExperimentPlan`] from `n` independent point evaluations and
-/// a renderer over the results in point-index order. Each point writes
-/// into its own slot, so scheduling order cannot affect the output.
-fn plan_points<P, F, R>(id: &'static str, n: usize, point: F, render: R) -> ExperimentPlan
+/// Build an [`ExperimentPlan`] from `n` independent point evaluations, a
+/// per-point sim-contribution extractor, and a renderer over the results
+/// in point-index order. Each point writes into its own slot, so
+/// scheduling order cannot affect the output.
+fn plan_points_sim<P, F, S, R>(
+    id: &'static str,
+    n: usize,
+    point: F,
+    sim_of: S,
+    render: R,
+) -> ExperimentPlan
 where
     P: Send + 'static,
     F: Fn(usize) -> P + Send + Sync + 'static,
+    S: Fn(&P) -> Option<SimContribution> + Send + 'static,
     R: FnOnce(Vec<P>) -> String + Send + 'static,
 {
     let slots: Arc<Vec<Mutex<Option<P>>>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
@@ -140,9 +196,31 @@ where
             .iter()
             .map(|m| m.lock().unwrap().take().expect("sweep point was not run"))
             .collect();
-        render(results)
+        // Fold the contributions in index order before the renderer
+        // consumes the results.
+        let mut sim: Option<SimContribution> = None;
+        for r in &results {
+            if let Some(c) = sim_of(r) {
+                sim.get_or_insert_with(SimContribution::default).absorb(&c);
+            }
+        }
+        ExperimentOutput {
+            text: render(results),
+            sim,
+        }
     });
     ExperimentPlan { id, tasks, render }
+}
+
+/// [`plan_points_sim`] for experiments whose points carry no registry
+/// delta (their metrics fall back to the representative scenario).
+fn plan_points<P, F, R>(id: &'static str, n: usize, point: F, render: R) -> ExperimentPlan
+where
+    P: Send + 'static,
+    F: Fn(usize) -> P + Send + Sync + 'static,
+    R: FnOnce(Vec<P>) -> String + Send + 'static,
+{
+    plan_points_sim(id, n, point, |_| None, render)
 }
 
 /// A plan with exactly one task (experiments that are a single simulation
@@ -170,8 +248,26 @@ fn assemble_series(labels: &[&'static str], xs: &[u64], ys: &[f64]) -> Vec<Serie
         .collect()
 }
 
+/// One figure sweep point: the plotted scalar plus the point's registry
+/// contribution to the experiment's metrics `sim` section.
+struct FigPoint {
+    y: f64,
+    sim: SimContribution,
+}
+
+impl FigPoint {
+    fn new(y: f64, registry: Snapshot, simulated_ps: u64) -> Self {
+        FigPoint {
+            y,
+            sim: SimContribution::point(registry, simulated_ps),
+        }
+    }
+}
+
 /// Shared shape of the figure experiments: a `modes x xs` grid of scalar
-/// measurements rendered as one series per mode.
+/// measurements rendered as one series per mode, with every point's
+/// registry delta merged into the experiment's sim contribution.
+#[allow(clippy::too_many_arguments)]
 fn figure_plan<M>(
     id: &'static str,
     title: &'static str,
@@ -180,18 +276,22 @@ fn figure_plan<M>(
     modes: Vec<M>,
     labels: Vec<&'static str>,
     xs: Vec<u64>,
-    point: impl Fn(M, u64) -> f64 + Send + Sync + 'static,
+    point: impl Fn(M, u64) -> FigPoint + Send + Sync + 'static,
 ) -> ExperimentPlan
 where
     M: Copy + Send + Sync + 'static,
 {
     let n = modes.len() * xs.len();
     let xs_point = xs.clone();
-    plan_points(
+    plan_points_sim(
         id,
         n,
         move |k| point(modes[k / xs_point.len()], xs_point[k % xs_point.len()]),
-        move |ys| render_series_table(title, x_name, y_name, &assemble_series(&labels, &xs, &ys)),
+        |p: &FigPoint| Some(p.sim.clone()),
+        move |points| {
+            let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+            render_series_table(title, x_name, y_name, &assemble_series(&labels, &xs, &ys))
+        },
     )
 }
 
@@ -211,7 +311,10 @@ fn plan_fig1a(scale: Scale) -> ExperimentPlan {
         modes,
         labels,
         latency_sizes(),
-        move |mode, size| extoll_pingpong(mode, size, scale.iters, scale.warmup).latency_us(),
+        move |mode, size| {
+            let r = extoll_pingpong(mode, size, scale.iters, scale.warmup);
+            FigPoint::new(r.latency_us(), r.registry, r.half_rtt)
+        },
     )
 }
 
@@ -230,7 +333,10 @@ fn plan_fig1b(scale: Scale) -> ExperimentPlan {
         modes,
         labels,
         bandwidth_sizes(),
-        move |mode, size| extoll_bandwidth(mode, size, bw_msgs(scale, size)).mbytes_per_s(),
+        move |mode, size| {
+            let r = extoll_bandwidth(mode, size, bw_msgs(scale, size));
+            FigPoint::new(r.mbytes_per_s(), r.registry, r.elapsed)
+        },
     )
 }
 
@@ -248,7 +354,8 @@ fn rate_plan(
     ];
     let labels = modes.iter().map(|m| m.label()).collect();
     figure_plan(id, title, "pairs", "MSGs/s", modes, labels, pair_counts(), move |mode, pairs| {
-        run(mode, pairs as u32, scale.rate_msgs).msgs_per_s()
+        let r = run(mode, pairs as u32, scale.rate_msgs);
+        FigPoint::new(r.msgs_per_s(), r.registry, r.elapsed)
     })
 }
 
@@ -297,7 +404,10 @@ fn plan_fig4a(scale: Scale) -> ExperimentPlan {
         modes,
         labels,
         latency_sizes(),
-        move |mode, size| ib_pingpong(mode, size, scale.iters, scale.warmup).latency_us(),
+        move |mode, size| {
+            let r = ib_pingpong(mode, size, scale.iters, scale.warmup);
+            FigPoint::new(r.latency_us(), r.registry, r.half_rtt)
+        },
     )
 }
 
@@ -311,7 +421,62 @@ fn plan_fig4b(scale: Scale) -> ExperimentPlan {
         modes,
         labels,
         bandwidth_sizes(),
-        move |mode, size| ib_bandwidth(mode, size, bw_msgs(scale, size)).mbytes_per_s(),
+        move |mode, size| {
+            let r = ib_bandwidth(mode, size, bw_msgs(scale, size));
+            FigPoint::new(r.mbytes_per_s(), r.registry, r.elapsed)
+        },
+    )
+}
+
+/// Runtime knobs of the open-loop `workload` experiment (the
+/// `--conns`/`--load` CLI flags).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadKnobs {
+    /// Concurrent connections per load point (1..=32).
+    pub conns: u32,
+    /// Offered loads to sweep, in kilo-operations/s per connection.
+    pub loads: Vec<f64>,
+}
+
+impl Default for WorkloadKnobs {
+    fn default() -> Self {
+        // Spanning both knees: Infiniband GPU-driven saturates around
+        // 10 kop/s per connection, EXTOLL around 160 kop/s, so each
+        // backend gets points on both sides of its own knee.
+        WorkloadKnobs {
+            conns: 4,
+            loads: vec![4.0, 16.0, 64.0, 256.0],
+        }
+    }
+}
+
+/// The open-loop latency-under-load sweep: backend x arrival process x
+/// offered load, one independent simulation per point.
+fn plan_workload(scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPlan {
+    let backends = [Backend::Extoll, Backend::Infiniband];
+    let procs = [ArrivalProcess::Poisson, ArrivalProcess::Bursty];
+    let loads = knobs.loads.clone();
+    let conns = knobs.conns;
+    let per_backend = procs.len() * loads.len();
+    let n = backends.len() * per_backend;
+    plan_points_sim(
+        "workload",
+        n,
+        move |k| {
+            workload::run(&WorkloadSpec {
+                backend: backends[k / per_backend],
+                process: procs[(k % per_backend) / loads.len()],
+                conns,
+                offered_kops: loads[k % loads.len()],
+                ops_per_conn: scale.workload_ops,
+                queue_cap: 64,
+                seed: 42,
+            })
+        },
+        |r: &workload::WorkloadResult| {
+            Some(SimContribution::point(r.registry.clone(), r.elapsed))
+        },
+        |results| workload::render(&results),
     )
 }
 
@@ -478,16 +643,28 @@ fn render_pingpong(r: &PingPongResult, interconnect: &str) -> String {
 
 /// The metrics JSON for one experiment (`--metrics DIR`).
 ///
-/// The `sim` section comes from a *representative run*: one serial
-/// [`representative_run`] simulation on the experiment's interconnect,
-/// whose full registry delta (counters, histograms, gauges across every
-/// layer) and half-RTT feed [`metrics::render`]. Because that run is its
-/// own deterministic simulation, the section is byte-identical across
-/// runs and `--jobs` widths; only the `runner` section (the pool
+/// The `sim` section is the experiment's **own** merged sweep-point
+/// registry delta (counters, histograms, gauges across every layer) when
+/// its plan produces one — the figures, the rate sweeps and `workload`
+/// all do. Experiments whose points only carry bare counter snapshots
+/// (the tables, the claims check, ...) fall back to a fixed
+/// [`representative_run`] on their interconnect. Either way the section
+/// is a function of deterministic simulations only — byte-identical
+/// across runs and `--jobs` widths; only the `runner` section (the pool
 /// self-profile passed in) is host wall-clock.
-pub fn metrics_report(id: &str, scale_name: &str, runner: &PoolStats) -> String {
-    let r = representative_run(id);
-    metrics::render(id, scale_name, &r.registry, r.half_rtt, runner)
+pub fn metrics_report(
+    id: &str,
+    scale_name: &str,
+    sim: Option<&SimContribution>,
+    runner: &PoolStats,
+) -> String {
+    match sim {
+        Some(c) => metrics::render(id, scale_name, &c.registry, c.simulated_ps, runner),
+        None => {
+            let r = representative_run(id);
+            metrics::render(id, scale_name, &r.registry, r.half_rtt, runner)
+        }
+    }
 }
 
 /// The Chrome-trace JSON for one experiment (`--trace ID`), loadable in
@@ -535,8 +712,9 @@ pub fn trace_report(id: &str) -> String {
 }
 
 /// Every experiment id accepted by the `reproduce` binary.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "pingpong",
+    "workload",
     "fig1a",
     "fig1b",
     "fig2",
@@ -557,16 +735,26 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
     "check",
 ];
 
+/// Build the execution plan of one experiment by id, with default
+/// workload knobs (see [`plan_with`]).
+pub fn plan(id: &str, scale: Scale) -> ExperimentPlan {
+    plan_with(id, scale, &WorkloadKnobs::default())
+}
+
 /// Build the execution plan of one experiment by id.
 ///
 /// Panics on an unknown id (the `reproduce` CLI validates ids before
 /// calling this).
-pub fn plan(id: &str, scale: Scale) -> ExperimentPlan {
+pub fn plan_with(id: &str, scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPlan {
     match id {
-        "pingpong" => single_plan("pingpong", move || {
-            let r = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, scale.iters, scale.warmup);
-            render_pingpong(&r, "EXTOLL")
-        }),
+        "pingpong" => plan_points_sim(
+            "pingpong",
+            1,
+            move |_| extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, scale.iters, scale.warmup),
+            |r: &PingPongResult| Some(SimContribution::point(r.registry.clone(), r.half_rtt)),
+            |rs| render_pingpong(&rs[0], "EXTOLL"),
+        ),
+        "workload" => plan_workload(scale, knobs),
         "fig1a" => plan_fig1a(scale),
         "fig1b" => plan_fig1b(scale),
         "fig2" => rate_plan(
@@ -667,25 +855,36 @@ pub fn run_experiment(id: &str, scale: Scale) -> String {
     run_experiment_with(&Pool::serial(), id, scale)
 }
 
-/// Run one experiment by id on the given pool. The output is
-/// byte-identical for every pool width — the golden test
+/// Run one experiment by id on the given pool and return its text report.
+/// The output is byte-identical for every pool width — the golden test
 /// (`tests/parallel_golden.rs`) enforces this.
 pub fn run_experiment_with(pool: &Pool, id: &str, scale: Scale) -> String {
-    plan(id, scale).run(pool)
+    plan(id, scale).run(pool).text
+}
+
+/// [`run_all_with`] with default workload knobs.
+pub fn run_all(pool: &Pool, ids: &[&str], scale: Scale) -> (Vec<ExperimentOutput>, PoolStats) {
+    run_all_with(pool, ids, scale, &WorkloadKnobs::default())
 }
 
 /// Run many experiments as **one** flattened task list: the pool schedules
 /// every sweep point of every experiment, so a slow experiment cannot
-/// serialize the rest. Reports are returned in `ids` order, together with
-/// the pool's self-profile of the batch (host wall-clock; the reports
-/// themselves never depend on it).
-pub fn run_all(pool: &Pool, ids: &[&str], scale: Scale) -> (Vec<String>, PoolStats) {
+/// serialize the rest. Outputs (text report + per-experiment sim
+/// contribution) are returned in `ids` order, together with the pool's
+/// self-profile of the batch (host wall-clock; the reports themselves
+/// never depend on it).
+pub fn run_all_with(
+    pool: &Pool,
+    ids: &[&str],
+    scale: Scale,
+    knobs: &WorkloadKnobs,
+) -> (Vec<ExperimentOutput>, PoolStats) {
     let mut tasks: Vec<Task> = Vec::new();
-    let mut renders: Vec<Box<dyn FnOnce() -> String + Send>> = Vec::new();
+    let mut renders: Vec<Box<dyn FnOnce() -> ExperimentOutput + Send>> = Vec::new();
     for id in ids {
         let ExperimentPlan {
             tasks: t, render, ..
-        } = plan(id, scale);
+        } = plan_with(id, scale, knobs);
         tasks.extend(t);
         renders.push(render);
     }
@@ -773,6 +972,11 @@ pub fn check(scale: Scale) -> String {
     run_experiment("check", scale)
 }
 
+/// The open-loop latency-under-load sweep.
+pub fn workload_report(scale: Scale) -> String {
+    run_experiment("workload", scale)
+}
+
 /// Human-friendly formatting of a simulated duration.
 pub fn fmt_us(t: tc_putget::time::Time) -> String {
     format!("{:.2} us", time::to_us_f64(t))
@@ -812,13 +1016,49 @@ mod tests {
         assert_eq!(plan("staging", Scale::quick()).task_count(), 7);
         assert_eq!(plan("twosided", Scale::quick()).task_count(), 5);
         assert_eq!(plan("velo", Scale::quick()).task_count(), 3);
+        // workload: backend x process x load points.
+        assert_eq!(plan("workload", Scale::quick()).task_count(), 2 * 2 * 4);
+        let knobs = WorkloadKnobs {
+            conns: 2,
+            loads: vec![8.0, 64.0],
+        };
+        assert_eq!(
+            plan_with("workload", Scale::quick(), &knobs).task_count(),
+            2 * 2 * 2
+        );
     }
 
     #[test]
     fn plan_points_render_sees_results_in_index_order() {
         let p = plan_points("fig1a", 8, |i| i * 10, |v| format!("{v:?}"));
         let out = p.run(&Pool::new(4));
-        assert_eq!(out, "[0, 10, 20, 30, 40, 50, 60, 70]");
+        assert_eq!(out.text, "[0, 10, 20, 30, 40, 50, 60, 70]");
+        assert!(out.sim.is_none(), "bare plan_points contributes no sim");
+    }
+
+    #[test]
+    fn sim_contributions_fold_deterministically() {
+        let mk = || {
+            plan_points_sim(
+                "fig1a",
+                6,
+                |i| i as u64,
+                |&i| {
+                    let reg = tc_trace::Registry::new();
+                    reg.counter("x.total").add(i);
+                    reg.histogram("x.lat_ps").record(1 << i);
+                    Some(SimContribution::point(reg.snapshot(), 10 * i))
+                },
+                |v| format!("{v:?}"),
+            )
+        };
+        let serial = mk().run(&Pool::serial());
+        let wide = mk().run(&Pool::new(4));
+        let (a, b) = (serial.sim.unwrap(), wide.sim.unwrap());
+        assert_eq!(a.registry, b.registry, "merge order must not matter");
+        assert_eq!(a.simulated_ps, 10 * (1 + 2 + 3 + 4 + 5));
+        assert_eq!(a.registry.get("x.total"), 1 + 2 + 3 + 4 + 5);
+        assert_eq!(a.registry.histogram("x.lat_ps").unwrap().count, 6);
     }
 
     #[test]
@@ -838,16 +1078,34 @@ mod tests {
     #[test]
     fn metrics_report_validates_and_is_deterministic() {
         let stats = PoolStats::default();
-        let a = metrics_report("pingpong", "quick", &stats);
+        let a = metrics_report("pingpong", "quick", None, &stats);
         metrics::validate(&a).expect("emitted metrics must pass the schema self-check");
-        let b = metrics_report("pingpong", "quick", &stats);
+        let b = metrics_report("pingpong", "quick", None, &stats);
         assert_eq!(a, b, "sim section must be byte-identical across runs");
         assert!(a.contains("\"gpu0.instructions\""), "{a}");
         assert!(a.contains("\"extoll0.wr_queue_depth\""), "{a}");
         // The IB family maps to the verbs scenario.
-        let ib = metrics_report("table2", "quick", &stats);
+        let ib = metrics_report("table2", "quick", None, &stats);
         metrics::validate(&ib).unwrap();
         assert!(ib.contains("\"ib0.doorbells\""), "{ib}");
+    }
+
+    #[test]
+    fn experiment_sim_contribution_feeds_its_metrics() {
+        // An experiment whose plan carries registry deltas exports its
+        // own sweep counters, not the representative ping-pong's.
+        let stats = PoolStats::default();
+        let out = plan("pingpong", Scale::quick()).run(&Pool::serial());
+        let sim = out.sim.expect("pingpong contributes its own registry");
+        let json = metrics_report("pingpong", "quick", Some(&sim), &stats);
+        metrics::validate(&json).unwrap();
+        assert!(json.contains(&format!("\"simulated_ps\": {}", sim.simulated_ps)));
+        assert!(json.contains("\"gpu0.instructions\""), "{json}");
+        // Byte-identical across pool widths.
+        let wide = plan("pingpong", Scale::quick()).run(&Pool::new(4));
+        let json_wide =
+            metrics_report("pingpong", "quick", wide.sim.as_ref(), &stats);
+        assert_eq!(json, json_wide);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!     "simulated_ps": 123456,
 //!     "counters":   { "gpu0.instructions": 42, ... },
 //!     "histograms": { "pcie0.dma_read_ps": { "count": 3, "sum": 9,
-//!                      "max": 5, "p50": 3, "p95": 5, "p99": 5 }, ... },
+//!                      "max": 5, "p50": 3, "p95": 5, "p99": 5,
+//!                      "p999": 5 }, ... },
 //!     "gauges":     { "extoll0.wr_queue_depth": { "current": 0,
 //!                      "high_water": 2 }, ... }
 //!   },
@@ -74,14 +75,15 @@ pub fn render(
         .map(|(name, h)| {
             format!(
                 "      {}: {{ \"count\": {}, \"sum\": {}, \"max\": {}, \
-                 \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {} }}",
                 quote(name),
                 h.count,
                 h.sum,
                 h.max,
                 h.p50(),
                 h.p95(),
-                h.p99()
+                h.p99(),
+                h.p999()
             )
         })
         .collect();
@@ -415,10 +417,10 @@ pub fn validate(text: &str) -> Result<(), String> {
         let h = obj(v, &format!("histogram {name:?}"))?;
         exact_keys(
             h,
-            &["count", "sum", "max", "p50", "p95", "p99"],
+            &["count", "sum", "max", "p50", "p95", "p99", "p999"],
             &format!("histogram {name:?}"),
         )?;
-        for k in ["count", "sum", "max", "p50", "p95", "p99"] {
+        for k in ["count", "sum", "max", "p50", "p95", "p99", "p999"] {
             num(h, k, &format!("histogram {name:?}"))?;
         }
     }

@@ -10,77 +10,28 @@
 //! Every method takes the executing [`Processor`], so the same program can
 //! be driven by the host CPU or by a GPU thread — the whole point of the
 //! paper's API analysis.
+//!
+//! Backend dispatch lives in [`crate::transport`]: the endpoint is a thin
+//! bounds-checking wrapper over an [`AnyTransport`] built by
+//! [`Backend::instantiate`](crate::cluster::Backend::instantiate); drivers
+//! that need more than put/get (two-sided messages, completion draining)
+//! use [`PutGetEndpoint::transport`] directly.
 
 use std::rc::Rc;
 
-use tc_extoll::{NotifyUnit, RmaPort, WrFlags};
-use tc_ib::{
-    Access, BufLoc, CqeOpcode, CqeStatus, IbvContext, IbvCq, IbvQp, MemoryRegion, SendOpcode,
-    SendWr,
-};
+use tc_extoll::RmaPort;
+use tc_ib::{IbvCq, IbvQp};
 use tc_mem::Addr;
 use tc_pcie::Processor;
 
-use crate::cluster::{Backend, Cluster};
+use crate::cluster::Cluster;
+use crate::transport::{AnyTransport, Transport};
 
-/// Communication errors surfaced by completion polling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CommError {
-    /// The remote side rejected the access (bad key / out of bounds).
-    RemoteAccess,
-    /// Two-sided operation without a matching receive.
-    ReceiverNotReady,
-    /// The local buffer failed protection checks.
-    LocalProtection,
-}
-
-fn status_to_result(s: CqeStatus) -> Result<(), CommError> {
-    match s {
-        CqeStatus::Success => Ok(()),
-        CqeStatus::RemoteAccessError => Err(CommError::RemoteAccess),
-        CqeStatus::RnrRetryExceeded => Err(CommError::ReceiverNotReady),
-        CqeStatus::LocalProtectionError => Err(CommError::LocalProtection),
-    }
-}
-
-/// Placement of the communication queues (Infiniband only; EXTOLL's
-/// notification queues are pinned in host kernel memory by the driver).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum QueueLoc {
-    /// Queue buffers in host memory.
-    Host,
-    /// Queue buffers in GPU device memory (GPUDirect driver patch).
-    Gpu,
-}
-
-impl From<QueueLoc> for BufLoc {
-    fn from(q: QueueLoc) -> BufLoc {
-        match q {
-            QueueLoc::Host => BufLoc::Host,
-            QueueLoc::Gpu => BufLoc::Gpu,
-        }
-    }
-}
-
-enum Side {
-    Extoll {
-        port: Rc<RmaPort>,
-        peer_port: u16,
-        local_nla: u64,
-        remote_nla: u64,
-    },
-    Ib {
-        qp: Rc<IbvQp>,
-        send_cq: Rc<IbvCq>,
-        recv_cq: Rc<IbvCq>,
-        mr_local: MemoryRegion,
-        mr_remote: MemoryRegion,
-    },
-}
+pub use crate::transport::{CommError, QueueLoc};
 
 /// One side of a connected symmetric-buffer pair.
 pub struct PutGetEndpoint {
-    side: Side,
+    transport: AnyTransport,
     local_base: Addr,
     buf_len: u64,
 }
@@ -110,90 +61,19 @@ pub fn create_pair_between(
     buf_len: u64,
     queue_loc: QueueLoc,
 ) -> (PutGetEndpoint, PutGetEndpoint) {
-    let (node_a, buf_a) = a;
-    let (node_b, buf_b) = b;
-    assert_ne!(node_a, node_b, "endpoints must live on different nodes");
-    match cluster.backend {
-        Backend::Extoll => {
-            let nic0 = cluster.nodes[node_a].extoll();
-            let nic1 = cluster.nodes[node_b].extoll();
-            let nla_a = nic0.register_memory(buf_a, buf_len);
-            let nla_b = nic1.register_memory(buf_b, buf_len);
-            let p0 = Rc::new(nic0.open_port());
-            let p1 = Rc::new(nic1.open_port());
-            p0.connect_node(node_b as u8);
-            p1.connect_node(node_a as u8);
-            (
-                PutGetEndpoint {
-                    side: Side::Extoll {
-                        peer_port: p1.index(),
-                        port: p0.clone(),
-                        local_nla: nla_a,
-                        remote_nla: nla_b,
-                    },
-                    local_base: buf_a,
-                    buf_len,
-                },
-                PutGetEndpoint {
-                    side: Side::Extoll {
-                        peer_port: p0.index(),
-                        port: p1,
-                        local_nla: nla_b,
-                        remote_nla: nla_a,
-                    },
-                    local_base: buf_b,
-                    buf_len,
-                },
-            )
-        }
-        Backend::Infiniband => {
-            let loc: BufLoc = queue_loc.into();
-            let mk_ctx = |n: usize| {
-                IbvContext::new(
-                    cluster.nodes[n].ib().clone(),
-                    cluster.nodes[n].host_heap.clone(),
-                    Some(cluster.nodes[n].gpu.clone()),
-                    loc,
-                )
-            };
-            let ctx0 = mk_ctx(node_a);
-            let ctx1 = mk_ctx(node_b);
-            let scq0 = ctx0.create_cq(loc);
-            let rcq0 = ctx0.create_cq(loc);
-            let scq1 = ctx1.create_cq(loc);
-            let rcq1 = ctx1.create_cq(loc);
-            let qp0 = Rc::new(ctx0.create_qp(scq0.clone(), rcq0.clone(), loc));
-            let qp1 = Rc::new(ctx1.create_qp(scq1.clone(), rcq1.clone(), loc));
-            qp0.connect_to(node_b, qp1.qpn());
-            qp1.connect_to(node_a, qp0.qpn());
-            let mr_a = ctx0.reg_mr(buf_a, buf_len, Access::full());
-            let mr_b = ctx1.reg_mr(buf_b, buf_len, Access::full());
-            (
-                PutGetEndpoint {
-                    side: Side::Ib {
-                        qp: qp0,
-                        send_cq: scq0,
-                        recv_cq: rcq0,
-                        mr_local: mr_a,
-                        mr_remote: mr_b,
-                    },
-                    local_base: buf_a,
-                    buf_len,
-                },
-                PutGetEndpoint {
-                    side: Side::Ib {
-                        qp: qp1,
-                        send_cq: scq1,
-                        recv_cq: rcq1,
-                        mr_local: mr_b,
-                        mr_remote: mr_a,
-                    },
-                    local_base: buf_b,
-                    buf_len,
-                },
-            )
-        }
-    }
+    let (ta, tb) = cluster.backend.instantiate(cluster, a, b, buf_len, queue_loc);
+    (
+        PutGetEndpoint {
+            transport: ta,
+            local_base: a.1,
+            buf_len,
+        },
+        PutGetEndpoint {
+            transport: tb,
+            local_base: b.1,
+            buf_len,
+        },
+    )
 }
 
 impl PutGetEndpoint {
@@ -205,6 +85,12 @@ impl PutGetEndpoint {
     /// The symmetric buffer length.
     pub fn buf_len(&self) -> u64 {
         self.buf_len
+    }
+
+    /// The transport behind this endpoint, for drivers that need the full
+    /// [`Transport`] surface (two-sided messages, flush, capabilities).
+    pub fn transport(&self) -> &AnyTransport {
+        &self.transport
     }
 
     /// Initiate a put of `len` bytes from local offset `local_off` to
@@ -227,53 +113,9 @@ impl PutGetEndpoint {
     ) {
         assert!(local_off + len as u64 <= self.buf_len);
         assert!(remote_off + len as u64 <= self.buf_len);
-        match &self.side {
-            Side::Extoll {
-                port,
-                peer_port,
-                local_nla,
-                remote_nla,
-            } => {
-                port.post_put(
-                    p,
-                    *peer_port,
-                    local_nla + local_off,
-                    remote_nla + remote_off,
-                    len,
-                    WrFlags {
-                        notify_requester: true,
-                        notify_completer: notify_remote,
-                        notify_responder: false,
-                    },
-                )
-                .await;
-            }
-            Side::Ib {
-                qp,
-                mr_local,
-                mr_remote,
-                ..
-            } => {
-                qp.post_send(
-                    p,
-                    &SendWr {
-                        opcode: if notify_remote {
-                            SendOpcode::RdmaWriteImm
-                        } else {
-                            SendOpcode::RdmaWrite
-                        },
-                        laddr: mr_local.addr + local_off,
-                        lkey: mr_local.lkey,
-                        raddr: mr_remote.addr + remote_off,
-                        rkey: mr_remote.rkey,
-                        len,
-                        imm: len,
-                        signaled: true,
-                    },
-                )
-                .await;
-            }
-        }
+        self.transport
+            .put(p, local_off, remote_off, len, notify_remote)
+            .await;
     }
 
     /// Fetch `len` bytes from remote offset `remote_off` into local offset
@@ -287,141 +129,40 @@ impl PutGetEndpoint {
     ) -> Result<(), CommError> {
         assert!(local_off + len as u64 <= self.buf_len);
         assert!(remote_off + len as u64 <= self.buf_len);
-        match &self.side {
-            Side::Extoll {
-                port,
-                peer_port,
-                local_nla,
-                remote_nla,
-            } => {
-                port.post_get(
-                    p,
-                    *peer_port,
-                    local_nla + local_off,
-                    remote_nla + remote_off,
-                    len,
-                    WrFlags {
-                        notify_requester: false,
-                        notify_completer: true,
-                        notify_responder: false,
-                    },
-                )
-                .await;
-                let n = port.completer.wait(p).await;
-                debug_assert_eq!(n.unit, NotifyUnit::Completer);
-                port.completer.free(p).await;
-                Ok(())
-            }
-            Side::Ib {
-                qp,
-                send_cq,
-                mr_local,
-                mr_remote,
-                ..
-            } => {
-                qp.post_send(
-                    p,
-                    &SendWr {
-                        opcode: SendOpcode::RdmaRead,
-                        laddr: mr_local.addr + local_off,
-                        lkey: mr_local.lkey,
-                        raddr: mr_remote.addr + remote_off,
-                        rkey: mr_remote.rkey,
-                        len,
-                        imm: 0,
-                        signaled: true,
-                    },
-                )
-                .await;
-                let wc = send_cq.wait(p).await;
-                status_to_result(wc.status)
-            }
-        }
+        self.transport.get(p, local_off, remote_off, len).await
     }
 
     /// Wait for local completion of the oldest outstanding put.
     pub async fn quiet<P: Processor>(&self, p: &P) -> Result<(), CommError> {
-        match &self.side {
-            Side::Extoll { port, .. } => {
-                let n = port.requester.wait(p).await;
-                debug_assert_eq!(n.unit, NotifyUnit::Requester);
-                port.requester.free(p).await;
-                Ok(())
-            }
-            Side::Ib { send_cq, .. } => {
-                let wc = send_cq.wait(p).await;
-                debug_assert_eq!(wc.opcode, CqeOpcode::SendComplete);
-                status_to_result(wc.status)
-            }
-        }
+        self.transport.quiet(p).await
     }
 
     /// Arm one arrival slot. Required before the *peer* issues a
-    /// `put(..., notify_remote = true)` on Infiniband (posts a zero-length
-    /// receive); a no-op on EXTOLL.
+    /// `put(..., notify_remote = true)` on Infiniband (posts a receive
+    /// slot); a no-op on EXTOLL.
     pub async fn arm_arrival<P: Processor>(&self, p: &P) {
-        match &self.side {
-            Side::Extoll { .. } => {}
-            Side::Ib { qp, .. } => {
-                qp.post_recv(p, 0, 0, 0).await;
-            }
-        }
+        self.transport.arm_arrival(p).await
     }
 
     /// Wait for one arrival notification from the peer; returns the
     /// notified byte count.
     pub async fn wait_arrival<P: Processor>(&self, p: &P) -> Result<u32, CommError> {
-        match &self.side {
-            Side::Extoll { port, .. } => {
-                let n = port.completer.wait(p).await;
-                debug_assert_eq!(n.unit, NotifyUnit::Completer);
-                let len = n.len;
-                port.completer.free(p).await;
-                Ok(len)
-            }
-            Side::Ib { recv_cq, .. } => {
-                let wc = recv_cq.wait(p).await;
-                status_to_result(wc.status)?;
-                Ok(wc.imm)
-            }
-        }
+        self.transport.wait_arrival(p).await
     }
 
     /// Probe for an arrival without blocking.
     pub async fn try_arrival<P: Processor>(&self, p: &P) -> Option<Result<u32, CommError>> {
-        match &self.side {
-            Side::Extoll { port, .. } => {
-                let n = port.completer.try_poll(p).await?;
-                let len = n.len;
-                port.completer.free(p).await;
-                Some(Ok(len))
-            }
-            Side::Ib { recv_cq, .. } => {
-                let wc = recv_cq.poll(p).await?;
-                Some(status_to_result(wc.status).map(|()| wc.imm))
-            }
-        }
+        self.transport.try_arrival(p).await
     }
 
     /// The EXTOLL port handle (panics on Infiniband) — for backend-specific
     /// experiments.
     pub fn extoll_port(&self) -> &Rc<RmaPort> {
-        match &self.side {
-            Side::Extoll { port, .. } => port,
-            _ => panic!("not an EXTOLL endpoint"),
-        }
+        self.transport.extoll().rma_port()
     }
 
     /// The Infiniband handles (panics on EXTOLL).
     pub fn ib_handles(&self) -> (&Rc<IbvQp>, &Rc<IbvCq>, &Rc<IbvCq>) {
-        match &self.side {
-            Side::Ib {
-                qp,
-                send_cq,
-                recv_cq,
-                ..
-            } => (qp, send_cq, recv_cq),
-            _ => panic!("not an Infiniband endpoint"),
-        }
+        self.transport.ib().ib_handles()
     }
 }

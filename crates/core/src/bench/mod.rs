@@ -15,6 +15,7 @@ pub mod staging;
 pub mod timeline;
 pub mod twosided;
 pub mod velo;
+pub mod workload;
 
 use std::fmt;
 

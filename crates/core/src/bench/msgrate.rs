@@ -62,11 +62,14 @@ async fn agent_loop<P: tc_pcie::Processor>(ep: &PutGetEndpoint, p: &P, msgs: u32
 
 fn run_rate(backend: Backend, mode: RateMode, pairs: u32, per_pair: u32) -> RateResult {
     let c = Cluster::new(backend);
-    let queue_loc = match (backend, mode) {
-        // GPU-driven Infiniband posting uses queues in GPU memory (the
-        // paper's message-rate experiments use the GPU-resident setup).
-        (Backend::Infiniband, RateMode::Dev2DevBlocks | RateMode::Dev2DevKernels) => QueueLoc::Gpu,
-        _ => QueueLoc::Host,
+    // GPU-driven posting uses queues in GPU memory where the backend can
+    // relocate them (the paper's message-rate experiments use the
+    // GPU-resident setup); a capability query, not a backend match.
+    let gpu_driven = matches!(mode, RateMode::Dev2DevBlocks | RateMode::Dev2DevKernels);
+    let queue_loc = if gpu_driven && backend.transport_caps().queue_buffers_relocatable {
+        QueueLoc::Gpu
+    } else {
+        QueueLoc::Host
     };
     let eps = build_pairs(&c, pairs, queue_loc);
     let t0 = Rc::new(Cell::new(0u64));

@@ -1,0 +1,432 @@
+//! Open-loop workload engine: latency under load through the transport
+//! seam.
+//!
+//! The paper's microbenchmarks are *closed-loop* — each operation starts
+//! when the previous one finished, so they measure unloaded latency and
+//! peak rate but never the region in between. This driver measures the
+//! missing curve: a seeded open-loop arrival process (Poisson or bursty)
+//! offers operations at a configured rate, arrivals queue in a bounded
+//! per-connection queue (arrivals to a full queue are *dropped* and
+//! counted, keeping the generator open-loop), and a worker issues them
+//! through the backend-agnostic [`Transport`] — mixed put/get/send
+//! traffic over N concurrent connections. Latency is measured from
+//! *arrival* to completion, so queueing delay is included and the
+//! offered-load vs. achieved-throughput knee appears together with the
+//! p50/p99/p999 latency blow-up — the classic latency-under-load picture.
+//!
+//! Everything is deterministic: arrivals are pre-generated from an
+//! in-tree [`XorShift64`] stream per connection, and the simulation is
+//! single-threaded, so each load point is an independent repeatable task.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use tc_desim::time::{self, Time};
+use tc_trace::rng::XorShift64;
+use tc_trace::Snapshot;
+
+use crate::api::{create_pair, QueueLoc};
+use crate::cluster::{Backend, Cluster};
+use crate::transport::Transport;
+
+/// Arrival process of the open-loop generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrival times (memoryless).
+    Poisson,
+    /// On/off bursts: groups of [`BURST_LEN`] arrivals at 10× the mean
+    /// rate, separated by compensating exponential gaps — same long-run
+    /// offered load as [`ArrivalProcess::Poisson`], much worse tail.
+    Bursty,
+}
+
+impl ArrivalProcess {
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Bursty => "bursty",
+        }
+    }
+}
+
+/// Arrivals per burst for [`ArrivalProcess::Bursty`].
+pub const BURST_LEN: u32 = 8;
+
+/// Symmetric buffer bytes per connection.
+const BUF_LEN: u64 = 4096;
+/// Two-sided message payload bytes.
+const MSG_LEN: usize = 32;
+/// Receive window primed on the server side of each connection.
+const RECV_WINDOW: usize = 8;
+
+/// One load point of the open-loop sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Fabric under test.
+    pub backend: Backend,
+    /// Arrival process shape.
+    pub process: ArrivalProcess,
+    /// Concurrent connections (each its own transport pair).
+    pub conns: u32,
+    /// Offered load per connection, in 1000 operations per second.
+    pub offered_kops: f64,
+    /// Operations generated per connection (sets the horizon).
+    pub ops_per_conn: u32,
+    /// Bounded per-connection queue depth; arrivals beyond it drop.
+    pub queue_cap: usize,
+    /// Seed of the arrival stream.
+    pub seed: u64,
+}
+
+/// Measured outcome of one load point.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// The spec that produced this point.
+    pub spec: WorkloadSpec,
+    /// Aggregate offered load, operations per second.
+    pub offered_ops: f64,
+    /// Aggregate achieved throughput, operations per second.
+    pub achieved_ops: f64,
+    /// Operations completed.
+    pub completed: u64,
+    /// Arrivals dropped at full queues (open-loop backpressure).
+    pub dropped: u64,
+    /// Operations that completed with a transport error.
+    pub errors: u64,
+    /// Median arrival-to-completion latency, ps (log2-bucket resolution).
+    pub p50_ps: u64,
+    /// 99th percentile latency, ps.
+    pub p99_ps: u64,
+    /// 99.9th percentile latency, ps.
+    pub p999_ps: u64,
+    /// Simulated time of the last completion.
+    pub elapsed: Time,
+    /// Delta of every registry counter over the run (carries the
+    /// `workload0.*` metrics plus all device counters).
+    pub registry: Snapshot,
+}
+
+/// One queued operation kind.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Put(u32),
+    Get(u32),
+    Msg,
+}
+
+/// Pre-generate one connection's arrival schedule: `(arrival time, op)`,
+/// strictly increasing times.
+fn schedule(spec: &WorkloadSpec, conn: u32) -> Vec<(Time, Op)> {
+    let mut rng = XorShift64::new(
+        spec.seed ^ (conn as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    // Uniform in (0, 1): 53 random mantissa bits, offset by half an ulp so
+    // ln() never sees 0.
+    let unit = |rng: &mut XorShift64| ((rng.next_u64() >> 11) as f64 + 0.5) / 2f64.powi(53);
+    let mean_ps = 1e9 / spec.offered_kops; // 1e12 ps/s ÷ (kops · 1e3)
+    let exp = |rng: &mut XorShift64, mean: f64| -unit(rng).ln() * mean;
+    let mut t = 0f64;
+    let mut out = Vec::with_capacity(spec.ops_per_conn as usize);
+    for i in 0..spec.ops_per_conn {
+        let dt = match spec.process {
+            ArrivalProcess::Poisson => exp(&mut rng, mean_ps),
+            ArrivalProcess::Bursty => {
+                if i % BURST_LEN == 0 && i > 0 {
+                    // Gap compensating the fast intra-burst spacing so the
+                    // long-run mean inter-arrival stays `mean_ps`.
+                    let intra = mean_ps / 10.0;
+                    exp(&mut rng, BURST_LEN as f64 * mean_ps - (BURST_LEN - 1) as f64 * intra)
+                } else {
+                    exp(&mut rng, mean_ps / 10.0)
+                }
+            }
+        };
+        t += dt.max(1.0);
+        let op = match rng.below(10) {
+            0..=3 => Op::Put(64 << rng.below(3) as u32),
+            4..=6 => Op::Get(64 << rng.below(3) as u32),
+            _ => Op::Msg,
+        };
+        out.push((t as Time, op));
+    }
+    out
+}
+
+/// Run one load point to completion and measure it.
+pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
+    assert!(spec.conns > 0 && spec.offered_kops > 0.0 && spec.queue_cap > 0);
+    let c = Cluster::new(spec.backend);
+    let scope = c.sim.registry().scope("workload");
+    let arrivals_ctr = scope.counter("arrivals");
+    let completed_ctr = scope.counter("completed");
+    let dropped_ctr = scope.counter("dropped");
+    let errors_ctr = scope.counter("errors");
+    let depth_gauge = scope.gauge("queue_depth");
+    let latency_hist = scope.histogram("latency_ps");
+
+    let last_done = Rc::new(Cell::new(0u64));
+
+    for conn in 0..spec.conns {
+        let buf_a = c.nodes[0].gpu.alloc(BUF_LEN, 256);
+        let buf_b = c.nodes[1].gpu.alloc(BUF_LEN, 256);
+        let (ep0, ep1) = create_pair(&c, buf_a, buf_b, BUF_LEN, QueueLoc::Host);
+        let ep0 = Rc::new(ep0);
+        let plan = schedule(spec, conn);
+
+        let queue: Rc<RefCell<VecDeque<(Time, Op)>>> = Rc::new(RefCell::new(VecDeque::new()));
+        let wakeup = c.sim.signal();
+        let gen_done = Rc::new(Cell::new(false));
+        let conn_done = Rc::new(Cell::new(false));
+
+        // Generator: open-loop arrivals into the bounded queue. Pure
+        // simulated-time delays — an arrival source, not a processor.
+        {
+            let sim = c.sim.clone();
+            let (q, wake, done) = (queue.clone(), wakeup.clone(), gen_done.clone());
+            let (arrivals, dropped, depth) =
+                (arrivals_ctr.clone(), dropped_ctr.clone(), depth_gauge.clone());
+            let cap = spec.queue_cap;
+            c.sim.spawn(&format!("workload.gen{conn}"), async move {
+                for (t_arr, op) in plan {
+                    let now = sim.now();
+                    if t_arr > now {
+                        sim.delay(t_arr - now).await;
+                    }
+                    arrivals.add(1);
+                    let mut q = q.borrow_mut();
+                    if q.len() >= cap {
+                        dropped.add(1);
+                    } else {
+                        q.push_back((sim.now(), op));
+                        depth.add(1);
+                    }
+                    drop(q);
+                    wake.notify_all();
+                }
+                done.set(true);
+                wake.notify_all();
+            });
+        }
+
+        // Worker: drain the queue through the transport, one operation at
+        // a time (a GPU thread on node 0 — the paper's GPU-controlled
+        // mode). Latency is measured from *arrival*, so time spent queued
+        // counts.
+        {
+            let sim = c.sim.clone();
+            let gpu = c.nodes[0].gpu.clone();
+            let (q, wake, gdone, cdone) =
+                (queue.clone(), wakeup.clone(), gen_done.clone(), conn_done.clone());
+            let (completed, errors, depth, lat, last) = (
+                completed_ctr.clone(),
+                errors_ctr.clone(),
+                depth_gauge.clone(),
+                latency_hist.clone(),
+                last_done.clone(),
+            );
+            let ep = ep0.clone();
+            c.sim.spawn(&format!("workload.conn{conn}"), async move {
+                let t = gpu.thread();
+                let tp = ep.transport();
+                loop {
+                    let item = q.borrow_mut().pop_front();
+                    match item {
+                        Some((t_arr, op)) => {
+                            depth.sub(1);
+                            let res = match op {
+                                Op::Put(len) => {
+                                    tp.put(&t, 0, 0, len, false).await;
+                                    tp.quiet(&t).await
+                                }
+                                Op::Get(len) => tp.get(&t, 0, 0, len).await,
+                                Op::Msg => tp.send(&t, &[0xA5u8; MSG_LEN]).await,
+                            };
+                            if res.is_err() {
+                                errors.add(1);
+                            }
+                            let now = sim.now();
+                            lat.record(now - t_arr);
+                            completed.add(1);
+                            if now > last.get() {
+                                last.set(now);
+                            }
+                        }
+                        None if gdone.get() => break,
+                        None => wake.wait_until(|| gdone.get() || !q.borrow().is_empty()).await,
+                    }
+                }
+                cdone.set(true);
+            });
+        }
+
+        // Server: drain two-sided messages on node 1 (host-assisted
+        // receiver). Polls rather than blocks so it can terminate even if
+        // messages were dropped at an overflowing mailbox, then settles
+        // one in-flight window after the worker finished.
+        {
+            let sim = c.sim.clone();
+            let cpu = c.nodes[1].cpu.clone();
+            let cdone = conn_done.clone();
+            c.sim.spawn(&format!("workload.srv{conn}"), async move {
+                let tp = ep1.transport();
+                tp.prime_recv(&cpu, RECV_WINDOW).await;
+                loop {
+                    while tp.try_recv(&cpu).await.is_some() {}
+                    if cdone.get() {
+                        sim.delay(time::us(5)).await;
+                        while tp.try_recv(&cpu).await.is_some() {}
+                        break;
+                    }
+                    sim.delay(time::ns(400)).await;
+                }
+            });
+        }
+    }
+
+    let start = c.sim.registry().snapshot();
+    c.sim.run();
+    let registry = c.sim.registry().snapshot().delta(&start);
+
+    let completed = registry.get("workload0.completed");
+    let elapsed = last_done.get();
+    let lat = registry
+        .histogram("workload0.latency_ps")
+        .cloned()
+        .unwrap_or_default();
+    WorkloadResult {
+        spec: *spec,
+        offered_ops: spec.offered_kops * 1e3 * spec.conns as f64,
+        achieved_ops: if elapsed == 0 {
+            0.0
+        } else {
+            completed as f64 / time::to_sec_f64(elapsed)
+        },
+        completed,
+        dropped: registry.get("workload0.dropped"),
+        errors: registry.get("workload0.errors"),
+        p50_ps: lat.p50(),
+        p99_ps: lat.p99(),
+        p999_ps: lat.p999(),
+        elapsed,
+        registry,
+    }
+}
+
+/// Render one sweep (grouped by backend and arrival process, assumed to
+/// be contiguous in `results`) as latency-under-load tables.
+pub fn render(results: &[WorkloadResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# workload: open-loop latency under load (offered vs. achieved, mixed put/get/send)\n",
+    );
+    let mut group: Option<(Backend, ArrivalProcess)> = None;
+    for r in results {
+        let key = (r.spec.backend, r.spec.process);
+        if group != Some(key) {
+            group = Some(key);
+            out.push_str(&format!(
+                "\n[{} / {} / {} conns / queue {}]\n",
+                r.spec.backend.transport_caps().name,
+                r.spec.process.label(),
+                r.spec.conns,
+                r.spec.queue_cap,
+            ));
+            out.push_str(
+                "offered(kop/s) achieved(kop/s)   p50(us)   p99(us)  p999(us)    drops   errors\n",
+            );
+        }
+        out.push_str(&format!(
+            "{:>14.1} {:>15.1} {:>9.2} {:>9.2} {:>9.2} {:>8} {:>8}\n",
+            r.offered_ops / 1e3,
+            r.achieved_ops / 1e3,
+            time::to_us_f64(r.p50_ps),
+            time::to_us_f64(r.p99_ps),
+            time::to_us_f64(r.p999_ps),
+            r.dropped,
+            r.errors,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(backend: Backend, kops: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            backend,
+            process: ArrivalProcess::Poisson,
+            conns: 2,
+            offered_kops: kops,
+            ops_per_conn: 40,
+            queue_cap: 16,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_ordered() {
+        let spec = quick_spec(Backend::Extoll, 200.0);
+        let a = schedule(&spec, 0);
+        let b = schedule(&spec, 0);
+        assert_eq!(a.len(), 40);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.0 == y.0));
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+        // Different connections draw different streams.
+        let c = schedule(&spec, 1);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.0 != y.0));
+    }
+
+    #[test]
+    fn light_load_completes_everything_without_drops() {
+        for backend in [Backend::Extoll, Backend::Infiniband] {
+            // 10 kop/s per connection is below both backends' service
+            // rates (EXTOLL ~6 us/op, Infiniband ~100 us/op GPU-driven).
+            let r = run(&quick_spec(backend, 10.0));
+            assert_eq!(r.completed, 80, "{backend:?}");
+            assert_eq!(r.dropped, 0, "{backend:?}");
+            assert_eq!(r.errors, 0, "{backend:?}");
+            assert!(r.p50_ps > 0 && r.p999_ps >= r.p99_ps && r.p99_ps >= r.p50_ps);
+            assert!(r.achieved_ops > 0.0);
+        }
+    }
+
+    #[test]
+    fn overload_saturates_and_drops() {
+        let light = run(&quick_spec(Backend::Extoll, 50.0));
+        let heavy = run(&quick_spec(Backend::Extoll, 6400.0));
+        // The knee: offered load way past capacity cannot raise achieved
+        // throughput proportionally, the bounded queue sheds arrivals, and
+        // tail latency blows up.
+        assert!(heavy.dropped > 0);
+        assert!(heavy.achieved_ops < heavy.offered_ops * 0.9);
+        assert!(heavy.p99_ps > light.p99_ps);
+        assert_eq!(
+            heavy.completed + heavy.dropped,
+            2 * 40,
+            "every arrival is either completed or dropped"
+        );
+    }
+
+    #[test]
+    fn runs_are_byte_identical() {
+        let spec = quick_spec(Backend::Infiniband, 400.0);
+        let a = run(&spec);
+        let b = run(&spec);
+        assert_eq!(a.registry, b.registry);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn bursty_process_has_worse_tail_at_same_offered_load() {
+        let mut spec = quick_spec(Backend::Extoll, 50.0);
+        spec.ops_per_conn = 64;
+        let poisson = run(&spec);
+        spec.process = ArrivalProcess::Bursty;
+        let bursty = run(&spec);
+        assert!(bursty.p99_ps >= poisson.p99_ps);
+    }
+}

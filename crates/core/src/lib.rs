@@ -42,6 +42,9 @@
 //! # Layout
 //!
 //! * [`cluster`] — the two-node testbed builder.
+//! * [`transport`] — the backend-agnostic transport seam: the
+//!   [`transport::Transport`] trait, its EXTOLL/Infiniband
+//!   implementations, and the `Backend::instantiate` factory.
 //! * [`api`] — the unified put/get endpoint (both backends, both
 //!   processors).
 //! * [`collectives`] — exchange/barrier/broadcast/all-reduce built on the
@@ -55,9 +58,11 @@ pub mod bench;
 pub mod cluster;
 pub mod collectives;
 pub mod flag;
+pub mod transport;
 
 pub use api::{create_pair, create_pair_between, CommError, PutGetEndpoint, QueueLoc};
 pub use cluster::{Backend, Cluster, ClusterConfig, Node};
+pub use transport::{AnyTransport, ExtollTransport, IbTransport, Transport, TransportCaps};
 
 // Re-export the pieces users need to drive the library.
 pub use tc_desim::{time, Sim};

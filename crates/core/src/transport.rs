@@ -1,0 +1,833 @@
+//! The backend-agnostic transport seam.
+//!
+//! The paper's subject is the *difference* between put/get APIs across
+//! interconnects, but comparing backends should not mean `match`-ing on
+//! [`Backend`] in every driver. This module concentrates the dispatch in
+//! one place: a [`Transport`] trait covering the operations every fabric
+//! of the paper's class offers — one-sided `put`/`get`, two-sided
+//! small-message `send`/`recv`, a native small-message fast path
+//! (`velo_send`), and completion retrieval (`quiet`/`flush`/
+//! `poll_completions`) — plus a [`TransportCaps`] capability descriptor so
+//! drivers can query *what a backend can do* instead of *which backend it
+//! is*.
+//!
+//! [`ExtollTransport`] wraps the EXTOLL RMA port (and a VELO port for the
+//! two-sided path); [`IbTransport`] wraps an `IbvQp` with its two CQs and
+//! memory regions. [`Backend::instantiate`] is the one factory that still
+//! knows both backends: it performs the whole control path (registration,
+//! port/QP setup, connection cross-wiring) and returns a connected
+//! [`AnyTransport`] pair. Everything above — [`crate::api::PutGetEndpoint`],
+//! the `bench/*` drivers, the collectives — goes through the trait.
+//!
+//! A new backend plugs in by implementing [`Transport`], adding an
+//! [`AnyTransport`] variant, and extending the factory; the generic
+//! conformance checklist in `crates/core/tests/conformance.rs` then
+//! covers it for free.
+//!
+//! All operations run in simulated time: every method takes the executing
+//! [`Processor`], exactly like the rest of the crate.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tc_extoll::api::VeloPort;
+use tc_extoll::{NotifyUnit, RmaPort, WrFlags, VELO_MAX_PAYLOAD};
+use tc_ib::{
+    Access, BufLoc, CqeStatus, IbvContext, IbvCq, IbvQp, MemoryRegion, SendOpcode, SendWr,
+};
+use tc_mem::Addr;
+use tc_pcie::Processor;
+
+use crate::cluster::{Backend, Cluster};
+
+/// Communication errors surfaced by completion polling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// The remote side rejected the access (bad key / out of bounds).
+    RemoteAccess,
+    /// Two-sided operation without a matching receive.
+    ReceiverNotReady,
+    /// The local buffer failed protection checks.
+    LocalProtection,
+}
+
+pub(crate) fn status_to_result(s: CqeStatus) -> Result<(), CommError> {
+    match s {
+        CqeStatus::Success => Ok(()),
+        CqeStatus::RemoteAccessError => Err(CommError::RemoteAccess),
+        CqeStatus::RnrRetryExceeded => Err(CommError::ReceiverNotReady),
+        CqeStatus::LocalProtectionError => Err(CommError::LocalProtection),
+    }
+}
+
+/// Placement of the communication queues (Infiniband only; EXTOLL's
+/// notification queues are pinned in host kernel memory by the driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueLoc {
+    /// Queue buffers in host memory.
+    Host,
+    /// Queue buffers in GPU device memory (GPUDirect driver patch).
+    Gpu,
+}
+
+impl From<QueueLoc> for BufLoc {
+    fn from(q: QueueLoc) -> BufLoc {
+        match q {
+            QueueLoc::Host => BufLoc::Host,
+            QueueLoc::Gpu => BufLoc::Gpu,
+        }
+    }
+}
+
+/// What a transport can do — queried by drivers instead of matching on
+/// the backend enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportCaps {
+    /// Human-readable backend name (stable, used in reports).
+    pub name: &'static str,
+    /// The fabric has a dedicated small-message engine ([`Transport::velo_send`]
+    /// is cheaper than a put); without one, `velo_send` falls back to the
+    /// generic two-sided send.
+    pub native_small_messages: bool,
+    /// Largest two-sided message payload in bytes.
+    pub max_small_message: usize,
+    /// Receive-side buffering for two-sided messages, in messages. Senders
+    /// that outrun the receiver by more than this will see drops (EXTOLL
+    /// mailbox overflow) or receiver-not-ready errors (Infiniband RNR).
+    pub msg_window: usize,
+    /// A remote arrival notification requires the receiver to arm a slot
+    /// first ([`Transport::arm_arrival`]); EXTOLL completer notifications
+    /// need no receiver action — a key API difference of the paper's §IV.
+    pub remote_notify_needs_arming: bool,
+    /// Queue buffers can be relocated into GPU device memory
+    /// ([`QueueLoc::Gpu`]); EXTOLL's are pinned by the driver.
+    pub queue_buffers_relocatable: bool,
+}
+
+/// EXTOLL capability descriptor.
+pub const EXTOLL_CAPS: TransportCaps = TransportCaps {
+    name: "extoll",
+    native_small_messages: true,
+    max_small_message: VELO_MAX_PAYLOAD,
+    msg_window: 64,
+    remote_notify_needs_arming: false,
+    queue_buffers_relocatable: false,
+};
+
+/// Infiniband capability descriptor.
+pub const IB_CAPS: TransportCaps = TransportCaps {
+    name: "infiniband",
+    native_small_messages: false,
+    max_small_message: MSG_SLOT_LEN as usize,
+    msg_window: MSG_SLOTS as usize,
+    remote_notify_needs_arming: true,
+    queue_buffers_relocatable: true,
+};
+
+/// One connected side of a communication channel, independent of the
+/// fabric behind it.
+///
+/// Semantics shared by every implementation:
+///
+/// * [`put`](Transport::put) returns once *posted*; local completion is
+///   retrieved with [`quiet`](Transport::quiet) (oldest outstanding put),
+///   [`flush`](Transport::flush) (all outstanding puts) or
+///   [`poll_completions`](Transport::poll_completions) (non-blocking
+///   drain). [`get`](Transport::get) blocks until the data arrived.
+/// * [`send`](Transport::send) is a two-sided small message (payload ≤
+///   [`TransportCaps::max_small_message`]); it completes locally before
+///   returning and orders after the sender's outstanding puts.
+///   [`recv`](Transport::recv)/[`try_recv`](Transport::try_recv) retrieve
+///   messages in arrival order. [`velo_send`](Transport::velo_send) is the
+///   native small-message fast path where the fabric has one
+///   ([`TransportCaps::native_small_messages`]), otherwise an alias for
+///   `send`.
+/// * Arrival notifications (`put` with `notify_remote`) are observed with
+///   [`wait_arrival`](Transport::wait_arrival)/[`try_arrival`](Transport::try_arrival);
+///   if [`TransportCaps::remote_notify_needs_arming`] the receiver must
+///   call [`arm_arrival`](Transport::arm_arrival) once per expected
+///   notification *before* the peer posts the put.
+/// * Implementations that share one completion channel between arrival
+///   notifications and two-sided receives (Infiniband) require the
+///   application not to interleave the two waits concurrently on one
+///   transport — drain one kind before switching to the other.
+#[allow(async_fn_in_trait)] // single-threaded simulation: futures need not be Send
+pub trait Transport {
+    /// The capability descriptor.
+    fn caps(&self) -> TransportCaps;
+
+    /// Number of posted puts whose local completion has not been retrieved.
+    fn outstanding(&self) -> u64;
+
+    /// Initiate a put of `len` bytes from local offset `local_off` to
+    /// remote offset `remote_off` of the connected buffer pair.
+    async fn put<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+        notify_remote: bool,
+    );
+
+    /// Fetch `len` bytes from remote offset `remote_off` into local offset
+    /// `local_off`. Blocks until the data has arrived locally.
+    async fn get<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+    ) -> Result<(), CommError>;
+
+    /// Two-sided small message; completes locally before returning.
+    async fn send<P: Processor>(&self, p: &P, payload: &[u8]) -> Result<(), CommError>;
+
+    /// Blocking receive of the next two-sided message.
+    async fn recv<P: Processor>(&self, p: &P) -> Result<Vec<u8>, CommError>;
+
+    /// Non-blocking probe for a two-sided message.
+    async fn try_recv<P: Processor>(&self, p: &P) -> Option<Result<Vec<u8>, CommError>>;
+
+    /// Native small-message fast path; falls back to [`Transport::send`]
+    /// when the backend has no dedicated engine.
+    async fn velo_send<P: Processor>(&self, p: &P, payload: &[u8]) -> Result<(), CommError> {
+        self.send(p, payload).await
+    }
+
+    /// Pre-post `n` receive buffers for two-sided messages, so a peer may
+    /// send before the first [`Transport::recv`] call. No-op on fabrics
+    /// whose receive mailboxes need no software posting.
+    async fn prime_recv<P: Processor>(&self, p: &P, n: usize);
+
+    /// Wait for local completion of the oldest outstanding put.
+    async fn quiet<P: Processor>(&self, p: &P) -> Result<(), CommError>;
+
+    /// Wait for local completion of *all* outstanding puts.
+    async fn flush<P: Processor>(&self, p: &P) -> Result<(), CommError> {
+        while self.outstanding() > 0 {
+            self.quiet(p).await?;
+        }
+        Ok(())
+    }
+
+    /// Drain already-available local put completions without blocking;
+    /// returns how many were retired.
+    async fn poll_completions<P: Processor>(&self, p: &P) -> u64;
+
+    /// Arm one arrival slot (required before the peer's notifying put when
+    /// [`TransportCaps::remote_notify_needs_arming`]).
+    async fn arm_arrival<P: Processor>(&self, p: &P);
+
+    /// Wait for one arrival notification; returns the notified byte count.
+    async fn wait_arrival<P: Processor>(&self, p: &P) -> Result<u32, CommError>;
+
+    /// Probe for an arrival without blocking.
+    async fn try_arrival<P: Processor>(&self, p: &P) -> Option<Result<u32, CommError>>;
+}
+
+/// [`Transport`] over an EXTOLL RMA port (one-sided) plus a VELO port
+/// (two-sided small messages).
+pub struct ExtollTransport {
+    port: Rc<RmaPort>,
+    peer_port: u16,
+    local_nla: u64,
+    remote_nla: u64,
+    velo: VeloPort,
+    velo_peer: u16,
+    outstanding: Cell<u64>,
+}
+
+impl ExtollTransport {
+    /// The RMA port handle — for experiments that need backend internals.
+    pub fn rma_port(&self) -> &Rc<RmaPort> {
+        &self.port
+    }
+}
+
+impl Transport for ExtollTransport {
+    fn caps(&self) -> TransportCaps {
+        EXTOLL_CAPS
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.outstanding.get()
+    }
+
+    async fn put<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+        notify_remote: bool,
+    ) {
+        self.port
+            .post_put(
+                p,
+                self.peer_port,
+                self.local_nla + local_off,
+                self.remote_nla + remote_off,
+                len,
+                WrFlags {
+                    notify_requester: true,
+                    notify_completer: notify_remote,
+                    notify_responder: false,
+                },
+            )
+            .await;
+        self.outstanding.set(self.outstanding.get() + 1);
+    }
+
+    async fn get<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+    ) -> Result<(), CommError> {
+        self.port
+            .post_get(
+                p,
+                self.peer_port,
+                self.local_nla + local_off,
+                self.remote_nla + remote_off,
+                len,
+                WrFlags {
+                    notify_requester: false,
+                    notify_completer: true,
+                    notify_responder: false,
+                },
+            )
+            .await;
+        let n = self.port.completer.wait(p).await;
+        debug_assert_eq!(n.unit, NotifyUnit::Completer);
+        self.port.completer.free(p).await;
+        Ok(())
+    }
+
+    async fn send<P: Processor>(&self, p: &P, payload: &[u8]) -> Result<(), CommError> {
+        assert!(payload.len() <= VELO_MAX_PAYLOAD, "payload exceeds caps");
+        // VELO is PIO: the message leaves with the write-combined store
+        // burst, there is no local completion to reap.
+        self.velo.send(p, self.velo_peer, payload).await;
+        Ok(())
+    }
+
+    async fn recv<P: Processor>(&self, p: &P) -> Result<Vec<u8>, CommError> {
+        let (_src, data) = self.velo.recv(p).await;
+        Ok(data)
+    }
+
+    async fn try_recv<P: Processor>(&self, p: &P) -> Option<Result<Vec<u8>, CommError>> {
+        let (_src, data) = self.velo.try_recv(p).await?;
+        Some(Ok(data))
+    }
+
+    async fn prime_recv<P: Processor>(&self, _p: &P, _n: usize) {
+        // The mailbox ring is hardware-managed; nothing to post.
+    }
+
+    async fn quiet<P: Processor>(&self, p: &P) -> Result<(), CommError> {
+        let n = self.port.requester.wait(p).await;
+        debug_assert_eq!(n.unit, NotifyUnit::Requester);
+        self.port.requester.free(p).await;
+        self.outstanding.set(self.outstanding.get().saturating_sub(1));
+        Ok(())
+    }
+
+    async fn poll_completions<P: Processor>(&self, p: &P) -> u64 {
+        let mut drained = 0;
+        while self.port.requester.try_poll(p).await.is_some() {
+            self.port.requester.free(p).await;
+            self.outstanding.set(self.outstanding.get().saturating_sub(1));
+            drained += 1;
+        }
+        drained
+    }
+
+    async fn arm_arrival<P: Processor>(&self, _p: &P) {
+        // Completer notifications need no receiver action.
+    }
+
+    async fn wait_arrival<P: Processor>(&self, p: &P) -> Result<u32, CommError> {
+        let n = self.port.completer.wait(p).await;
+        debug_assert_eq!(n.unit, NotifyUnit::Completer);
+        let len = n.len;
+        self.port.completer.free(p).await;
+        Ok(len)
+    }
+
+    async fn try_arrival<P: Processor>(&self, p: &P) -> Option<Result<u32, CommError>> {
+        let n = self.port.completer.try_poll(p).await?;
+        let len = n.len;
+        self.port.completer.free(p).await;
+        Some(Ok(len))
+    }
+}
+
+/// Two-sided message slots per [`IbTransport`] (send staging + receive
+/// inbox, one cache-line-sized slot per message, mirroring the VELO
+/// payload limit so workloads see the same message-size envelope on both
+/// fabrics).
+pub const MSG_SLOTS: u64 = 32;
+/// Bytes per two-sided message slot.
+pub const MSG_SLOT_LEN: u64 = VELO_MAX_PAYLOAD as u64;
+
+/// [`Transport`] over an Infiniband queue pair.
+pub struct IbTransport {
+    qp: Rc<IbvQp>,
+    send_cq: Rc<IbvCq>,
+    recv_cq: Rc<IbvCq>,
+    mr_local: MemoryRegion,
+    mr_remote: MemoryRegion,
+    /// One registered region holding `MSG_SLOTS` send staging slots
+    /// followed by `MSG_SLOTS` receive inbox slots.
+    msg_mr: MemoryRegion,
+    tx_head: Cell<u64>,
+    rx_head: Cell<u64>,
+    rx_tail: Cell<u64>,
+    rx_posted: Cell<u64>,
+    outstanding: Cell<u64>,
+}
+
+impl IbTransport {
+    /// The verbs handles `(qp, send_cq, recv_cq)` — for experiments that
+    /// need backend internals.
+    pub fn ib_handles(&self) -> (&Rc<IbvQp>, &Rc<IbvCq>, &Rc<IbvCq>) {
+        (&self.qp, &self.send_cq, &self.recv_cq)
+    }
+
+    fn rx_slot(&self, index: u64) -> Addr {
+        self.msg_mr.addr + (MSG_SLOTS + (index % MSG_SLOTS)) * MSG_SLOT_LEN
+    }
+
+    fn tx_slot(&self, index: u64) -> Addr {
+        self.msg_mr.addr + (index % MSG_SLOTS) * MSG_SLOT_LEN
+    }
+
+    async fn post_one_rx<P: Processor>(&self, p: &P) {
+        assert!(
+            self.rx_posted.get() < MSG_SLOTS,
+            "receive window exceeds inbox capacity"
+        );
+        let slot = self.rx_slot(self.rx_tail.get());
+        self.qp
+            .post_recv(p, slot, self.msg_mr.lkey, MSG_SLOT_LEN as u32)
+            .await;
+        self.rx_tail.set(self.rx_tail.get() + 1);
+        self.rx_posted.set(self.rx_posted.get() + 1);
+    }
+
+    /// Consume the oldest posted receive after its completion was reaped:
+    /// read the payload out of the inbox slot and repost the slot.
+    async fn consume_rx<P: Processor>(
+        &self,
+        p: &P,
+        status: CqeStatus,
+        byte_count: u32,
+    ) -> Result<Vec<u8>, CommError> {
+        let slot = self.rx_slot(self.rx_head.get());
+        self.rx_head.set(self.rx_head.get() + 1);
+        self.rx_posted.set(self.rx_posted.get().saturating_sub(1));
+        status_to_result(status)?;
+        let mut data = vec![0u8; byte_count as usize];
+        if !data.is_empty() {
+            p.ld_bytes(slot, &mut data).await;
+        }
+        // Keep the receive window at its previous depth.
+        self.post_one_rx(p).await;
+        Ok(data)
+    }
+}
+
+impl Transport for IbTransport {
+    fn caps(&self) -> TransportCaps {
+        IB_CAPS
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.outstanding.get()
+    }
+
+    async fn put<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+        notify_remote: bool,
+    ) {
+        self.qp
+            .post_send(
+                p,
+                &SendWr {
+                    opcode: if notify_remote {
+                        SendOpcode::RdmaWriteImm
+                    } else {
+                        SendOpcode::RdmaWrite
+                    },
+                    laddr: self.mr_local.addr + local_off,
+                    lkey: self.mr_local.lkey,
+                    raddr: self.mr_remote.addr + remote_off,
+                    rkey: self.mr_remote.rkey,
+                    len,
+                    imm: len,
+                    signaled: true,
+                },
+            )
+            .await;
+        self.outstanding.set(self.outstanding.get() + 1);
+    }
+
+    async fn get<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+    ) -> Result<(), CommError> {
+        self.qp
+            .post_send(
+                p,
+                &SendWr {
+                    opcode: SendOpcode::RdmaRead,
+                    laddr: self.mr_local.addr + local_off,
+                    lkey: self.mr_local.lkey,
+                    raddr: self.mr_remote.addr + remote_off,
+                    rkey: self.mr_remote.rkey,
+                    len,
+                    imm: 0,
+                    signaled: true,
+                },
+            )
+            .await;
+        let wc = self.send_cq.wait(p).await;
+        status_to_result(wc.status)
+    }
+
+    async fn send<P: Processor>(&self, p: &P, payload: &[u8]) -> Result<(), CommError> {
+        assert!(payload.len() <= MSG_SLOT_LEN as usize, "payload exceeds caps");
+        // The send CQ is shared with one-sided completions; retire those
+        // first so the completion reaped below is this send's.
+        self.flush(p).await?;
+        let slot = self.tx_slot(self.tx_head.get());
+        self.tx_head.set(self.tx_head.get() + 1);
+        if !payload.is_empty() {
+            p.st_bytes(slot, payload).await;
+        }
+        self.qp
+            .post_send(
+                p,
+                &SendWr {
+                    opcode: SendOpcode::Send,
+                    laddr: slot,
+                    lkey: self.msg_mr.lkey,
+                    raddr: 0,
+                    rkey: 0,
+                    len: payload.len() as u32,
+                    imm: 0,
+                    signaled: true,
+                },
+            )
+            .await;
+        let wc = self.send_cq.wait(p).await;
+        status_to_result(wc.status)
+    }
+
+    async fn recv<P: Processor>(&self, p: &P) -> Result<Vec<u8>, CommError> {
+        if self.rx_posted.get() == 0 {
+            self.post_one_rx(p).await;
+        }
+        let wc = self.recv_cq.wait(p).await;
+        self.consume_rx(p, wc.status, wc.byte_count).await
+    }
+
+    async fn try_recv<P: Processor>(&self, p: &P) -> Option<Result<Vec<u8>, CommError>> {
+        if self.rx_posted.get() == 0 {
+            self.post_one_rx(p).await;
+        }
+        let wc = self.recv_cq.poll(p).await?;
+        Some(self.consume_rx(p, wc.status, wc.byte_count).await)
+    }
+
+    async fn prime_recv<P: Processor>(&self, p: &P, n: usize) {
+        while self.rx_posted.get() < (n as u64).min(MSG_SLOTS) {
+            self.post_one_rx(p).await;
+        }
+    }
+
+    async fn quiet<P: Processor>(&self, p: &P) -> Result<(), CommError> {
+        let wc = self.send_cq.wait(p).await;
+        debug_assert_eq!(wc.opcode, tc_ib::CqeOpcode::SendComplete);
+        self.outstanding.set(self.outstanding.get().saturating_sub(1));
+        status_to_result(wc.status)
+    }
+
+    async fn poll_completions<P: Processor>(&self, p: &P) -> u64 {
+        let mut drained = 0;
+        while let Some(wc) = self.send_cq.poll(p).await {
+            self.outstanding.set(self.outstanding.get().saturating_sub(1));
+            drained += 1;
+            debug_assert_eq!(wc.opcode, tc_ib::CqeOpcode::SendComplete);
+        }
+        drained
+    }
+
+    async fn arm_arrival<P: Processor>(&self, p: &P) {
+        // A write-with-immediate consumes one receive WQE (address
+        // ignored); post an inbox slot so arrivals and two-sided receives
+        // share one uniform ring.
+        self.post_one_rx(p).await;
+    }
+
+    async fn wait_arrival<P: Processor>(&self, p: &P) -> Result<u32, CommError> {
+        let wc = self.recv_cq.wait(p).await;
+        self.rx_head.set(self.rx_head.get() + 1);
+        self.rx_posted.set(self.rx_posted.get().saturating_sub(1));
+        status_to_result(wc.status)?;
+        Ok(wc.imm)
+    }
+
+    async fn try_arrival<P: Processor>(&self, p: &P) -> Option<Result<u32, CommError>> {
+        let wc = self.recv_cq.poll(p).await?;
+        self.rx_head.set(self.rx_head.get() + 1);
+        self.rx_posted.set(self.rx_posted.get().saturating_sub(1));
+        Some(status_to_result(wc.status).map(|()| wc.imm))
+    }
+}
+
+/// A [`Transport`] of either backend. The trait's generic async methods
+/// make it non-object-safe, so dynamic backend selection goes through this
+/// enum — the *only* place outside [`Backend::instantiate`] that matches
+/// on the backend.
+pub enum AnyTransport {
+    /// EXTOLL RMA + VELO.
+    Extoll(ExtollTransport),
+    /// Infiniband verbs.
+    Ib(IbTransport),
+}
+
+impl AnyTransport {
+    /// The EXTOLL transport (panics on Infiniband) — for backend-specific
+    /// experiments.
+    pub fn extoll(&self) -> &ExtollTransport {
+        match self {
+            AnyTransport::Extoll(t) => t,
+            _ => panic!("not an EXTOLL transport"),
+        }
+    }
+
+    /// The Infiniband transport (panics on EXTOLL).
+    pub fn ib(&self) -> &IbTransport {
+        match self {
+            AnyTransport::Ib(t) => t,
+            _ => panic!("not an Infiniband transport"),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $t:ident => $body:expr) => {
+        match $self {
+            AnyTransport::Extoll($t) => $body,
+            AnyTransport::Ib($t) => $body,
+        }
+    };
+}
+
+impl Transport for AnyTransport {
+    fn caps(&self) -> TransportCaps {
+        delegate!(self, t => t.caps())
+    }
+
+    fn outstanding(&self) -> u64 {
+        delegate!(self, t => t.outstanding())
+    }
+
+    async fn put<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+        notify_remote: bool,
+    ) {
+        delegate!(self, t => t.put(p, local_off, remote_off, len, notify_remote).await)
+    }
+
+    async fn get<P: Processor>(
+        &self,
+        p: &P,
+        local_off: u64,
+        remote_off: u64,
+        len: u32,
+    ) -> Result<(), CommError> {
+        delegate!(self, t => t.get(p, local_off, remote_off, len).await)
+    }
+
+    async fn send<P: Processor>(&self, p: &P, payload: &[u8]) -> Result<(), CommError> {
+        delegate!(self, t => t.send(p, payload).await)
+    }
+
+    async fn recv<P: Processor>(&self, p: &P) -> Result<Vec<u8>, CommError> {
+        delegate!(self, t => t.recv(p).await)
+    }
+
+    async fn try_recv<P: Processor>(&self, p: &P) -> Option<Result<Vec<u8>, CommError>> {
+        delegate!(self, t => t.try_recv(p).await)
+    }
+
+    async fn velo_send<P: Processor>(&self, p: &P, payload: &[u8]) -> Result<(), CommError> {
+        delegate!(self, t => t.velo_send(p, payload).await)
+    }
+
+    async fn prime_recv<P: Processor>(&self, p: &P, n: usize) {
+        delegate!(self, t => t.prime_recv(p, n).await)
+    }
+
+    async fn quiet<P: Processor>(&self, p: &P) -> Result<(), CommError> {
+        delegate!(self, t => t.quiet(p).await)
+    }
+
+    async fn flush<P: Processor>(&self, p: &P) -> Result<(), CommError> {
+        delegate!(self, t => t.flush(p).await)
+    }
+
+    async fn poll_completions<P: Processor>(&self, p: &P) -> u64 {
+        delegate!(self, t => t.poll_completions(p).await)
+    }
+
+    async fn arm_arrival<P: Processor>(&self, p: &P) {
+        delegate!(self, t => t.arm_arrival(p).await)
+    }
+
+    async fn wait_arrival<P: Processor>(&self, p: &P) -> Result<u32, CommError> {
+        delegate!(self, t => t.wait_arrival(p).await)
+    }
+
+    async fn try_arrival<P: Processor>(&self, p: &P) -> Option<Result<u32, CommError>> {
+        delegate!(self, t => t.try_arrival(p).await)
+    }
+}
+
+impl Backend {
+    /// The backend's capability descriptor, without instantiating anything.
+    pub fn transport_caps(self) -> TransportCaps {
+        match self {
+            Backend::Extoll => EXTOLL_CAPS,
+            Backend::Infiniband => IB_CAPS,
+        }
+    }
+
+    /// Instantiate a connected transport pair between `a = (node, buffer)`
+    /// and `b = (node, buffer)` over `buf_len`-byte symmetric buffers.
+    ///
+    /// This is the factory that concentrates all backend-specific wiring:
+    /// memory registration, port/QP creation and connection cross-wiring
+    /// (all control-path, untimed). `queue_loc` places Infiniband queue
+    /// buffers (only meaningful when
+    /// [`TransportCaps::queue_buffers_relocatable`]).
+    pub fn instantiate(
+        self,
+        cluster: &Cluster,
+        a: (usize, Addr),
+        b: (usize, Addr),
+        buf_len: u64,
+        queue_loc: QueueLoc,
+    ) -> (AnyTransport, AnyTransport) {
+        let (node_a, buf_a) = a;
+        let (node_b, buf_b) = b;
+        assert_ne!(node_a, node_b, "endpoints must live on different nodes");
+        match self {
+            Backend::Extoll => {
+                let nic0 = cluster.nodes[node_a].extoll();
+                let nic1 = cluster.nodes[node_b].extoll();
+                let nla_a = nic0.register_memory(buf_a, buf_len);
+                let nla_b = nic1.register_memory(buf_b, buf_len);
+                let p0 = Rc::new(nic0.open_port());
+                let p1 = Rc::new(nic1.open_port());
+                p0.connect_node(node_b as u8);
+                p1.connect_node(node_a as u8);
+                let v0 = nic0.open_velo_port();
+                let v1 = nic1.open_velo_port();
+                v0.set_peer_node(node_b as u16);
+                v1.set_peer_node(node_a as u16);
+                let (v0_idx, v1_idx) = (v0.index(), v1.index());
+                let (p0_idx, p1_idx) = (p0.index(), p1.index());
+                (
+                    AnyTransport::Extoll(ExtollTransport {
+                        peer_port: p1_idx,
+                        port: p0,
+                        local_nla: nla_a,
+                        remote_nla: nla_b,
+                        velo: v0,
+                        velo_peer: v1_idx,
+                        outstanding: Cell::new(0),
+                    }),
+                    AnyTransport::Extoll(ExtollTransport {
+                        peer_port: p0_idx,
+                        port: p1,
+                        local_nla: nla_b,
+                        remote_nla: nla_a,
+                        velo: v1,
+                        velo_peer: v0_idx,
+                        outstanding: Cell::new(0),
+                    }),
+                )
+            }
+            Backend::Infiniband => {
+                let loc: BufLoc = queue_loc.into();
+                let mk_ctx = |n: usize| {
+                    IbvContext::new(
+                        cluster.nodes[n].ib().clone(),
+                        cluster.nodes[n].host_heap.clone(),
+                        Some(cluster.nodes[n].gpu.clone()),
+                        loc,
+                    )
+                };
+                let ctx0 = mk_ctx(node_a);
+                let ctx1 = mk_ctx(node_b);
+                let scq0 = ctx0.create_cq(loc);
+                let rcq0 = ctx0.create_cq(loc);
+                let scq1 = ctx1.create_cq(loc);
+                let rcq1 = ctx1.create_cq(loc);
+                let qp0 = Rc::new(ctx0.create_qp(scq0.clone(), rcq0.clone(), loc));
+                let qp1 = Rc::new(ctx1.create_qp(scq1.clone(), rcq1.clone(), loc));
+                qp0.connect_to(node_b, qp1.qpn());
+                qp1.connect_to(node_a, qp0.qpn());
+                let mr_a = ctx0.reg_mr(buf_a, buf_len, Access::full());
+                let mr_b = ctx1.reg_mr(buf_b, buf_len, Access::full());
+                // Two-sided message slots (send staging + receive inbox),
+                // allocated last so existing experiments see unchanged
+                // heap layouts for their own buffers.
+                let mk_msg = |n: usize, ctx: &IbvContext| {
+                    let len = 2 * MSG_SLOTS * MSG_SLOT_LEN;
+                    let base = cluster.nodes[n].host_heap.alloc(len, MSG_SLOT_LEN);
+                    ctx.reg_mr(base, len, Access::full())
+                };
+                let msg_a = mk_msg(node_a, &ctx0);
+                let msg_b = mk_msg(node_b, &ctx1);
+                let mk = |qp, send_cq, recv_cq, mr_local, mr_remote, msg_mr| {
+                    AnyTransport::Ib(IbTransport {
+                        qp,
+                        send_cq,
+                        recv_cq,
+                        mr_local,
+                        mr_remote,
+                        msg_mr,
+                        tx_head: Cell::new(0),
+                        rx_head: Cell::new(0),
+                        rx_tail: Cell::new(0),
+                        rx_posted: Cell::new(0),
+                        outstanding: Cell::new(0),
+                    })
+                };
+                (
+                    mk(qp0, scq0, rcq0, mr_a, mr_b, msg_a),
+                    mk(qp1, scq1, rcq1, mr_b, mr_a, msg_b),
+                )
+            }
+        }
+    }
+}

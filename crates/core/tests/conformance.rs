@@ -1,0 +1,165 @@
+//! Backend-conformance checklist: every [`Transport`] implementation must
+//! pass the same generic battery — put visibility, get round-trip,
+//! zero-length messages, flush ordering, completion counts. A new backend
+//! plugs into [`Backend::instantiate`] and inherits this suite unchanged.
+//!
+//! The checks are written against the trait (`T: Transport`), not against
+//! a backend enum: the tests below instantiate the battery once per
+//! fabric.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tc_mem::Bus;
+use tc_putget::api::QueueLoc;
+use tc_putget::cluster::{Backend, Cluster};
+use tc_putget::transport::{AnyTransport, Transport};
+use tc_putget::{time, CpuThread, Sim};
+
+const LEN: u64 = 1024;
+
+/// The clonable handles a check needs: simulation clock, fabric bus, one
+/// CPU thread per side.
+struct Harness {
+    sim: Sim,
+    bus: Bus,
+    cpu0: CpuThread,
+    cpu1: CpuThread,
+}
+
+/// Put with remote notification: the notified byte count matches and the
+/// payload is visible in the remote buffer once the arrival is observed.
+async fn check_put_visibility<T: Transport>(h: &Harness, t0: &T, t1: &T, remote_buf: u64) {
+    // Arm before the peer posts (required when the caps say so; harmless
+    // otherwise).
+    if t1.caps().remote_notify_needs_arming {
+        t1.arm_arrival(&h.cpu1).await;
+    }
+    t0.put(&h.cpu0, 0, 0, 256, true).await;
+    t0.quiet(&h.cpu0).await.unwrap();
+    let n = t1.wait_arrival(&h.cpu1).await.unwrap();
+    assert_eq!(n, 256, "notified byte count");
+    let mut got = vec![0u8; 256];
+    h.bus.read(remote_buf, &mut got);
+    assert_eq!(got, vec![0x5Au8; 256], "put payload visible after arrival");
+}
+
+/// Get round-trip: remote bytes land in the local buffer before `get`
+/// returns.
+async fn check_get_round_trip<T: Transport>(h: &Harness, t0: &T, local_buf: u64) {
+    t0.get(&h.cpu0, 512, 512, 128).await.unwrap();
+    let mut got = vec![0u8; 128];
+    h.bus.read(local_buf + 512, &mut got);
+    assert_eq!(got, vec![0xC3u8; 128], "get payload visible on return");
+}
+
+/// Two-sided messages: payload round-trips byte-exactly, and a
+/// zero-length message is legal and arrives as an empty payload.
+async fn check_messages<T: Transport>(h: &Harness, t0: &T, t1: &T) {
+    t1.prime_recv(&h.cpu1, 2).await;
+    let payload: Vec<u8> = (0u8..32).collect();
+    t0.send(&h.cpu0, &payload).await.unwrap();
+    t0.send(&h.cpu0, &[]).await.unwrap();
+    let first = t1.recv(&h.cpu1).await.unwrap();
+    assert_eq!(first, payload, "message payload round-trips");
+    let second = t1.recv(&h.cpu1).await.unwrap();
+    assert!(second.is_empty(), "zero-length message arrives empty");
+    assert!(
+        t1.try_recv(&h.cpu1).await.is_none(),
+        "no phantom third message"
+    );
+}
+
+/// Flush ordering: after `flush` every outstanding put is locally
+/// complete, and a subsequent notifying put observed remotely implies all
+/// earlier puts' bytes are visible too.
+async fn check_flush_ordering<T: Transport>(h: &Harness, t0: &T, t1: &T, remote_buf: u64) {
+    for k in 0..4u64 {
+        t0.put(&h.cpu0, k * 64, k * 64, 64, false).await;
+    }
+    assert_eq!(t0.outstanding(), 4, "puts counted while in flight");
+    t0.flush(&h.cpu0).await.unwrap();
+    assert_eq!(t0.outstanding(), 0, "flush retires every put");
+    if t1.caps().remote_notify_needs_arming {
+        t1.arm_arrival(&h.cpu1).await;
+    }
+    t0.put(&h.cpu0, 0, 256, 4, true).await;
+    t0.quiet(&h.cpu0).await.unwrap();
+    t1.wait_arrival(&h.cpu1).await.unwrap();
+    let mut got = vec![0u8; 256];
+    h.bus.read(remote_buf, &mut got);
+    assert_eq!(got, vec![0x77u8; 256], "flushed puts visible after marker");
+}
+
+/// Completion counts: `poll_completions` retires exactly as many
+/// completions as puts were posted, and no more.
+async fn check_completion_counts<T: Transport>(h: &Harness, t0: &T) {
+    for k in 0..3u64 {
+        t0.put(&h.cpu0, k * 8, k * 8, 8, false).await;
+    }
+    let mut drained = 0u64;
+    while drained < 3 {
+        drained += t0.poll_completions(&h.cpu0).await;
+        if drained < 3 {
+            h.sim.delay(time::ns(200)).await;
+        }
+    }
+    assert_eq!(drained, 3, "one completion per put");
+    assert_eq!(t0.outstanding(), 0);
+    assert_eq!(
+        t0.poll_completions(&h.cpu0).await,
+        0,
+        "no phantom completions"
+    );
+}
+
+/// Run the full checklist once over a connected pair.
+fn run_conformance(backend: Backend) {
+    let c = Cluster::new(backend);
+    let buf_a = c.nodes[0].gpu.alloc(LEN, 256);
+    let buf_b = c.nodes[1].gpu.alloc(LEN, 256);
+    let (t0, t1) = backend.instantiate(&c, (0, buf_a), (1, buf_b), LEN, QueueLoc::Host);
+    let (t0, t1): (Rc<AnyTransport>, Rc<AnyTransport>) = (Rc::new(t0), Rc::new(t1));
+
+    let caps = t0.caps();
+    assert_eq!(caps, backend.transport_caps(), "caps match the descriptor");
+    assert!(caps.max_small_message >= 32);
+    assert!(caps.msg_window >= 2);
+
+    // Seed the payload patterns.
+    c.bus.write(buf_a, &[0x5Au8; 256]);
+    c.bus.write(buf_b + 512, &[0xC3u8; 128]);
+
+    let done = Rc::new(Cell::new(false));
+    {
+        let h = Harness {
+            sim: c.sim.clone(),
+            bus: c.bus.clone(),
+            cpu0: c.nodes[0].cpu.clone(),
+            cpu1: c.nodes[1].cpu.clone(),
+        };
+        let (t0, t1, done) = (t0.clone(), t1.clone(), done.clone());
+        c.sim.spawn("conformance", async move {
+            check_put_visibility(&h, &*t0, &*t1, buf_b).await;
+            check_get_round_trip(&h, &*t0, buf_a).await;
+            check_messages(&h, &*t0, &*t1).await;
+            // Re-seed the flush pattern now that earlier checks ran.
+            h.bus.write(buf_a, &[0x77u8; 256]);
+            check_flush_ordering(&h, &*t0, &*t1, buf_b).await;
+            check_completion_counts(&h, &*t0).await;
+            done.set(true);
+        });
+    }
+    c.sim.run();
+    assert!(done.get(), "checklist ran to completion");
+}
+
+#[test]
+fn extoll_passes_the_conformance_checklist() {
+    run_conformance(Backend::Extoll);
+}
+
+#[test]
+fn infiniband_passes_the_conformance_checklist() {
+    run_conformance(Backend::Infiniband);
+}

@@ -649,7 +649,7 @@ mod tests {
         loop {
             let a = wq.pop();
             let b = hq.pop();
-            assert_eq!(a.map(|(t, p)| (t, p)), b.map(|(t, p)| (t, p)));
+            assert_eq!(a, b);
             if a.is_none() {
                 break;
             }

@@ -197,6 +197,33 @@ impl HistogramSnapshot {
         self.percentile(0.99)
     }
 
+    /// 99.9th percentile (log2-bucket resolution).
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Combine two snapshots as if their samples had been recorded into a
+    /// single histogram: counts, sums and buckets add (saturating), `max`
+    /// keeps the larger high-water mark. Used to fold the per-sweep-point
+    /// registry deltas of one experiment into one `sim` section.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let n = self.buckets.len().max(other.buckets.len());
+        HistogramSnapshot {
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+            max: self.max.max(other.max),
+            buckets: (0..n)
+                .map(|i| {
+                    self.buckets
+                        .get(i)
+                        .copied()
+                        .unwrap_or(0)
+                        .saturating_add(other.buckets.get(i).copied().unwrap_or(0))
+                })
+                .collect(),
+        }
+    }
+
     /// Per-field difference `self - earlier` (saturating). `max` is kept
     /// from `self`: it is a high-water mark since the last reset, not a
     /// windowed quantity.
@@ -286,6 +313,37 @@ mod tests {
         assert_eq!(d.buckets[3], 0); // the pre-window sample is gone
         assert_eq!(d.buckets[2], 1);
         assert_eq!(d.buckets[9], 1);
+    }
+
+    #[test]
+    fn merge_adds_samples_and_keeps_larger_max() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        a.record(7);
+        a.record(100);
+        b.record(300);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 407);
+        assert_eq!(m.max, 300);
+        assert_eq!(m.buckets[3], 1);
+        assert_eq!(m.buckets[7], 1);
+        assert_eq!(m.buckets[9], 1);
+        // Merging is symmetric.
+        assert_eq!(m, b.snapshot().merge(&a.snapshot()));
+    }
+
+    #[test]
+    fn p999_needs_one_in_a_thousand() {
+        let h = Histogram::detached();
+        for _ in 0..999 {
+            h.record(10);
+        }
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.p99(), 15);
+        assert_eq!(s.p999(), 15); // rank 999 still lands in the low bucket
+        assert_eq!(s.percentile(1.0), 1000);
     }
 
     #[test]

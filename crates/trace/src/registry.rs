@@ -252,6 +252,44 @@ impl Snapshot {
         }
     }
 
+    /// Combine two snapshots metric-by-metric, as if both windows had been
+    /// recorded into one registry: counters and histogram flows add,
+    /// gauges (levels) keep the element-wise maxima of `current` and
+    /// `high_water`. Metrics present in only one side are kept verbatim.
+    /// Used to fold the per-sweep-point deltas of one experiment into a
+    /// single `sim` section; the fold is associative and commutative, so
+    /// the result is independent of task scheduling order.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut values = self.values.clone();
+        for (n, v) in &other.values {
+            let e = values.entry(n.clone()).or_insert(0);
+            *e = e.saturating_add(*v);
+        }
+        let mut hists = self.hists.clone();
+        for (n, h) in &other.hists {
+            match hists.get_mut(n) {
+                Some(e) => *e = e.merge(h),
+                None => {
+                    hists.insert(n.clone(), h.clone());
+                }
+            }
+        }
+        let mut gauges = self.gauges.clone();
+        for (n, g) in &other.gauges {
+            let e = gauges.entry(n.clone()).or_insert(GaugeSnapshot {
+                current: 0,
+                high_water: 0,
+            });
+            e.current = e.current.max(g.current);
+            e.high_water = e.high_water.max(g.high_water);
+        }
+        Snapshot {
+            values,
+            hists,
+            gauges,
+        }
+    }
+
     /// Iterate `(name, histogram)` sorted by name.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
         self.hists.iter().map(|(n, h)| (n.as_str(), h))
@@ -399,6 +437,35 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(g.get(), 0);
         assert_eq!(g.high_water(), 0);
+    }
+
+    #[test]
+    fn merge_adds_flows_and_maxes_levels() {
+        let mk = |c: u64, lat: u64, depth: u64| {
+            let reg = Registry::new();
+            reg.counter("n.ops").add(c);
+            reg.histogram("n.lat").record(lat);
+            reg.gauge("n.depth").set(depth);
+            reg.snapshot()
+        };
+        let a = mk(2, 10, 7);
+        let b = mk(3, 300, 4);
+        let m = a.merge(&b);
+        assert_eq!(m.get("n.ops"), 5);
+        let h = m.histogram("n.lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 310);
+        assert_eq!(h.max, 300);
+        let g = m.gauge("n.depth").unwrap();
+        assert_eq!(g.current, 7);
+        assert_eq!(g.high_water, 7);
+        // Commutative and keeps one-sided metrics.
+        assert_eq!(m, b.merge(&a));
+        let one_sided = Registry::new();
+        one_sided.counter("only.here").add(9);
+        let m2 = a.merge(&one_sided.snapshot());
+        assert_eq!(m2.get("only.here"), 9);
+        assert_eq!(m2.get("n.ops"), 2);
     }
 
     #[test]

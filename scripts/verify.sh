@@ -13,6 +13,9 @@ cargo build --release
 echo "== tier-1: workspace tests =="
 cargo test -q
 
+echo "== lint: clippy (all targets, warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== determinism goldens (byte-identical traces, zero-perturbation) =="
 cargo test -q --test trace_golden
 cargo test -q --test determinism
@@ -41,10 +44,12 @@ TC_BENCH_SAMPLES="${TC_BENCH_SAMPLES:-9}" cargo run --release -p tc-bench --bin 
     --bench-desim "$metrics_dir/BENCH_desim.json"
 cargo run --release -p tc-bench --bin reproduce -- \
     --validate-metrics "$metrics_dir/BENCH_desim.json"
-if [ -s BENCH_desim.json ]; then
-    cargo run --release -p tc-bench --bin reproduce -- \
-        --bench-compare BENCH_desim.json "$metrics_dir/BENCH_desim.json"
-fi
+# The baseline is committed; a missing file means a broken checkout, so
+# the comparison is mandatory (it exits 1 on a >25% wheel regression,
+# aborting before the refresh below under `set -e`).
+test -s BENCH_desim.json
+cargo run --release -p tc-bench --bin reproduce -- \
+    --bench-compare BENCH_desim.json "$metrics_dir/BENCH_desim.json"
 cp "$metrics_dir/BENCH_desim.json" BENCH_desim.json
 
 echo "verify: OK"

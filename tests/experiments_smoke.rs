@@ -10,6 +10,7 @@ fn tiny() -> Scale {
         warmup: 1,
         bw_messages: 8,
         rate_msgs: 16,
+        workload_ops: 8,
     }
 }
 

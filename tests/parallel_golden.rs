@@ -3,8 +3,10 @@
 //! deterministic and each sweep point owns its own cluster/executor, so
 //! any divergence means shared state leaked between points.
 
-use tc_repro::bench::pool::Pool;
-use tc_repro::bench::{run_all, run_experiment_with, Scale};
+use tc_repro::bench::pool::{Pool, PoolStats};
+use tc_repro::bench::{
+    metrics_report, plan_with, run_all, run_experiment_with, Scale, WorkloadKnobs,
+};
 
 #[test]
 fn parallel_output_is_byte_identical_to_serial() {
@@ -17,17 +19,50 @@ fn parallel_output_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn workload_curves_are_byte_identical_across_jobs() {
+    // Trimmed sweep: both backends stay in (dropping one could hide
+    // cross-point state leaks), two loads and fewer ops keep it fast.
+    let knobs = WorkloadKnobs {
+        conns: 2,
+        loads: vec![8.0, 64.0],
+    };
+    let mut scale = Scale::quick();
+    scale.workload_ops = 40;
+    let serial = plan_with("workload", scale, &knobs).run(&Pool::serial());
+    let wide = plan_with("workload", scale, &knobs).run(&Pool::new(4));
+    assert_eq!(
+        serial.text, wide.text,
+        "workload diverged between --jobs 1 and --jobs 4"
+    );
+    assert!(serial.text.contains("p50(us)") && serial.text.contains("p999(us)"));
+    // The merged sim contribution matches too, so the exported metrics
+    // JSON is byte-identical across pool widths as well.
+    let stats = PoolStats::default();
+    let a = metrics_report("workload", "quick", serial.sim.as_ref(), &stats);
+    let b = metrics_report("workload", "quick", wide.sim.as_ref(), &stats);
+    assert_eq!(a, b, "workload metrics diverged across pool widths");
+    assert!(a.contains("workload0.latency_ps"), "{a}");
+    assert!(a.contains("\"p999\""), "{a}");
+}
+
+#[test]
 fn run_all_returns_reports_in_input_order() {
     let scale = Scale::quick();
     let ids = ["table2", "table1"];
-    let (reports, stats) = run_all(&Pool::new(4), &ids, scale);
-    assert_eq!(reports.len(), 2);
+    let (outputs, stats) = run_all(&Pool::new(4), &ids, scale);
+    assert_eq!(outputs.len(), 2);
     assert_eq!(stats.tasks, 4, "two 2-task table experiments");
-    assert!(reports[0].contains("Table II"), "first report must be table2");
-    assert!(reports[1].contains("Table I:"), "second report must be table1");
+    assert!(
+        outputs[0].text.contains("Table II"),
+        "first report must be table2"
+    );
+    assert!(
+        outputs[1].text.contains("Table I:"),
+        "second report must be table1"
+    );
     // And each matches its serial single-experiment run.
-    for (id, report) in ids.iter().zip(&reports) {
+    for (id, out) in ids.iter().zip(&outputs) {
         let serial = run_experiment_with(&Pool::serial(), id, scale);
-        assert_eq!(&serial, report, "{id} diverged inside run_all");
+        assert_eq!(serial, out.text, "{id} diverged inside run_all");
     }
 }

@@ -81,17 +81,18 @@ fn recording_does_not_perturb_the_simulation() {
 }
 
 /// The metrics JSON is a golden artifact: its `sim` section must be
-/// byte-identical across runs *and* across pool widths, because it comes
-/// from a serial representative simulation that cannot observe wall-clock
-/// scheduling. The `runner` section is pinned here by passing the same
-/// [`PoolStats`] to both renders.
+/// byte-identical across runs *and* across pool widths, because it is
+/// folded from the experiment's own sweep-point registries in index
+/// order, which cannot observe wall-clock scheduling. The `runner`
+/// section is pinned here by passing the same [`PoolStats`] to both
+/// renders.
 #[test]
 fn metrics_json_is_byte_identical_across_runs_and_jobs() {
     let stats = PoolStats::default();
-    let _ = run_all(&Pool::new(1), &["pingpong"], Scale::quick());
-    let a = metrics_report("pingpong", "quick", &stats);
-    let _ = run_all(&Pool::new(4), &["pingpong"], Scale::quick());
-    let b = metrics_report("pingpong", "quick", &stats);
+    let (out1, _) = run_all(&Pool::new(1), &["pingpong"], Scale::quick());
+    let a = metrics_report("pingpong", "quick", out1[0].sim.as_ref(), &stats);
+    let (out4, _) = run_all(&Pool::new(4), &["pingpong"], Scale::quick());
+    let b = metrics_report("pingpong", "quick", out4[0].sim.as_ref(), &stats);
     assert_eq!(a, b, "metrics JSON diverged between --jobs 1 and --jobs 4 runs");
     metrics::validate(&a).expect("golden metrics JSON must pass the schema self-check");
     // The trace export is a golden artifact under the same contract.
