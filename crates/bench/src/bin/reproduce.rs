@@ -161,6 +161,8 @@ fn main() {
     let knobs = WorkloadKnobs {
         conns: opts.conns.unwrap_or(defaults.conns),
         loads: opts.load.clone().unwrap_or(defaults.loads),
+        app: opts.app,
+        eager_threshold: opts.eager_threshold,
     };
 
     let t0 = Instant::now();

@@ -13,6 +13,7 @@
 //!   cannot go stale when experiments are added.
 
 use crate::ALL_EXPERIMENTS;
+use tc_putget::AppKind;
 
 /// Parsed `reproduce` invocation.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -48,6 +49,13 @@ pub struct Options {
     /// `workload` experiment: offered loads to sweep, in kop/s per
     /// connection; `None` means the default sweep.
     pub load: Option<Vec<f64>>,
+    /// `workload` experiment: drive connections with an application
+    /// pattern (halo, allreduce, rpc) through the message layer instead
+    /// of the raw put/get/send mix.
+    pub app: Option<AppKind>,
+    /// Message-layer eager/rendezvous threshold override in bytes;
+    /// `None` uses each backend's default.
+    pub eager_threshold: Option<usize>,
     /// `--help` / `-h` was given.
     pub help: bool,
 }
@@ -81,6 +89,13 @@ pub fn usage() -> String {
          \x20 --load LIST    workload: comma-separated offered loads to sweep,\n\
          \x20                in kop/s per connection (positive numbers,\n\
          \x20                default 4,16,64,256)\n\
+         \x20 --app NAME     workload: drive connections with an application\n\
+         \x20                pattern through the message layer (halo,\n\
+         \x20                allreduce, rpc; default: raw put/get/send mix)\n\
+         \x20 --eager-threshold N\n\
+         \x20                message layer: switch to rendezvous above N bytes\n\
+         \x20                (default: per-backend crossover; see the\n\
+         \x20                crossover experiment)\n\
          \x20 -v, --verbose  print the runner self-profile at the end\n\
          \x20 --validate-metrics FILE\n\
          \x20                check FILE against its schema (tc-metrics-v1 or\n\
@@ -113,6 +128,18 @@ fn parse_conns(v: &str) -> Result<u32, String> {
         Ok(n) => Err(format!("--conns must be in 1..=32, got {n}")),
         Err(_) => Err(format!("--conns expects a number, got {v:?}")),
     }
+}
+
+fn parse_app(v: &str) -> Result<AppKind, String> {
+    AppKind::parse(v).ok_or_else(|| {
+        let names: Vec<&str> = AppKind::ALL.iter().map(|k| k.label()).collect();
+        format!("--app expects one of {}, got {v:?}", names.join(", "))
+    })
+}
+
+fn parse_eager_threshold(v: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .map_err(|_| format!("--eager-threshold expects a byte count, got {v:?}"))
 }
 
 fn parse_load(list: &str) -> Result<Vec<f64>, String> {
@@ -180,6 +207,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--load" => {
                 let v = args.next().ok_or("--load needs a comma-separated list")?;
                 opts.load = Some(parse_load(&v)?);
+            }
+            "--app" => {
+                let v = args.next().ok_or("--app needs a pattern name")?;
+                opts.app = Some(parse_app(&v)?);
+            }
+            "--eager-threshold" => {
+                let v = args.next().ok_or("--eager-threshold needs a byte count")?;
+                opts.eager_threshold = Some(parse_eager_threshold(&v)?);
             }
             "--verbose" | "-v" => opts.verbose = true,
             "--jobs" | "-j" => {
@@ -342,6 +377,24 @@ mod tests {
         assert!(p(&["--load", "nan"]).is_err());
         assert!(p(&["--load", "inf"]).is_err());
         assert!(p(&["--load", "4,,0"]).is_err());
+    }
+
+    #[test]
+    fn app_and_threshold_flags_parse_and_reject_garbage() {
+        let o = p(&["workload", "--app", "halo", "--eager-threshold", "4096"]).unwrap();
+        assert_eq!(o.app, Some(AppKind::Halo));
+        assert_eq!(o.eager_threshold, Some(4096));
+        assert_eq!(p(&["--app", "allreduce"]).unwrap().app, Some(AppKind::Allreduce));
+        assert_eq!(p(&["--app", "rpc"]).unwrap().app, Some(AppKind::Rpc));
+        // Threshold 0 (all rendezvous) is legal.
+        assert_eq!(p(&["--eager-threshold", "0"]).unwrap().eager_threshold, Some(0));
+        // Malformed values are usage errors listing the alternatives.
+        assert!(p(&["--app"]).is_err());
+        let e = p(&["--app", "fft"]).unwrap_err();
+        assert!(e.contains("halo") && e.contains("rpc"), "{e}");
+        assert!(p(&["--eager-threshold"]).is_err());
+        assert!(p(&["--eager-threshold", "-1"]).is_err());
+        assert!(p(&["--eager-threshold", "big"]).is_err());
     }
 
     #[test]

@@ -35,7 +35,9 @@ use tc_putget::bench::msgrate::{extoll_msgrate, ib_msgrate};
 use tc_putget::bench::pingpong::{extoll_pingpong, ib_pingpong, PingPongResult};
 use tc_putget::bench::scaling as scaling_mod;
 use tc_putget::bench::sensitivity as sensitivity_mod;
+use tc_putget::bench::crossover;
 use tc_putget::bench::workload::{self, ArrivalProcess, WorkloadSpec};
+use tc_putget::AppKind;
 use tc_putget::bench::{
     bandwidth_sizes, latency_sizes, pair_counts, pollratio_sizes, render_series_table, ExtollMode,
     IbMode, RateMode, Series,
@@ -436,6 +438,12 @@ pub struct WorkloadKnobs {
     pub conns: u32,
     /// Offered loads to sweep, in kilo-operations/s per connection.
     pub loads: Vec<f64>,
+    /// Drive each connection with an application pattern through the
+    /// message layer instead of the raw put/get/send mix (`--app`).
+    pub app: Option<AppKind>,
+    /// Override of the messenger's eager/rendezvous threshold in bytes
+    /// (`--eager-threshold`; `None` uses each backend's default).
+    pub eager_threshold: Option<usize>,
 }
 
 impl Default for WorkloadKnobs {
@@ -446,6 +454,8 @@ impl Default for WorkloadKnobs {
         WorkloadKnobs {
             conns: 4,
             loads: vec![4.0, 16.0, 64.0, 256.0],
+            app: None,
+            eager_threshold: None,
         }
     }
 }
@@ -457,6 +467,7 @@ fn plan_workload(scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPlan {
     let procs = [ArrivalProcess::Poisson, ArrivalProcess::Bursty];
     let loads = knobs.loads.clone();
     let conns = knobs.conns;
+    let (app, eager_threshold) = (knobs.app, knobs.eager_threshold);
     let per_backend = procs.len() * loads.len();
     let n = backends.len() * per_backend;
     plan_points_sim(
@@ -471,12 +482,76 @@ fn plan_workload(scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPlan {
                 ops_per_conn: scale.workload_ops,
                 queue_cap: 64,
                 seed: 42,
+                app,
+                eager_threshold,
             })
         },
         |r: &workload::WorkloadResult| {
             Some(SimContribution::point(r.registry.clone(), r.elapsed))
         },
         |results| workload::render(&results),
+    )
+}
+
+/// One sweep point of the `crossover` experiment: either a
+/// forced-protocol latency/bandwidth measurement or a closed-loop
+/// application iteration at the default threshold.
+enum CrossoverPoint {
+    Proto(crossover::ProtoPoint),
+    App(crossover::AppPoint),
+}
+
+/// The eager-vs-rendezvous protocol study: every (backend, protocol,
+/// size) cell of the grid plus the application sweep is one independent
+/// simulation, so the plan decomposes under `--jobs` exactly like the
+/// paper figures.
+fn plan_crossover(scale: Scale) -> ExperimentPlan {
+    let sizes = crossover::sizes();
+    let app_sizes = crossover::app_sizes();
+    let per_backend = crossover::PROTOS.len() * sizes.len();
+    let proto_n = crossover::BACKENDS.len() * per_backend;
+    let apps_per_backend = AppKind::ALL.len() * app_sizes.len();
+    let n = proto_n + crossover::BACKENDS.len() * apps_per_backend;
+    // Forced-eager 64 KiB points push ~1200 fragments per message, so
+    // cap the iteration counts independently of `--full`.
+    let iters = scale.iters.min(16);
+    let msgs = (scale.bw_messages / 3).max(6);
+    let app_iters = scale.iters.min(10);
+    plan_points_sim(
+        "crossover",
+        n,
+        move |k| {
+            if k < proto_n {
+                let backend = crossover::BACKENDS[k / per_backend];
+                let proto = crossover::PROTOS[(k % per_backend) / sizes.len()];
+                let size = sizes[k % sizes.len()];
+                CrossoverPoint::Proto(crossover::proto_point(backend, proto, size, iters, msgs))
+            } else {
+                let j = k - proto_n;
+                let backend = crossover::BACKENDS[j / apps_per_backend];
+                let kind = AppKind::ALL[(j % apps_per_backend) / app_sizes.len()];
+                let bytes = app_sizes[j % app_sizes.len()];
+                CrossoverPoint::App(crossover::app_point(backend, kind, bytes, app_iters))
+            }
+        },
+        |p: &CrossoverPoint| {
+            let (registry, elapsed) = match p {
+                CrossoverPoint::Proto(p) => (p.registry.clone(), p.elapsed),
+                CrossoverPoint::App(p) => (p.registry.clone(), p.elapsed),
+            };
+            Some(SimContribution::point(registry, elapsed))
+        },
+        |results| {
+            let mut protos = Vec::new();
+            let mut apps = Vec::new();
+            for r in results {
+                match r {
+                    CrossoverPoint::Proto(p) => protos.push(p),
+                    CrossoverPoint::App(p) => apps.push(p),
+                }
+            }
+            crossover::render(&protos, &apps)
+        },
     )
 }
 
@@ -712,9 +787,10 @@ pub fn trace_report(id: &str) -> String {
 }
 
 /// Every experiment id accepted by the `reproduce` binary.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "pingpong",
     "workload",
+    "crossover",
     "fig1a",
     "fig1b",
     "fig2",
@@ -755,6 +831,7 @@ pub fn plan_with(id: &str, scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPla
             |rs| render_pingpong(&rs[0], "EXTOLL"),
         ),
         "workload" => plan_workload(scale, knobs),
+        "crossover" => plan_crossover(scale),
         "fig1a" => plan_fig1a(scale),
         "fig1b" => plan_fig1b(scale),
         "fig2" => rate_plan(
@@ -1021,10 +1098,17 @@ mod tests {
         let knobs = WorkloadKnobs {
             conns: 2,
             loads: vec![8.0, 64.0],
+            ..WorkloadKnobs::default()
         };
         assert_eq!(
             plan_with("workload", Scale::quick(), &knobs).task_count(),
             2 * 2 * 2
+        );
+        // crossover: backend x protocol x size grid + backend x app x
+        // payload sweep, one simulation per cell.
+        assert_eq!(
+            plan("crossover", Scale::quick()).task_count(),
+            2 * 2 * 7 + 2 * 3 * 2
         );
     }
 

@@ -1,0 +1,414 @@
+//! The `crossover` experiment: eager vs rendezvous protocol curves.
+//!
+//! The message layer ([`crate::msg`]) picks between two protocols by a
+//! size threshold. This driver measures *where the threshold should be*
+//! on each fabric by forcing each protocol across the whole size axis —
+//! one latency ping-pong and one streaming-bandwidth run per (backend,
+//! protocol, size) — and marking the crossover: the first size where the
+//! rendezvous handshake amortizes against the eager copy chain. A second
+//! sweep runs the three application patterns ([`crate::msg::apps`])
+//! closed-loop at the backend's *default* threshold, showing what the
+//! protocol choice does to end-to-end iteration time.
+//!
+//! Every sweep point is its own simulation, so the experiment decomposes
+//! into independent tasks exactly like the paper figures.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tc_desim::time::{self, Time};
+use tc_trace::Snapshot;
+
+use crate::cluster::{Backend, Cluster};
+use crate::msg::apps::{self, AppKind};
+use crate::msg::{messenger_pair, MsgConfig, RendezvousMode};
+
+/// Symmetric buffer per messenger side: staging and landing halves must
+/// each hold the largest swept message (64 KiB).
+const BUF_LEN: u64 = 256 * 1024;
+/// Untimed warm-up iterations per point.
+const WARMUP: u32 = 2;
+
+/// The protocol forced for one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Every message eager (threshold = ∞): fragment copies + credits.
+    Eager,
+    /// Every message rendezvous (threshold = 0): RTS/CTS + RDMA + FIN.
+    Rndv,
+}
+
+impl Proto {
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Proto::Eager => "eager",
+            Proto::Rndv => "rendezvous",
+        }
+    }
+
+    fn config(self) -> MsgConfig {
+        MsgConfig {
+            eager_threshold: match self {
+                Proto::Eager => usize::MAX,
+                Proto::Rndv => 0,
+            },
+            rendezvous: RendezvousMode::Put,
+        }
+    }
+}
+
+/// Both protocols, in report order.
+pub const PROTOS: [Proto; 2] = [Proto::Eager, Proto::Rndv];
+
+/// Both backends, in report order.
+pub const BACKENDS: [Backend; 2] = [Backend::Extoll, Backend::Infiniband];
+
+/// Message sizes swept per protocol: 16 B to 64 KiB in ×4 steps, chosen
+/// to straddle both backends' expected crossover.
+pub fn sizes() -> Vec<u64> {
+    (0..7).map(|i| 16u64 << (2 * i)).collect()
+}
+
+/// Payload sizes of the application sweep (one below, one above the
+/// default thresholds).
+pub fn app_sizes() -> Vec<u64> {
+    vec![1024, 16384]
+}
+
+/// One forced-protocol sweep point.
+#[derive(Debug, Clone)]
+pub struct ProtoPoint {
+    /// Fabric under test.
+    pub backend: Backend,
+    /// Protocol forced for every message.
+    pub proto: Proto,
+    /// Message payload bytes.
+    pub size: u64,
+    /// Half round trip of a message ping-pong.
+    pub latency: Time,
+    /// Streaming bandwidth, MB/s.
+    pub mbytes_s: f64,
+    /// Total simulated time of the point.
+    pub elapsed: Time,
+    /// Registry delta of the point (carries the `msg0.*` protocol
+    /// counters).
+    pub registry: Snapshot,
+}
+
+/// One application sweep point (default threshold).
+#[derive(Debug, Clone)]
+pub struct AppPoint {
+    /// Fabric under test.
+    pub backend: Backend,
+    /// Application pattern.
+    pub kind: AppKind,
+    /// Pattern payload bytes per iteration.
+    pub bytes: u64,
+    /// Mean closed-loop iteration time.
+    pub iter_time: Time,
+    /// Total simulated time of the point.
+    pub elapsed: Time,
+    /// Registry delta of the point.
+    pub registry: Snapshot,
+}
+
+/// Run one forced-protocol point: `iters` ping-pong round trips for
+/// latency, then `msgs` back-to-back messages (closed by a tiny ack) for
+/// bandwidth, all in one simulation.
+pub fn proto_point(backend: Backend, proto: Proto, size: u64, iters: u32, msgs: u32) -> ProtoPoint {
+    assert!(iters > 0 && msgs > 0);
+    let c = Cluster::new(backend);
+    let (m0, m1) = messenger_pair(&c, BUF_LEN, proto.config());
+    let ready = Rc::new(Cell::new(false));
+    let ready_sig = c.sim.signal();
+    let lat = Rc::new(Cell::new(0u64));
+    let bw_ps = Rc::new(Cell::new(0u64));
+    let end = Rc::new(Cell::new(0u64));
+
+    {
+        let sim = c.sim.clone();
+        let cpu = c.nodes[0].cpu.clone();
+        let (ready, rsig) = (ready.clone(), ready_sig.clone());
+        let (lat, bw_ps, end) = (lat.clone(), bw_ps.clone(), end.clone());
+        c.sim.spawn("crossover.a", async move {
+            m0.init(&cpu).await;
+            rsig.wait_until(|| ready.get()).await;
+            let mut t0 = sim.now();
+            for i in 0..iters + WARMUP {
+                if i == WARMUP {
+                    t0 = sim.now();
+                }
+                m0.send_staged(&cpu, size as u32).await.unwrap();
+                m0.recv_desc(&cpu).await.unwrap();
+            }
+            lat.set((sim.now() - t0) / iters as u64 / 2);
+            let t1 = sim.now();
+            for _ in 0..msgs {
+                m0.send_staged(&cpu, size as u32).await.unwrap();
+            }
+            // The peer acks after draining everything, closing the
+            // stream so the measurement includes delivery, not just
+            // local completion.
+            m0.recv_desc(&cpu).await.unwrap();
+            bw_ps.set(sim.now() - t1);
+            end.set(sim.now());
+        });
+    }
+    {
+        let cpu = c.nodes[1].cpu.clone();
+        c.sim.spawn("crossover.b", async move {
+            m1.init(&cpu).await;
+            ready.set(true);
+            ready_sig.notify_all();
+            for _ in 0..iters + WARMUP {
+                m1.recv_desc(&cpu).await.unwrap();
+                m1.send_staged(&cpu, size as u32).await.unwrap();
+            }
+            for _ in 0..msgs {
+                m1.recv_desc(&cpu).await.unwrap();
+            }
+            m1.send_staged(&cpu, 1).await.unwrap();
+        });
+    }
+
+    let start = c.sim.registry().snapshot();
+    c.sim.run();
+    let registry = c.sim.registry().snapshot().delta(&start);
+    let volume = size as f64 * msgs as f64;
+    ProtoPoint {
+        backend,
+        proto,
+        size,
+        latency: lat.get(),
+        mbytes_s: volume / 1e6 / time::to_sec_f64(bw_ps.get().max(1)),
+        elapsed: end.get(),
+        registry,
+    }
+}
+
+/// Run one application point closed-loop at the backend's default
+/// threshold: `iters` iterations of the pattern at `bytes` payload.
+pub fn app_point(backend: Backend, kind: AppKind, bytes: u64, iters: u32) -> AppPoint {
+    assert!(iters > 0);
+    let c = Cluster::new(backend);
+    let cfg = MsgConfig::for_caps(&backend.transport_caps());
+    let (m0, m1) = messenger_pair(&c, BUF_LEN, cfg);
+    let ready = Rc::new(Cell::new(false));
+    let ready_sig = c.sim.signal();
+    let iter_time = Rc::new(Cell::new(0u64));
+    let end = Rc::new(Cell::new(0u64));
+
+    {
+        let sim = c.sim.clone();
+        let cpu = c.nodes[0].cpu.clone();
+        let (ready, rsig) = (ready.clone(), ready_sig.clone());
+        let (iter_time, end) = (iter_time.clone(), end.clone());
+        c.sim.spawn("crossover.app.a", async move {
+            m0.init(&cpu).await;
+            rsig.wait_until(|| ready.get()).await;
+            let mut t0 = sim.now();
+            for i in 0..iters + WARMUP {
+                if i == WARMUP {
+                    t0 = sim.now();
+                }
+                match kind {
+                    AppKind::Halo => apps::halo_iter(&m0, &cpu, bytes as u32).await.unwrap(),
+                    AppKind::Allreduce => {
+                        apps::allreduce_iter(&m0, &cpu, bytes as u32).await.unwrap()
+                    }
+                    AppKind::Rpc => {
+                        apps::rpc_call(&m0, &cpu, bytes as u32).await.map(|_| ()).unwrap()
+                    }
+                }
+            }
+            iter_time.set((sim.now() - t0) / iters as u64);
+            end.set(sim.now());
+        });
+    }
+    {
+        let cpu = c.nodes[1].cpu.clone();
+        c.sim.spawn("crossover.app.b", async move {
+            m1.init(&cpu).await;
+            ready.set(true);
+            ready_sig.notify_all();
+            for _ in 0..iters + WARMUP {
+                match kind {
+                    // Halo and allreduce are symmetric: both ranks run the
+                    // same iteration and the sends cross.
+                    AppKind::Halo => apps::halo_iter(&m1, &cpu, bytes as u32).await.unwrap(),
+                    AppKind::Allreduce => {
+                        apps::allreduce_iter(&m1, &cpu, bytes as u32).await.unwrap()
+                    }
+                    AppKind::Rpc => apps::rpc_serve_one(&m1, &cpu).await.unwrap(),
+                }
+            }
+        });
+    }
+
+    let start = c.sim.registry().snapshot();
+    c.sim.run();
+    let registry = c.sim.registry().snapshot().delta(&start);
+    AppPoint {
+        backend,
+        kind,
+        bytes,
+        iter_time: iter_time.get(),
+        elapsed: end.get(),
+        registry,
+    }
+}
+
+fn find(points: &[ProtoPoint], backend: Backend, proto: Proto, size: u64) -> &ProtoPoint {
+    points
+        .iter()
+        .find(|p| p.backend == backend && p.proto == proto && p.size == size)
+        .expect("complete sweep grid")
+}
+
+/// Render the experiment report from a complete grid of protocol points
+/// and the application sweep.
+pub fn render(protos: &[ProtoPoint], app_points: &[AppPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from(
+        "# crossover: eager vs rendezvous message protocols (put-mode rendezvous)\n",
+    );
+    for backend in BACKENDS {
+        let caps = backend.transport_caps();
+        let _ = writeln!(
+            out,
+            "\n[{} / default threshold {} B]",
+            caps.name, caps.default_eager_threshold
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>13} {:>13} {:>12} {:>13} {:>13} {:>10}",
+            "bytes", "eager us", "rndv us", "faster", "eager MB/s", "rndv MB/s", "bw winner"
+        );
+        let mut cross: Option<u64> = None;
+        for &size in &sizes() {
+            let e = find(protos, backend, Proto::Eager, size);
+            let r = find(protos, backend, Proto::Rndv, size);
+            if cross.is_none() && r.latency < e.latency {
+                cross = Some(size);
+            }
+            let _ = writeln!(
+                out,
+                "{:>10} {:>13.2} {:>13.2} {:>12} {:>13.1} {:>13.1} {:>10}",
+                size,
+                time::to_us_f64(e.latency),
+                time::to_us_f64(r.latency),
+                if e.latency <= r.latency { "eager" } else { "rendezvous" },
+                e.mbytes_s,
+                r.mbytes_s,
+                if e.mbytes_s >= r.mbytes_s { "eager" } else { "rndv" },
+            );
+        }
+        match cross {
+            Some(s) => {
+                let _ = writeln!(out, "latency crossover: rendezvous wins from {s} B");
+            }
+            None => {
+                let _ = writeln!(out, "latency crossover: eager wins across the sweep");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n[applications / closed loop / default thresholds]\n{:>12} {:>10} {:>10} {:>16}",
+        "app", "backend", "bytes", "iteration us"
+    );
+    for p in app_points {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>10} {:>10} {:>16.2}",
+            p.kind.label(),
+            p.backend.transport_caps().name,
+            p.bytes,
+            time::to_us_f64(p.iter_time),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocols_trade_places_with_size() {
+        for backend in BACKENDS {
+            let small_e = proto_point(backend, Proto::Eager, 16, 8, 4);
+            let small_r = proto_point(backend, Proto::Rndv, 16, 8, 4);
+            let large_e = proto_point(backend, Proto::Eager, 65536, 8, 4);
+            let large_r = proto_point(backend, Proto::Rndv, 65536, 8, 4);
+            // Tiny messages: one eager fragment beats a 3-way handshake.
+            assert!(
+                small_e.latency < small_r.latency,
+                "{backend:?}: eager {} vs rndv {} at 16 B",
+                small_e.latency,
+                small_r.latency
+            );
+            // Huge messages: one RDMA put beats ~1200 fragment copies.
+            assert!(
+                large_r.latency < large_e.latency,
+                "{backend:?}: rndv {} vs eager {} at 64 KiB",
+                large_r.latency,
+                large_e.latency
+            );
+            // The protocol counters prove which path actually ran.
+            assert_eq!(small_r.registry.get("msg0.eager_sends"), 0);
+            assert!(small_r.registry.get("msg0.rts") > 0);
+            assert_eq!(large_e.registry.get("msg0.rts"), 0);
+            assert!(large_e.registry.get("msg0.eager_frags") > 1000);
+        }
+    }
+
+    #[test]
+    fn points_are_deterministic() {
+        let a = proto_point(Backend::Extoll, Proto::Rndv, 4096, 6, 4);
+        let b = proto_point(Backend::Extoll, Proto::Rndv, 4096, 6, 4);
+        assert_eq!(a.registry, b.registry);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn apps_run_closed_loop_on_both_backends() {
+        for backend in BACKENDS {
+            for kind in AppKind::ALL {
+                let p = app_point(backend, kind, 4096, 6);
+                assert!(p.iter_time > 0, "{backend:?} {kind:?}");
+                assert!(p.registry.get("msg0.delivered") > 0, "{backend:?} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_marks_the_crossover() {
+        let mut protos = Vec::new();
+        for backend in BACKENDS {
+            for proto in PROTOS {
+                for (i, &size) in sizes().iter().enumerate() {
+                    // Synthetic grid: eager linear in size, rndv flat —
+                    // crossing between 256 B and 1 KiB.
+                    let latency = match proto {
+                        Proto::Eager => 1000 * (i as u64 + 1),
+                        Proto::Rndv => 3500,
+                    };
+                    protos.push(ProtoPoint {
+                        backend,
+                        proto,
+                        size,
+                        latency,
+                        mbytes_s: 1.0,
+                        elapsed: 1,
+                        registry: Snapshot::default(),
+                    });
+                }
+            }
+        }
+        let txt = render(&protos, &[]);
+        assert!(txt.contains("latency crossover: rendezvous wins from 1024 B"));
+    }
+}

@@ -7,6 +7,7 @@ pub mod ablation;
 pub mod bandwidth;
 pub mod check;
 pub mod counters;
+pub mod crossover;
 pub mod msgrate;
 pub mod pingpong;
 pub mod scaling;

@@ -14,6 +14,13 @@
 //! offered-load vs. achieved-throughput knee appears together with the
 //! p50/p99/p999 latency blow-up — the classic latency-under-load picture.
 //!
+//! With [`WorkloadSpec::app`] set, operations are whole application
+//! iterations driven through the message layer instead of raw transport
+//! ops: each connection gets a [`Messenger`] pair, the worker runs
+//! halo/allreduce/RPC steps ([`apps`]), and the node-1 server turns into
+//! the matching responder — so the latency-under-load picture composes
+//! with the eager/rendezvous protocol.
+//!
 //! Everything is deterministic: arrivals are pre-generated from an
 //! in-tree [`XorShift64`] stream per connection, and the simulation is
 //! single-threaded, so each load point is an independent repeatable task.
@@ -26,8 +33,12 @@ use tc_desim::time::{self, Time};
 use tc_trace::rng::XorShift64;
 use tc_trace::Snapshot;
 
+use tc_pcie::Processor;
+
 use crate::api::{create_pair, QueueLoc};
 use crate::cluster::{Backend, Cluster};
+use crate::msg::apps::{self, AppKind};
+use crate::msg::{messenger_pair, MsgConfig};
 use crate::transport::Transport;
 
 /// Arrival process of the open-loop generator.
@@ -54,12 +65,17 @@ impl ArrivalProcess {
 /// Arrivals per burst for [`ArrivalProcess::Bursty`].
 pub const BURST_LEN: u32 = 8;
 
-/// Symmetric buffer bytes per connection.
+/// Symmetric buffer bytes per connection (raw transport mix).
 const BUF_LEN: u64 = 4096;
+/// Symmetric buffer bytes per connection in app mode (the staging and
+/// landing halves must each hold the largest app message, 16 KiB).
+const APP_BUF_LEN: u64 = 64 * 1024;
 /// Two-sided message payload bytes.
 const MSG_LEN: usize = 32;
 /// Receive window primed on the server side of each connection.
 const RECV_WINDOW: usize = 8;
+/// Server polling interval while waiting for quiescence.
+const SRV_POLL: Time = time::ns(400);
 
 /// One load point of the open-loop sweep.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +94,62 @@ pub struct WorkloadSpec {
     pub queue_cap: usize,
     /// Seed of the arrival stream.
     pub seed: u64,
+    /// Drive application iterations through the message layer instead of
+    /// the raw put/get/send mix.
+    pub app: Option<AppKind>,
+    /// Override of the messenger's eager/rendezvous crossover (app mode;
+    /// `None` uses the backend default).
+    pub eager_threshold: Option<usize>,
+}
+
+/// Per-connection accounting of one load point. The invariant
+/// `arrivals == completed + dropped` holds for every connection once the
+/// run quiesces, and in raw-mix mode every successfully sent two-sided
+/// message is drained by the server (`received == sent`) unless the
+/// receive mailbox provably overflowed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Operations the generator offered.
+    pub arrivals: u64,
+    /// Operations the worker finished (including transport errors).
+    pub completed: u64,
+    /// Arrivals shed at the full queue.
+    pub dropped: u64,
+    /// Operations that finished with a transport error.
+    pub errors: u64,
+    /// Two-sided messages the worker sent successfully (raw mix only).
+    pub sent: u64,
+    /// Messages the node-1 server drained (raw mix: transport messages;
+    /// app mode: application requests served).
+    pub received: u64,
+}
+
+/// Shared mutable cells behind one connection's [`ConnStats`].
+#[derive(Default)]
+struct ConnCells {
+    arrivals: Cell<u64>,
+    completed: Cell<u64>,
+    dropped: Cell<u64>,
+    errors: Cell<u64>,
+    sent: Cell<u64>,
+    received: Cell<u64>,
+}
+
+impl ConnCells {
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    fn stats(&self) -> ConnStats {
+        ConnStats {
+            arrivals: self.arrivals.get(),
+            completed: self.completed.get(),
+            dropped: self.dropped.get(),
+            errors: self.errors.get(),
+            sent: self.sent.get(),
+            received: self.received.get(),
+        }
+    }
 }
 
 /// Measured outcome of one load point.
@@ -103,6 +175,8 @@ pub struct WorkloadResult {
     pub p999_ps: u64,
     /// Simulated time of the last completion.
     pub elapsed: Time,
+    /// Per-connection accounting (index = connection id).
+    pub per_conn: Vec<ConnStats>,
     /// Delta of every registry counter over the run (carries the
     /// `workload0.*` metrics plus all device counters).
     pub registry: Snapshot,
@@ -114,6 +188,8 @@ enum Op {
     Put(u32),
     Get(u32),
     Msg,
+    /// One application iteration moving `arg` payload bytes (app mode).
+    App(u32),
 }
 
 /// Pre-generate one connection's arrival schedule: `(arrival time, op)`,
@@ -144,10 +220,19 @@ fn schedule(spec: &WorkloadSpec, conn: u32) -> Vec<(Time, Op)> {
             }
         };
         t += dt.max(1.0);
-        let op = match rng.below(10) {
-            0..=3 => Op::Put(64 << rng.below(3) as u32),
-            4..=6 => Op::Get(64 << rng.below(3) as u32),
-            _ => Op::Msg,
+        let op = match spec.app {
+            // App iterations span the eager/rendezvous crossover: halo and
+            // allreduce move 256B–16K vectors, RPC draws 256/1K/4K
+            // responses against a fixed small request.
+            Some(AppKind::Halo) | Some(AppKind::Allreduce) => {
+                Op::App(256 << (2 * rng.below(4)) as u32)
+            }
+            Some(AppKind::Rpc) => Op::App(256 << (2 * rng.below(3)) as u32),
+            None => match rng.below(10) {
+                0..=3 => Op::Put(64 << rng.below(3) as u32),
+                4..=6 => Op::Get(64 << rng.below(3) as u32),
+                _ => Op::Msg,
+            },
         };
         out.push((t as Time, op));
     }
@@ -167,13 +252,17 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
     let latency_hist = scope.histogram("latency_ps");
 
     let last_done = Rc::new(Cell::new(0u64));
+    let mut conn_cells: Vec<Rc<ConnCells>> = Vec::with_capacity(spec.conns as usize);
+
+    let mut msg_cfg = MsgConfig::for_caps(&spec.backend.transport_caps());
+    if let Some(t) = spec.eager_threshold {
+        msg_cfg.eager_threshold = t;
+    }
 
     for conn in 0..spec.conns {
-        let buf_a = c.nodes[0].gpu.alloc(BUF_LEN, 256);
-        let buf_b = c.nodes[1].gpu.alloc(BUF_LEN, 256);
-        let (ep0, ep1) = create_pair(&c, buf_a, buf_b, BUF_LEN, QueueLoc::Host);
-        let ep0 = Rc::new(ep0);
         let plan = schedule(spec, conn);
+        let cells = Rc::new(ConnCells::default());
+        conn_cells.push(cells.clone());
 
         let queue: Rc<RefCell<VecDeque<(Time, Op)>>> = Rc::new(RefCell::new(VecDeque::new()));
         let wakeup = c.sim.signal();
@@ -187,6 +276,7 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
             let (q, wake, done) = (queue.clone(), wakeup.clone(), gen_done.clone());
             let (arrivals, dropped, depth) =
                 (arrivals_ctr.clone(), dropped_ctr.clone(), depth_gauge.clone());
+            let cells = cells.clone();
             let cap = spec.queue_cap;
             c.sim.spawn(&format!("workload.gen{conn}"), async move {
                 for (t_arr, op) in plan {
@@ -195,9 +285,11 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
                         sim.delay(t_arr - now).await;
                     }
                     arrivals.add(1);
+                    ConnCells::bump(&cells.arrivals);
                     let mut q = q.borrow_mut();
                     if q.len() >= cap {
                         dropped.add(1);
+                        ConnCells::bump(&cells.dropped);
                     } else {
                         q.push_back((sim.now(), op));
                         depth.add(1);
@@ -210,78 +302,21 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
             });
         }
 
-        // Worker: drain the queue through the transport, one operation at
-        // a time (a GPU thread on node 0 — the paper's GPU-controlled
-        // mode). Latency is measured from *arrival*, so time spent queued
-        // counts.
-        {
-            let sim = c.sim.clone();
-            let gpu = c.nodes[0].gpu.clone();
-            let (q, wake, gdone, cdone) =
-                (queue.clone(), wakeup.clone(), gen_done.clone(), conn_done.clone());
-            let (completed, errors, depth, lat, last) = (
-                completed_ctr.clone(),
-                errors_ctr.clone(),
-                depth_gauge.clone(),
-                latency_hist.clone(),
-                last_done.clone(),
-            );
-            let ep = ep0.clone();
-            c.sim.spawn(&format!("workload.conn{conn}"), async move {
-                let t = gpu.thread();
-                let tp = ep.transport();
-                loop {
-                    let item = q.borrow_mut().pop_front();
-                    match item {
-                        Some((t_arr, op)) => {
-                            depth.sub(1);
-                            let res = match op {
-                                Op::Put(len) => {
-                                    tp.put(&t, 0, 0, len, false).await;
-                                    tp.quiet(&t).await
-                                }
-                                Op::Get(len) => tp.get(&t, 0, 0, len).await,
-                                Op::Msg => tp.send(&t, &[0xA5u8; MSG_LEN]).await,
-                            };
-                            if res.is_err() {
-                                errors.add(1);
-                            }
-                            let now = sim.now();
-                            lat.record(now - t_arr);
-                            completed.add(1);
-                            if now > last.get() {
-                                last.set(now);
-                            }
-                        }
-                        None if gdone.get() => break,
-                        None => wake.wait_until(|| gdone.get() || !q.borrow().is_empty()).await,
-                    }
-                }
-                cdone.set(true);
-            });
-        }
-
-        // Server: drain two-sided messages on node 1 (host-assisted
-        // receiver). Polls rather than blocks so it can terminate even if
-        // messages were dropped at an overflowing mailbox, then settles
-        // one in-flight window after the worker finished.
-        {
-            let sim = c.sim.clone();
-            let cpu = c.nodes[1].cpu.clone();
-            let cdone = conn_done.clone();
-            c.sim.spawn(&format!("workload.srv{conn}"), async move {
-                let tp = ep1.transport();
-                tp.prime_recv(&cpu, RECV_WINDOW).await;
-                loop {
-                    while tp.try_recv(&cpu).await.is_some() {}
-                    if cdone.get() {
-                        sim.delay(time::us(5)).await;
-                        while tp.try_recv(&cpu).await.is_some() {}
-                        break;
-                    }
-                    sim.delay(time::ns(400)).await;
-                }
-            });
+        match spec.app {
+            None => spawn_raw_conn(&c, conn, &queue, &wakeup, &gen_done, &conn_done, &cells, WorkerCtrs {
+                completed: completed_ctr.clone(),
+                errors: errors_ctr.clone(),
+                depth: depth_gauge.clone(),
+                latency: latency_hist.clone(),
+                last_done: last_done.clone(),
+            }),
+            Some(kind) => spawn_app_conn(&c, conn, kind, msg_cfg, &queue, &wakeup, &gen_done, &conn_done, &cells, WorkerCtrs {
+                completed: completed_ctr.clone(),
+                errors: errors_ctr.clone(),
+                depth: depth_gauge.clone(),
+                latency: latency_hist.clone(),
+                last_done: last_done.clone(),
+            }),
         }
     }
 
@@ -310,7 +345,231 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
         p99_ps: lat.p99(),
         p999_ps: lat.p999(),
         elapsed,
+        per_conn: conn_cells.iter().map(|c| c.stats()).collect(),
         registry,
+    }
+}
+
+/// Global counter handles threaded into each connection's worker.
+struct WorkerCtrs {
+    completed: tc_trace::Counter,
+    errors: tc_trace::Counter,
+    depth: tc_trace::Gauge,
+    latency: tc_trace::Histogram,
+    last_done: Rc<Cell<u64>>,
+}
+
+type OpQueue = Rc<RefCell<VecDeque<(Time, Op)>>>;
+
+/// Raw-mix connection: worker drains put/get/send ops through a
+/// transport pair, server drains two-sided messages on node 1.
+#[allow(clippy::too_many_arguments)]
+fn spawn_raw_conn(
+    c: &Cluster,
+    conn: u32,
+    queue: &OpQueue,
+    wakeup: &tc_desim::sync::Signal,
+    gen_done: &Rc<Cell<bool>>,
+    conn_done: &Rc<Cell<bool>>,
+    cells: &Rc<ConnCells>,
+    ctrs: WorkerCtrs,
+) {
+    let buf_a = c.nodes[0].gpu.alloc(BUF_LEN, 256);
+    let buf_b = c.nodes[1].gpu.alloc(BUF_LEN, 256);
+    let (ep0, ep1) = create_pair(c, buf_a, buf_b, BUF_LEN, QueueLoc::Host);
+
+    // Worker: drain the queue through the transport, one operation at a
+    // time (a GPU thread on node 0 — the paper's GPU-controlled mode).
+    // Latency is measured from *arrival*, so time spent queued counts.
+    {
+        let sim = c.sim.clone();
+        let gpu = c.nodes[0].gpu.clone();
+        let (q, wake, gdone, cdone) =
+            (queue.clone(), wakeup.clone(), gen_done.clone(), conn_done.clone());
+        let cells = cells.clone();
+        c.sim.spawn(&format!("workload.conn{conn}"), async move {
+            let t = gpu.thread();
+            let tp = ep0.transport();
+            loop {
+                let item = q.borrow_mut().pop_front();
+                match item {
+                    Some((t_arr, op)) => {
+                        ctrs.depth.sub(1);
+                        let mut sent_msg = false;
+                        let res = match op {
+                            Op::Put(len) => {
+                                tp.put(&t, 0, 0, len, false).await;
+                                tp.quiet(&t).await
+                            }
+                            Op::Get(len) => tp.get(&t, 0, 0, len).await,
+                            Op::Msg => {
+                                let r = tp.send(&t, &[0xA5u8; MSG_LEN]).await;
+                                sent_msg = r.is_ok();
+                                r
+                            }
+                            Op::App(_) => unreachable!("raw mix has no app ops"),
+                        };
+                        if sent_msg {
+                            ConnCells::bump(&cells.sent);
+                        }
+                        if res.is_err() {
+                            ctrs.errors.add(1);
+                            ConnCells::bump(&cells.errors);
+                        }
+                        let now = sim.now();
+                        ctrs.latency.record(now - t_arr);
+                        ctrs.completed.add(1);
+                        ConnCells::bump(&cells.completed);
+                        if now > ctrs.last_done.get() {
+                            ctrs.last_done.set(now);
+                        }
+                    }
+                    None if gdone.get() => break,
+                    None => wake.wait_until(|| gdone.get() || !q.borrow().is_empty()).await,
+                }
+            }
+            cdone.set(true);
+        });
+    }
+
+    // Server: drain two-sided messages on node 1 (host-assisted
+    // receiver). Termination is *explicit quiescence*, not a settle
+    // delay: the worker must have finished every operation, and every
+    // message it successfully sent must be either drained here or
+    // provably lost to a receive-side overflow (`recv_drops` — an upper
+    // bound shared across connections, so it can only end the drain
+    // early when a drop really happened somewhere). A fixed delay would
+    // strand late messages on a slow fabric or deep backlog.
+    {
+        let sim = c.sim.clone();
+        let cpu = c.nodes[1].cpu.clone();
+        let cdone = conn_done.clone();
+        let cells = cells.clone();
+        c.sim.spawn(&format!("workload.srv{conn}"), async move {
+            let tp = ep1.transport();
+            tp.prime_recv(&cpu, RECV_WINDOW).await;
+            loop {
+                while tp.try_recv(&cpu).await.is_some() {
+                    ConnCells::bump(&cells.received);
+                }
+                if cdone.get() && cells.received.get() + tp.recv_drops() >= cells.sent.get() {
+                    break;
+                }
+                sim.delay(SRV_POLL).await;
+            }
+        });
+    }
+}
+
+/// App-mode connection: worker drives application iterations through a
+/// messenger pair, server runs the matching responder.
+#[allow(clippy::too_many_arguments)]
+fn spawn_app_conn(
+    c: &Cluster,
+    conn: u32,
+    kind: AppKind,
+    cfg: MsgConfig,
+    queue: &OpQueue,
+    wakeup: &tc_desim::sync::Signal,
+    gen_done: &Rc<Cell<bool>>,
+    conn_done: &Rc<Cell<bool>>,
+    cells: &Rc<ConnCells>,
+    ctrs: WorkerCtrs,
+) {
+    let (m0, m1) = messenger_pair(c, APP_BUF_LEN, cfg);
+    let ready = Rc::new(Cell::new(false));
+    let ready_sig = c.sim.signal();
+
+    // Worker: one app iteration per queued op, on a GPU thread of node 0.
+    // Waits for the server's receive window before the first request so
+    // pre-posted-receive fabrics cannot bounce it.
+    {
+        let sim = c.sim.clone();
+        let gpu = c.nodes[0].gpu.clone();
+        let (q, wake, gdone, cdone) =
+            (queue.clone(), wakeup.clone(), gen_done.clone(), conn_done.clone());
+        let (ready, rsig) = (ready.clone(), ready_sig.clone());
+        let cells = cells.clone();
+        c.sim.spawn(&format!("workload.conn{conn}"), async move {
+            let t = gpu.thread();
+            rsig.wait_until(|| ready.get()).await;
+            loop {
+                let item = q.borrow_mut().pop_front();
+                match item {
+                    Some((t_arr, op)) => {
+                        ctrs.depth.sub(1);
+                        let bytes = match op {
+                            Op::App(b) => b,
+                            _ => unreachable!("app mode generates only app ops"),
+                        };
+                        let res = match kind {
+                            AppKind::Halo => apps::halo_iter(&m0, &t, bytes).await,
+                            AppKind::Allreduce => apps::allreduce_iter(&m0, &t, bytes).await,
+                            AppKind::Rpc => apps::rpc_call(&m0, &t, bytes).await.map(|_| ()),
+                        };
+                        if res.is_err() {
+                            ctrs.errors.add(1);
+                            ConnCells::bump(&cells.errors);
+                        }
+                        let now = sim.now();
+                        ctrs.latency.record(now - t_arr);
+                        ctrs.completed.add(1);
+                        ConnCells::bump(&cells.completed);
+                        if now > ctrs.last_done.get() {
+                            ctrs.last_done.set(now);
+                        }
+                    }
+                    None if gdone.get() => break,
+                    None => wake.wait_until(|| gdone.get() || !q.borrow().is_empty()).await,
+                }
+            }
+            cdone.set(true);
+        });
+    }
+
+    // Responder: serve requests on node 1's CPU until the worker is done
+    // and no request is left (the worker blocks per iteration, so after
+    // `cdone` nothing new can arrive — quiescence needs no settle delay).
+    {
+        let sim = c.sim.clone();
+        let cpu = c.nodes[1].cpu.clone();
+        let cdone = conn_done.clone();
+        let cells = cells.clone();
+        c.sim.spawn(&format!("workload.srv{conn}"), async move {
+            m1.init(&cpu).await;
+            ready.set(true);
+            ready_sig.notify_all();
+            loop {
+                match m1.try_recv_desc(&cpu).await {
+                    Ok(Some(d)) => {
+                        ConnCells::bump(&cells.received);
+                        let res = match kind {
+                            AppKind::Halo => m1.send_staged(&cpu, d.len() as u32).await,
+                            AppKind::Allreduce => {
+                                // Reduce the received chunk, mirroring the
+                                // worker's side of the exchange.
+                                cpu.instr((d.len() as u64).div_ceil(8)).await;
+                                m1.send_staged(&cpu, d.len() as u32).await
+                            }
+                            AppKind::Rpc => apps::rpc_serve(&m1, &cpu, &d).await,
+                        };
+                        if res.is_err() {
+                            ConnCells::bump(&cells.errors);
+                        }
+                    }
+                    Ok(None) => {
+                        if cdone.get() {
+                            break;
+                        }
+                        sim.delay(SRV_POLL).await;
+                    }
+                    Err(_) => {
+                        ConnCells::bump(&cells.errors);
+                        break;
+                    }
+                }
+            }
+        });
     }
 }
 
@@ -326,12 +585,18 @@ pub fn render(results: &[WorkloadResult]) -> String {
         let key = (r.spec.backend, r.spec.process);
         if group != Some(key) {
             group = Some(key);
+            let app = r
+                .spec
+                .app
+                .map(|a| format!(" / app {}", a.label()))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "\n[{} / {} / {} conns / queue {}]\n",
+                "\n[{} / {} / {} conns / queue {}{}]\n",
                 r.spec.backend.transport_caps().name,
                 r.spec.process.label(),
                 r.spec.conns,
                 r.spec.queue_cap,
+                app,
             ));
             out.push_str(
                 "offered(kop/s) achieved(kop/s)   p50(us)   p99(us)  p999(us)    drops   errors\n",
@@ -364,6 +629,8 @@ mod tests {
             ops_per_conn: 40,
             queue_cap: 16,
             seed: 7,
+            app: None,
+            eager_threshold: None,
         }
     }
 
@@ -412,12 +679,51 @@ mod tests {
     }
 
     #[test]
+    fn overload_quiesces_every_connection() {
+        // Regression test for the server drain: it used to settle on a
+        // fixed 5 us delay after the worker finished, which could strand
+        // sent-but-undrained messages. Quiescence is now explicit, so at
+        // heavy overload every connection's books must balance exactly.
+        for backend in [Backend::Extoll, Backend::Infiniband] {
+            let r = run(&quick_spec(backend, 6400.0));
+            assert_eq!(r.per_conn.len(), 2, "{backend:?}");
+            let mailbox_drops: u64 = (0..2)
+                .map(|n| r.registry.get(&format!("extoll{n}.velo_drops")))
+                .sum();
+            for (i, cs) in r.per_conn.iter().enumerate() {
+                assert_eq!(
+                    cs.arrivals,
+                    cs.completed + cs.dropped,
+                    "{backend:?} conn {i}: every arrival completes or drops"
+                );
+                assert_eq!(cs.arrivals, 40, "{backend:?} conn {i}");
+                // Every message the worker sent was drained by the server
+                // (no silent stranding), up to provable mailbox overflow.
+                assert!(
+                    cs.received + mailbox_drops >= cs.sent,
+                    "{backend:?} conn {i}: {} received + {} drops < {} sent",
+                    cs.received,
+                    mailbox_drops,
+                    cs.sent
+                );
+                assert!(cs.received <= cs.sent, "{backend:?} conn {i}");
+                if mailbox_drops == 0 {
+                    assert_eq!(cs.received, cs.sent, "{backend:?} conn {i}");
+                }
+            }
+            let total: u64 = r.per_conn.iter().map(|c| c.completed).sum();
+            assert_eq!(total, r.completed, "{backend:?}: per-conn sums match globals");
+        }
+    }
+
+    #[test]
     fn runs_are_byte_identical() {
         let spec = quick_spec(Backend::Infiniband, 400.0);
         let a = run(&spec);
         let b = run(&spec);
         assert_eq!(a.registry, b.registry);
         assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.per_conn, b.per_conn);
     }
 
     #[test]
@@ -428,5 +734,26 @@ mod tests {
         spec.process = ArrivalProcess::Bursty;
         let bursty = run(&spec);
         assert!(bursty.p99_ps >= poisson.p99_ps);
+    }
+
+    #[test]
+    fn app_workloads_complete_on_both_backends() {
+        for backend in [Backend::Extoll, Backend::Infiniband] {
+            for kind in AppKind::ALL {
+                let mut spec = quick_spec(backend, 5.0);
+                spec.conns = 1;
+                spec.ops_per_conn = 12;
+                spec.app = Some(kind);
+                let r = run(&spec);
+                assert_eq!(r.completed, 12, "{backend:?} {kind:?}");
+                assert_eq!(r.errors, 0, "{backend:?} {kind:?}");
+                assert_eq!(r.per_conn[0].received, 12, "{backend:?} {kind:?}");
+                // The size ladder straddles the crossover, so both paths
+                // must have carried traffic.
+                assert!(r.registry.get("msg0.delivered") >= 24, "{backend:?} {kind:?}");
+                assert!(r.registry.get("msg0.rndv_sends") > 0, "{backend:?} {kind:?}");
+                assert!(r.registry.get("msg0.eager_sends") > 0, "{backend:?} {kind:?}");
+            }
+        }
     }
 }

@@ -50,6 +50,9 @@
 //! * [`collectives`] — exchange/barrier/broadcast/all-reduce built on the
 //!   one-sided API (the "GPU communication library" direction of the
 //!   paper's conclusion).
+//! * [`msg`] — MPI-style message passing over the transport seam: eager
+//!   copies vs RDMA rendezvous, credit-based flow control, and the
+//!   application patterns built on it.
 //! * [`flag`] — the host-assisted GPU<->CPU flag protocol.
 //! * [`mod@bench`] — drivers reproducing every figure and table of the paper.
 
@@ -58,10 +61,13 @@ pub mod bench;
 pub mod cluster;
 pub mod collectives;
 pub mod flag;
+pub mod msg;
 pub mod transport;
 
 pub use api::{create_pair, create_pair_between, CommError, PutGetEndpoint, QueueLoc};
 pub use cluster::{Backend, Cluster, ClusterConfig, Node};
+pub use msg::apps::AppKind;
+pub use msg::{messenger_pair, messenger_pair_between, MsgConfig, MsgDesc, Messenger, RendezvousMode};
 pub use transport::{AnyTransport, ExtollTransport, IbTransport, Transport, TransportCaps};
 
 // Re-export the pieces users need to drive the library.

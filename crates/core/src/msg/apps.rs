@@ -1,0 +1,133 @@
+//! Application-level communication patterns over the message layer.
+//!
+//! The paper's conclusion points at "GPU communication libraries" as the
+//! consumer of put/get; these are the three canonical patterns real
+//! applications stack on top of an eager/rendezvous messenger, written as
+//! single-iteration helpers so both the closed-loop sweep drivers and the
+//! open-loop workload engine can drive them:
+//!
+//! * [`halo_iter`] — halo-exchange stencil step: both ranks send their
+//!   boundary slab and receive the peer's (crossing sends, the classic
+//!   ghost-cell exchange).
+//! * [`allreduce_iter`] — one halving-doubling/ring allreduce step:
+//!   exchange half the vector with the partner and reduce the received
+//!   chunk locally.
+//! * [`rpc_call`]/[`rpc_serve_one`] — request/reply RPC: a small request
+//!   against a sized response.
+//!
+//! All helpers use staged sends (payloads live in the messenger's staging
+//! region), so the measured cost is protocol + fabric, not synthetic
+//! marshalling.
+
+use tc_pcie::Processor;
+
+use super::Messenger;
+use crate::transport::{CommError, Transport};
+
+/// Selectable application pattern (CLI/workload knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Halo-exchange stencil step.
+    Halo,
+    /// Halving-doubling allreduce step.
+    Allreduce,
+    /// Request/reply RPC.
+    Rpc,
+}
+
+impl AppKind {
+    /// Stable label used in reports and CLI parsing.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppKind::Halo => "halo",
+            AppKind::Allreduce => "allreduce",
+            AppKind::Rpc => "rpc",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<AppKind> {
+        match s {
+            "halo" => Some(AppKind::Halo),
+            "allreduce" => Some(AppKind::Allreduce),
+            "rpc" => Some(AppKind::Rpc),
+            _ => None,
+        }
+    }
+
+    /// Every pattern, in report order.
+    pub const ALL: [AppKind; 3] = [AppKind::Halo, AppKind::Allreduce, AppKind::Rpc];
+}
+
+/// Request payload bytes of one RPC call.
+pub const RPC_REQ_LEN: u32 = 64;
+
+/// One halo-exchange step: send the local boundary slab (`bytes`), then
+/// consume the peer's. Both ranks run the same code — the sends cross,
+/// which the messenger's progress engine resolves without deadlock on
+/// either path.
+pub async fn halo_iter<T: Transport, P: Processor>(
+    m: &Messenger<T>,
+    p: &P,
+    bytes: u32,
+) -> Result<(), CommError> {
+    m.send_staged(p, bytes).await?;
+    let d = m.recv_desc(p).await?;
+    debug_assert_eq!(d.len(), bytes as usize);
+    Ok(())
+}
+
+/// One halving-doubling allreduce step over a `bytes`-long vector:
+/// exchange half the vector with the partner, then reduce the received
+/// chunk into the local half (modeled as one fused op per 8 payload
+/// bytes on the driving processor).
+pub async fn allreduce_iter<T: Transport, P: Processor>(
+    m: &Messenger<T>,
+    p: &P,
+    bytes: u32,
+) -> Result<(), CommError> {
+    let chunk = (bytes / 2).max(1);
+    m.send_staged(p, chunk).await?;
+    let d = m.recv_desc(p).await?;
+    debug_assert_eq!(d.len(), chunk as usize);
+    p.instr((chunk as u64).div_ceil(8)).await;
+    Ok(())
+}
+
+/// One RPC from the client side: send a [`RPC_REQ_LEN`]-byte request
+/// whose first four bytes name the desired response length, block for
+/// the response, return its length.
+pub async fn rpc_call<T: Transport, P: Processor>(
+    m: &Messenger<T>,
+    p: &P,
+    resp_bytes: u32,
+) -> Result<usize, CommError> {
+    m.stage(&resp_bytes.to_le_bytes());
+    m.send_staged(p, RPC_REQ_LEN).await?;
+    let d = m.recv_desc(p).await?;
+    debug_assert_eq!(d.len(), resp_bytes as usize);
+    Ok(d.len())
+}
+
+/// Serve one RPC: consume a request, answer with the response length it
+/// asked for. `d` must be the request descriptor just received.
+pub async fn rpc_serve<T: Transport, P: Processor>(
+    m: &Messenger<T>,
+    p: &P,
+    d: &super::MsgDesc,
+) -> Result<(), CommError> {
+    debug_assert_eq!(d.len(), RPC_REQ_LEN as usize);
+    let req = m.read_payload(d);
+    let resp = u32::from_le_bytes(req[..4].try_into().unwrap());
+    m.send_staged(p, resp).await?;
+    Ok(())
+}
+
+/// Serve one RPC end-to-end: block for a request, then answer it.
+pub async fn rpc_serve_one<T: Transport, P: Processor>(
+    m: &Messenger<T>,
+    p: &P,
+) -> Result<(), CommError> {
+    let d = m.recv_desc(p).await?;
+    rpc_serve(m, p, &d).await
+}

@@ -1,0 +1,138 @@
+//! Wire format of the message layer.
+//!
+//! Every protocol frame travels as one two-sided transport message and
+//! starts with an 8-byte header; eager fragments append payload bytes
+//! after it. The header carries the frame kind, a piggybacked
+//! credit-return count (so flow-control credits ride on whatever frame
+//! goes the other way anyway), the sender's message sequence number, and
+//! one kind-specific argument:
+//!
+//! | kind     | `arg`                                            |
+//! |----------|--------------------------------------------------|
+//! | `Eager`  | total message length (every fragment carries it)  |
+//! | `Rts`    | payload length of the announced message           |
+//! | `Cts`    | receiver's landing offset for the RDMA put        |
+//! | `Fin`    | payload length (receiver sizes the arrived data)  |
+//! | `Credit` | 0 (the piggyback field does the work)             |
+
+/// Bytes of the fixed frame header.
+pub const HEADER_LEN: usize = 8;
+
+/// Frame kinds of the eager/rendezvous protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// One fragment of an eagerly copied message.
+    Eager,
+    /// Request-to-send: announces a rendezvous message.
+    Rts,
+    /// Clear-to-send: grants a landing offset for the RDMA put.
+    Cts,
+    /// Rendezvous payload transfer finished.
+    Fin,
+    /// Standalone credit return (no other traffic to piggyback on).
+    Credit,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Eager => 1,
+            FrameKind::Rts => 2,
+            FrameKind::Cts => 3,
+            FrameKind::Fin => 4,
+            FrameKind::Credit => 5,
+        }
+    }
+
+    fn from_code(c: u8) -> FrameKind {
+        match c {
+            1 => FrameKind::Eager,
+            2 => FrameKind::Rts,
+            3 => FrameKind::Cts,
+            4 => FrameKind::Fin,
+            5 => FrameKind::Credit,
+            _ => panic!("corrupt msg frame kind {c}"),
+        }
+    }
+}
+
+/// Decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Piggybacked credit return (eager fragments drained by the sender
+    /// of this frame since its last return).
+    pub credits: u8,
+    /// Message sequence number of the sending side.
+    pub seq: u16,
+    /// Kind-specific argument (see module docs).
+    pub arg: u32,
+}
+
+impl Header {
+    /// Encode into the leading [`HEADER_LEN`] frame bytes.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = self.kind.code();
+        b[1] = self.credits;
+        b[2..4].copy_from_slice(&self.seq.to_le_bytes());
+        b[4..8].copy_from_slice(&self.arg.to_le_bytes());
+        b
+    }
+
+    /// Decode from a received frame (panics on garbage: both ends of the
+    /// wire are this module).
+    pub fn decode(frame: &[u8]) -> Header {
+        assert!(frame.len() >= HEADER_LEN, "msg frame shorter than header");
+        Header {
+            kind: FrameKind::from_code(frame[0]),
+            credits: frame[1],
+            seq: u16::from_le_bytes(frame[2..4].try_into().unwrap()),
+            arg: u32::from_le_bytes(frame[4..8].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = Header {
+            kind: FrameKind::Rts,
+            credits: 17,
+            seq: 0xBEEF,
+            arg: 0xDEAD_F00D,
+        };
+        let mut frame = h.encode().to_vec();
+        frame.extend_from_slice(b"payload");
+        assert_eq!(Header::decode(&frame), h);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [
+            FrameKind::Eager,
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Fin,
+            FrameKind::Credit,
+        ] {
+            let h = Header {
+                kind,
+                credits: 0,
+                seq: 1,
+                arg: 2,
+            };
+            assert_eq!(Header::decode(&h.encode()), h);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn garbage_kind_is_rejected() {
+        Header::decode(&[9, 0, 0, 0, 0, 0, 0, 0]);
+    }
+}

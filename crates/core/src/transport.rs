@@ -102,6 +102,12 @@ pub struct TransportCaps {
     /// Queue buffers can be relocated into GPU device memory
     /// ([`QueueLoc::Gpu`]); EXTOLL's are pinned by the driver.
     pub queue_buffers_relocatable: bool,
+    /// Default eager/rendezvous crossover of the message layer
+    /// (`crate::msg`): payloads up to this many bytes go through the
+    /// copied eager path, larger ones through the zero-copy RDMA
+    /// rendezvous. Tuned per backend to sit near the measured crossover
+    /// of the `crossover` experiment; overridable per messenger.
+    pub default_eager_threshold: usize,
 }
 
 /// EXTOLL capability descriptor.
@@ -112,6 +118,10 @@ pub const EXTOLL_CAPS: TransportCaps = TransportCaps {
     msg_window: 64,
     remote_notify_needs_arming: false,
     queue_buffers_relocatable: false,
+    // VELO PIO makes eager fragments cheap; the RTS/CTS round trip plus
+    // the RMA put's fixed cost amortize only past ~1 KiB (see the
+    // `crossover` experiment).
+    default_eager_threshold: 1024,
 };
 
 /// Infiniband capability descriptor.
@@ -122,6 +132,10 @@ pub const IB_CAPS: TransportCaps = TransportCaps {
     msg_window: MSG_SLOTS as usize,
     remote_notify_needs_arming: true,
     queue_buffers_relocatable: true,
+    // Every eager fragment is a full verbs send (staging store + WQE +
+    // CQ wait), so the RDMA rendezvous pays off after only a few
+    // fragments (see the `crossover` experiment).
+    default_eager_threshold: 256,
 };
 
 /// One connected side of a communication channel, independent of the
@@ -158,6 +172,16 @@ pub trait Transport {
 
     /// Number of posted puts whose local completion has not been retrieved.
     fn outstanding(&self) -> u64;
+
+    /// Two-sided messages silently dropped on the *receive* side since
+    /// this transport was created (EXTOLL mailbox overflow). Fabrics whose
+    /// delivery failures surface at the sender instead (Infiniband RNR)
+    /// report 0. EXTOLL counts per NIC, so this is an upper bound when
+    /// other ports on the same NIC also dropped — callers use it to bound
+    /// "messages that can still arrive", where overcounting is safe.
+    fn recv_drops(&self) -> u64 {
+        0
+    }
 
     /// Initiate a put of `len` bytes from local offset `local_off` to
     /// remote offset `remote_off` of the connected buffer pair.
@@ -236,6 +260,9 @@ pub struct ExtollTransport {
     velo: VeloPort,
     velo_peer: u16,
     outstanding: Cell<u64>,
+    /// This NIC's mailbox-overflow counter and its value at creation.
+    velo_drops: tc_trace::Counter,
+    velo_drops_base: u64,
 }
 
 impl ExtollTransport {
@@ -252,6 +279,10 @@ impl Transport for ExtollTransport {
 
     fn outstanding(&self) -> u64 {
         self.outstanding.get()
+    }
+
+    fn recv_drops(&self) -> u64 {
+        self.velo_drops.get().saturating_sub(self.velo_drops_base)
     }
 
     async fn put<P: Processor>(
@@ -645,6 +676,10 @@ impl Transport for AnyTransport {
         delegate!(self, t => t.outstanding())
     }
 
+    fn recv_drops(&self) -> u64 {
+        delegate!(self, t => t.recv_drops())
+    }
+
     async fn put<P: Processor>(
         &self,
         p: &P,
@@ -755,6 +790,8 @@ impl Backend {
                 v1.set_peer_node(node_a as u16);
                 let (v0_idx, v1_idx) = (v0.index(), v1.index());
                 let (p0_idx, p1_idx) = (p0.index(), p1.index());
+                let drops_a = nic0.stats().velo_drops.clone();
+                let drops_b = nic1.stats().velo_drops.clone();
                 (
                     AnyTransport::Extoll(ExtollTransport {
                         peer_port: p1_idx,
@@ -764,6 +801,8 @@ impl Backend {
                         velo: v0,
                         velo_peer: v1_idx,
                         outstanding: Cell::new(0),
+                        velo_drops_base: drops_a.get(),
+                        velo_drops: drops_a,
                     }),
                     AnyTransport::Extoll(ExtollTransport {
                         peer_port: p0_idx,
@@ -773,6 +812,8 @@ impl Backend {
                         velo: v1,
                         velo_peer: v0_idx,
                         outstanding: Cell::new(0),
+                        velo_drops_base: drops_b.get(),
+                        velo_drops: drops_b,
                     }),
                 )
             }

@@ -163,3 +163,271 @@ fn extoll_passes_the_conformance_checklist() {
 fn infiniband_passes_the_conformance_checklist() {
     run_conformance(Backend::Infiniband);
 }
+
+// ---------------------------------------------------------------------------
+// Message-layer conformance: the eager/rendezvous protocol must behave
+// identically over every backend — same delivery order, same payloads,
+// same protocol-path selection around the threshold, no deadlock under
+// credit exhaustion or crossing rendezvous.
+// ---------------------------------------------------------------------------
+
+use tc_putget::{messenger_pair, MsgConfig, RendezvousMode};
+
+/// Messenger buffer: staging and landing halves hold up to 32 KiB each.
+const MSG_BUF: u64 = 64 * 1024;
+
+fn pat(len: usize, seed: usize) -> Vec<u8> {
+    (0..len).map(|i| (seed + i) as u8).collect()
+}
+
+/// Messages straddling the threshold round-trip byte-exactly and in send
+/// order; each takes the protocol path its size dictates, including the
+/// exact-threshold and zero-length edge cases.
+fn check_threshold_straddle(backend: Backend, mode: RendezvousMode) {
+    let c = Cluster::new(backend);
+    let threshold = backend.transport_caps().default_eager_threshold;
+    let cfg = MsgConfig {
+        eager_threshold: threshold,
+        rendezvous: mode,
+    };
+    let (m0, m1) = messenger_pair(&c, MSG_BUF, cfg);
+    let stats = m0.stats().clone();
+    let sizes = vec![0, 1, threshold - 1, threshold, threshold + 1, 4 * threshold + 13];
+    let eager_count = sizes.iter().filter(|&&s| s <= threshold).count() as u64;
+    let total = sizes.len() as u64;
+    let rndv_count = total - eager_count;
+
+    let ready = Rc::new(Cell::new(false));
+    let done = Rc::new(Cell::new(false));
+    let sig = c.sim.signal();
+    {
+        let cpu = c.nodes[0].cpu.clone();
+        let (ready, sig, sizes) = (ready.clone(), sig.clone(), sizes.clone());
+        c.sim.spawn("msgconf.send", async move {
+            m0.init(&cpu).await;
+            sig.wait_until(|| ready.get()).await;
+            for (i, &s) in sizes.iter().enumerate() {
+                m0.send(&cpu, &pat(s, i)).await.unwrap();
+            }
+        });
+    }
+    {
+        let cpu = c.nodes[1].cpu.clone();
+        let (ready, sig, done) = (ready.clone(), sig.clone(), done.clone());
+        c.sim.spawn("msgconf.recv", async move {
+            m1.init(&cpu).await;
+            ready.set(true);
+            sig.notify_all();
+            for (i, &s) in sizes.iter().enumerate() {
+                let got = m1.recv(&cpu).await.unwrap();
+                assert_eq!(got, pat(s, i), "message {i} round-trips in order");
+            }
+            done.set(true);
+        });
+    }
+    c.sim.run();
+    assert!(done.get(), "{backend:?}/{mode:?}: battery ran to completion");
+    assert_eq!(stats.eager_sends.get(), eager_count, "{backend:?}/{mode:?}");
+    assert_eq!(stats.rndv_sends.get(), rndv_count, "{backend:?}/{mode:?}");
+    assert_eq!(stats.delivered.get(), total);
+    match mode {
+        // Put mode: every rendezvous costs one CTS grant and one FIN.
+        RendezvousMode::Put => {
+            assert_eq!(stats.cts.get(), rndv_count);
+            assert_eq!(stats.fin.get(), rndv_count);
+        }
+        // Get mode: no CTS hop at all — the receiver pulls and FINs.
+        RendezvousMode::Get => {
+            assert_eq!(stats.cts.get(), 0);
+            assert_eq!(stats.fin.get(), rndv_count);
+        }
+    }
+}
+
+/// Crossing rendezvous sends from both sides at once must not deadlock:
+/// each side's blocking send pumps the progress engine, which grants the
+/// peer's RTS. Two rounds exercise the deferred landing-zone release.
+fn check_crossing_rendezvous(backend: Backend, mode: RendezvousMode) {
+    let c = Cluster::new(backend);
+    let cfg = MsgConfig {
+        eager_threshold: 0,
+        rendezvous: mode,
+    };
+    let (m0, m1) = messenger_pair(&c, MSG_BUF, cfg);
+    let done0 = Rc::new(Cell::new(false));
+    let done1 = Rc::new(Cell::new(false));
+    let ready = Rc::new(Cell::new(false));
+    let sig = c.sim.signal();
+    {
+        let cpu = c.nodes[0].cpu.clone();
+        let (ready, sig, done) = (ready.clone(), sig.clone(), done0.clone());
+        c.sim.spawn("msgcross.a", async move {
+            m0.init(&cpu).await;
+            sig.wait_until(|| ready.get()).await;
+            for round in 0..2 {
+                m0.send(&cpu, &pat(2048, round)).await.unwrap();
+                let got = m0.recv(&cpu).await.unwrap();
+                assert_eq!(got, pat(2048, round + 100), "round {round} peer payload");
+            }
+            done.set(true);
+        });
+    }
+    {
+        let cpu = c.nodes[1].cpu.clone();
+        let (ready, sig, done) = (ready.clone(), sig.clone(), done1.clone());
+        c.sim.spawn("msgcross.b", async move {
+            m1.init(&cpu).await;
+            ready.set(true);
+            sig.notify_all();
+            for round in 0..2 {
+                m1.send(&cpu, &pat(2048, round + 100)).await.unwrap();
+                let got = m1.recv(&cpu).await.unwrap();
+                assert_eq!(got, pat(2048, round), "round {round} peer payload");
+            }
+            done.set(true);
+        });
+    }
+    c.sim.run();
+    assert!(
+        done0.get() && done1.get(),
+        "{backend:?}/{mode:?}: crossing rendezvous completed both sides"
+    );
+}
+
+/// A message far larger than the credit pool forces the sender to stall
+/// on flow control while the receiver is deliberately asleep; the stall
+/// must throttle, not deadlock, and the payload must arrive intact.
+fn check_credit_exhaustion(backend: Backend) {
+    let c = Cluster::new(backend);
+    let cfg = MsgConfig {
+        eager_threshold: usize::MAX, // force everything eager
+        rendezvous: RendezvousMode::Put,
+    };
+    let (m0, m1) = messenger_pair(&c, MSG_BUF, cfg);
+    let stats = m0.stats().clone();
+    const BIG: usize = 8192;
+    let ready = Rc::new(Cell::new(false));
+    let done = Rc::new(Cell::new(false));
+    let sig = c.sim.signal();
+    {
+        let cpu = c.nodes[0].cpu.clone();
+        let (ready, sig) = (ready.clone(), sig.clone());
+        c.sim.spawn("msgcredit.send", async move {
+            m0.init(&cpu).await;
+            sig.wait_until(|| ready.get()).await;
+            m0.send(&cpu, &pat(BIG, 9)).await.unwrap();
+        });
+    }
+    {
+        let sim = c.sim.clone();
+        let cpu = c.nodes[1].cpu.clone();
+        let (ready, sig, done) = (ready.clone(), sig.clone(), done.clone());
+        c.sim.spawn("msgcredit.recv", async move {
+            m1.init(&cpu).await;
+            ready.set(true);
+            sig.notify_all();
+            // Sleep past the sender's credit pool so it provably blocks
+            // on flow control before we drain anything.
+            sim.delay(time::us(20)).await;
+            let got = m1.recv(&cpu).await.unwrap();
+            assert_eq!(got, pat(BIG, 9));
+            done.set(true);
+        });
+    }
+    c.sim.run();
+    assert!(done.get(), "{backend:?}: big eager message delivered");
+    assert!(
+        stats.credit_stalls.get() > 0,
+        "{backend:?}: sender must have exhausted its credits"
+    );
+    assert!(
+        stats.credits_returned.get() > 0,
+        "{backend:?}: receiver returned credits"
+    );
+    let frags = (BIG as u64).div_ceil(
+        (backend.transport_caps().max_small_message - 8) as u64,
+    );
+    assert_eq!(stats.eager_frags.get(), frags, "{backend:?}: fragment count");
+}
+
+/// Interleaved eager and rendezvous messages of one direction are
+/// delivered in send order, whatever path each took.
+fn check_mixed_ordering(backend: Backend) {
+    let c = Cluster::new(backend);
+    let threshold = backend.transport_caps().default_eager_threshold;
+    let cfg = MsgConfig {
+        eager_threshold: threshold,
+        rendezvous: RendezvousMode::Put,
+    };
+    let (m0, m1) = messenger_pair(&c, MSG_BUF, cfg);
+    let stats = m0.stats().clone();
+    let sizes = vec![17, 3 * threshold, 23, 0, 2 * threshold + 5, threshold];
+    let n = sizes.len() as u64;
+    let ready = Rc::new(Cell::new(false));
+    let done = Rc::new(Cell::new(false));
+    let sig = c.sim.signal();
+    {
+        let cpu = c.nodes[0].cpu.clone();
+        let (ready, sig, sizes) = (ready.clone(), sig.clone(), sizes.clone());
+        c.sim.spawn("msgmix.send", async move {
+            m0.init(&cpu).await;
+            sig.wait_until(|| ready.get()).await;
+            for (i, &s) in sizes.iter().enumerate() {
+                m0.send(&cpu, &pat(s, 3 * i)).await.unwrap();
+            }
+        });
+    }
+    {
+        let cpu = c.nodes[1].cpu.clone();
+        let (ready, sig, done) = (ready.clone(), sig.clone(), done.clone());
+        c.sim.spawn("msgmix.recv", async move {
+            m1.init(&cpu).await;
+            ready.set(true);
+            sig.notify_all();
+            for (i, &s) in sizes.iter().enumerate() {
+                let got = m1.recv(&cpu).await.unwrap();
+                assert_eq!(got, pat(s, 3 * i), "message {i} in send order");
+            }
+            done.set(true);
+        });
+    }
+    c.sim.run();
+    assert!(done.get(), "{backend:?}: mixed battery completed");
+    assert_eq!(stats.delivered.get(), n, "{backend:?}");
+}
+
+#[test]
+fn extoll_msg_layer_put_mode() {
+    check_threshold_straddle(Backend::Extoll, RendezvousMode::Put);
+    check_crossing_rendezvous(Backend::Extoll, RendezvousMode::Put);
+}
+
+#[test]
+fn extoll_msg_layer_get_mode() {
+    check_threshold_straddle(Backend::Extoll, RendezvousMode::Get);
+    check_crossing_rendezvous(Backend::Extoll, RendezvousMode::Get);
+}
+
+#[test]
+fn infiniband_msg_layer_put_mode() {
+    check_threshold_straddle(Backend::Infiniband, RendezvousMode::Put);
+    check_crossing_rendezvous(Backend::Infiniband, RendezvousMode::Put);
+}
+
+#[test]
+fn infiniband_msg_layer_get_mode() {
+    check_threshold_straddle(Backend::Infiniband, RendezvousMode::Get);
+    check_crossing_rendezvous(Backend::Infiniband, RendezvousMode::Get);
+}
+
+#[test]
+fn msg_layer_credit_exhaustion_throttles_without_deadlock() {
+    check_credit_exhaustion(Backend::Extoll);
+    check_credit_exhaustion(Backend::Infiniband);
+}
+
+#[test]
+fn msg_layer_preserves_send_order_across_protocols() {
+    check_mixed_ordering(Backend::Extoll);
+    check_mixed_ordering(Backend::Infiniband);
+}

@@ -147,8 +147,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of samples (saturating).
     pub sum: u64,
-    /// Largest sample seen since the last reset (a high-water mark: a
-    /// [`HistogramSnapshot::delta`] keeps the later snapshot's max).
+    /// Largest recorded sample. In a snapshot taken directly off a
+    /// histogram this is the exact high-water mark since the last reset;
+    /// in a [`HistogramSnapshot::delta`] it is the tightest windowed bound
+    /// the buckets allow (see there).
     pub max: u64,
     /// Per-bucket sample counts, `BUCKETS` entries.
     pub buckets: Vec<u64>,
@@ -224,20 +226,34 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Per-field difference `self - earlier` (saturating). `max` is kept
-    /// from `self`: it is a high-water mark since the last reset, not a
-    /// windowed quantity.
+    /// Per-field difference `self - earlier` (saturating).
+    ///
+    /// `max` is *not* subtractive: the true maximum of the window's samples
+    /// is unrecoverable from two high-water marks (`max_after - max_before`
+    /// would be nonsense, and keeping `self.max` overstates windows whose
+    /// samples are all smaller than a pre-window outlier). The delta
+    /// reports the tightest bound the buckets allow: the upper bound of
+    /// the highest bucket that gained samples in the window, clamped to
+    /// the overall high-water mark (which makes it exact whenever the
+    /// overall maximum fell inside the window — in particular for deltas
+    /// against an empty baseline). An empty window reports 0.
     pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        let max = buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(|i| bucket_bound(i).min(self.max))
+            .unwrap_or(0);
         HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
-            max: self.max,
-            buckets: self
-                .buckets
-                .iter()
-                .enumerate()
-                .map(|(i, v)| v.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
-                .collect(),
+            max,
+            buckets,
         }
     }
 }
@@ -300,7 +316,7 @@ mod tests {
     }
 
     #[test]
-    fn delta_subtracts_counts_and_keeps_later_max() {
+    fn delta_subtracts_counts_and_bounds_max_by_window_buckets() {
         let h = Histogram::detached();
         h.record(7);
         let s0 = h.snapshot();
@@ -309,10 +325,28 @@ mod tests {
         let d = h.snapshot().delta(&s0);
         assert_eq!(d.count, 2);
         assert_eq!(d.sum, 302);
+        // The overall max (300) fell inside the window, so the clamp makes
+        // the windowed max exact.
         assert_eq!(d.max, 300);
         assert_eq!(d.buckets[3], 0); // the pre-window sample is gone
         assert_eq!(d.buckets[2], 1);
         assert_eq!(d.buckets[9], 1);
+    }
+
+    #[test]
+    fn delta_max_ignores_pre_window_outliers() {
+        let h = Histogram::detached();
+        h.record(300); // pre-window high-water mark
+        let s0 = h.snapshot();
+        h.record(2);
+        let d = h.snapshot().delta(&s0);
+        assert_eq!(d.count, 1);
+        // Not 300: the window only saw a sample in bucket 2 (bound 3).
+        assert_eq!(d.max, 3);
+        // And an empty window has no max at all.
+        let e = h.snapshot().delta(&h.snapshot());
+        assert_eq!(e.count, 0);
+        assert_eq!(e.max, 0);
     }
 
     #[test]

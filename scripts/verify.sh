@@ -23,6 +23,9 @@ cargo test -q --test determinism
 echo "== parallel runner golden (--jobs N output byte-identical to serial) =="
 cargo test -q --test parallel_golden
 
+echo "== backend + message-layer conformance (both fabrics, put/get rendezvous) =="
+cargo test -q -p tc-putget --test conformance
+
 echo "== paper-claims self-check (reproduce check --quick; fails on any [FAIL]) =="
 cargo run --release -p tc-bench --bin reproduce -- check --quick > /dev/null
 
@@ -35,6 +38,13 @@ test -s "$metrics_dir/pingpong.trace.json"
 # Fails on unknown or missing keys anywhere in the emitted JSON.
 cargo run --release -p tc-bench --bin reproduce -- \
     --validate-metrics "$metrics_dir/pingpong.metrics.json"
+
+echo "== crossover experiment (protocol grid + msg0.* metrics) =="
+cargo run --release -p tc-bench --bin reproduce -- \
+    --ids crossover --metrics "$metrics_dir" > /dev/null
+grep -q '"msg0.rts"' "$metrics_dir/crossover.metrics.json"
+cargo run --release -p tc-bench --bin reproduce -- \
+    --validate-metrics "$metrics_dir/crossover.metrics.json"
 
 echo "== DES-kernel microbenchmarks (tc-desim-bench-v1 -> BENCH_desim.json) =="
 # Wheel-vs-reference-heap events/sec; the committed JSON tracks the

@@ -25,6 +25,7 @@ fn workload_curves_are_byte_identical_across_jobs() {
     let knobs = WorkloadKnobs {
         conns: 2,
         loads: vec![8.0, 64.0],
+        ..WorkloadKnobs::default()
     };
     let mut scale = Scale::quick();
     scale.workload_ops = 40;
@@ -43,6 +44,31 @@ fn workload_curves_are_byte_identical_across_jobs() {
     assert_eq!(a, b, "workload metrics diverged across pool widths");
     assert!(a.contains("workload0.latency_ps"), "{a}");
     assert!(a.contains("\"p999\""), "{a}");
+}
+
+#[test]
+fn crossover_grid_is_byte_identical_across_jobs() {
+    // The protocol grid and the app sweep are interleaved in one task
+    // list; any divergence means a point leaked state into another.
+    let mut scale = Scale::quick();
+    scale.iters = 6;
+    scale.bw_messages = 12;
+    let knobs = WorkloadKnobs::default();
+    let serial = plan_with("crossover", scale, &knobs).run(&Pool::serial());
+    let wide = plan_with("crossover", scale, &knobs).run(&Pool::new(4));
+    assert_eq!(
+        serial.text, wide.text,
+        "crossover diverged between --jobs 1 and --jobs 4"
+    );
+    assert!(serial.text.contains("latency crossover"), "{}", serial.text);
+    // The merged registry carries the message-layer protocol counters
+    // into the metrics export, byte-identical across pool widths.
+    let stats = PoolStats::default();
+    let a = metrics_report("crossover", "quick", serial.sim.as_ref(), &stats);
+    let b = metrics_report("crossover", "quick", wide.sim.as_ref(), &stats);
+    assert_eq!(a, b, "crossover metrics diverged across pool widths");
+    assert!(a.contains("msg0.rts"), "{a}");
+    assert!(a.contains("msg0.eager_frags"), "{a}");
 }
 
 #[test]

@@ -137,6 +137,35 @@ fn registry_matches_legacy_counters_for_table2_scenario() {
     assert_counters_match(&r.counters, &r.registry);
 }
 
+/// Windowed histogram deltas (what every sweep point exports) must not
+/// inherit a pre-window outlier as their `max`: the delta reports the
+/// tightest bucket bound of the window's own samples, clamped to the
+/// overall high-water mark. Pinned here because the metrics JSON's
+/// histogram section is a golden artifact built from exactly these
+/// deltas.
+#[test]
+fn histogram_delta_max_reflects_the_window_not_the_high_water_mark() {
+    let reg = tc_repro::trace::Registry::new();
+    let h = reg.histogram("pin.lat_ps");
+    h.record(1_000_000); // pre-window outlier
+    let before = reg.snapshot();
+    h.record(100);
+    h.record(900);
+    let d = reg.snapshot().delta(&before);
+    let win = d.histogram("pin.lat_ps").expect("windowed histogram");
+    assert_eq!(win.count, 2);
+    assert_eq!(win.sum, 1000);
+    assert!(
+        win.max < 1_000_000,
+        "window max {} must not report the pre-window outlier",
+        win.max
+    );
+    assert!(win.max >= 900, "window max {} must bound the window's samples", win.max);
+    // Delta against an empty baseline is exact.
+    let full = reg.snapshot().delta(&Snapshot::default());
+    assert_eq!(full.histogram("pin.lat_ps").unwrap().max, 1_000_000);
+}
+
 fn assert_counters_match(c: &tc_repro::gpu::CounterSnapshot, reg: &Snapshot) {
     let pairs = [
         ("gpu0.sysmem.reads", c.sysmem_reads),
