@@ -113,7 +113,7 @@ fn main() {
     }
 
     if let Some(file) = &opts.bench_desim {
-        let (samples, results) = desimbench::run_suite();
+        let (samples, results, shard_ring) = desimbench::run_suite();
         for r in &results {
             println!(
                 "# {}: {:.0} events/s wheel vs {:.0} events/s ref-heap ({:.2}x)",
@@ -123,7 +123,13 @@ fn main() {
                 r.speedup()
             );
         }
-        let text = desimbench::render(samples, &results);
+        for r in &shard_ring {
+            println!(
+                "# shard_ring/{}: {:.0} events/s across {} worker(s)",
+                r.shards, r.eps, r.shards
+            );
+        }
+        let text = desimbench::render(samples, &results, &shard_ring);
         if let Err(e) = desimbench::validate(&text) {
             eprintln!("error: generated report failed self-validation: {e}");
             exit(1);
@@ -163,6 +169,12 @@ fn main() {
         loads: opts.load.clone().unwrap_or(defaults.loads),
         app: opts.app,
         eager_threshold: opts.eager_threshold,
+        // --full extends the default sweep to 128/256-node sharded
+        // points; an explicit --nodes list wins either way.
+        nodes: opts
+            .nodes
+            .clone()
+            .or_else(|| Some(tc_putget::bench::scaling::node_counts(opts.full))),
     };
 
     let t0 = Instant::now();

@@ -56,6 +56,9 @@ pub struct Options {
     /// Message-layer eager/rendezvous threshold override in bytes;
     /// `None` uses each backend's default.
     pub eager_threshold: Option<usize>,
+    /// `scaling` experiment: ring sizes to sweep (powers of two,
+    /// 2..=512); `None` means the scale-dependent default.
+    pub nodes: Option<Vec<usize>>,
     /// `--help` / `-h` was given.
     pub help: bool,
 }
@@ -96,6 +99,11 @@ pub fn usage() -> String {
          \x20                message layer: switch to rendezvous above N bytes\n\
          \x20                (default: per-backend crossover; see the\n\
          \x20                crossover experiment)\n\
+         \x20 --nodes LIST   scaling: comma-separated ring sizes to sweep\n\
+         \x20                (powers of two in 2..=512; above 32 nodes the\n\
+         \x20                simulation runs sharded, one worker per 32\n\
+         \x20                nodes; default 2,4,8,16,64, --full adds\n\
+         \x20                128,256)\n\
          \x20 -v, --verbose  print the runner self-profile at the end\n\
          \x20 --validate-metrics FILE\n\
          \x20                check FILE against its schema (tc-metrics-v1 or\n\
@@ -140,6 +148,32 @@ fn parse_app(v: &str) -> Result<AppKind, String> {
 fn parse_eager_threshold(v: &str) -> Result<usize, String> {
     v.parse::<usize>()
         .map_err(|_| format!("--eager-threshold expects a byte count, got {v:?}"))
+}
+
+fn parse_nodes(list: &str) -> Result<Vec<usize>, String> {
+    let nodes: Vec<usize> = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let n = s
+                .parse::<usize>()
+                .map_err(|_| format!("--nodes expects numbers, got {s:?}"))?;
+            // Powers of two keep the vector evenly partitionable and the
+            // shard rule (one worker per 32 nodes) exact; 512 is the
+            // cluster builder's upper bound.
+            if (2..=512).contains(&n) && n.is_power_of_two() {
+                Ok(n)
+            } else {
+                Err(format!(
+                    "--nodes values must be powers of two in 2..=512, got {s:?}"
+                ))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    if nodes.is_empty() {
+        return Err("--nodes needs at least one value".to_string());
+    }
+    Ok(nodes)
 }
 
 fn parse_load(list: &str) -> Result<Vec<f64>, String> {
@@ -215,6 +249,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             "--eager-threshold" => {
                 let v = args.next().ok_or("--eager-threshold needs a byte count")?;
                 opts.eager_threshold = Some(parse_eager_threshold(&v)?);
+            }
+            "--nodes" => {
+                let v = args.next().ok_or("--nodes needs a comma-separated list")?;
+                opts.nodes = Some(parse_nodes(&v)?);
             }
             "--verbose" | "-v" => opts.verbose = true,
             "--jobs" | "-j" => {
@@ -395,6 +433,24 @@ mod tests {
         assert!(p(&["--eager-threshold"]).is_err());
         assert!(p(&["--eager-threshold", "-1"]).is_err());
         assert!(p(&["--eager-threshold", "big"]).is_err());
+    }
+
+    #[test]
+    fn nodes_flag_parses_and_rejects_garbage() {
+        let o = p(&["scaling", "--nodes", "2,8,64"]).unwrap();
+        assert_eq!(o.nodes, Some(vec![2, 8, 64]));
+        // Trailing comma tolerated, like --ids and --load.
+        assert_eq!(p(&["--nodes", "16,"]).unwrap().nodes, Some(vec![16]));
+        assert_eq!(p(&["--nodes", "512"]).unwrap().nodes, Some(vec![512]));
+        // Malformed values are usage errors before anything runs.
+        assert!(p(&["--nodes"]).is_err());
+        assert!(p(&["--nodes", ""]).is_err());
+        assert!(p(&["--nodes", "abc"]).is_err());
+        assert!(p(&["--nodes", "0"]).is_err());
+        assert!(p(&["--nodes", "1"]).is_err());
+        assert!(p(&["--nodes", "6"]).is_err(), "non-power-of-two rejected");
+        assert!(p(&["--nodes", "1024"]).is_err(), "above cluster bound");
+        assert!(p(&["--nodes", "4,,3"]).is_err());
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! tracked PR over PR. `reproduce --bench-compare OLD NEW` diffs two such
 //! reports and fails on a >25% wheel-throughput regression.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use tc_desim::shard::{run_sharded, Envelope, Outgoing};
 use tc_desim::sync::{Channel, Signal};
-use tc_desim::time::ns;
+use tc_desim::time::{ns, Time};
 use tc_desim::{QueueKind, Sim};
 use tc_trace::rng::XorShift64;
 
@@ -171,6 +172,117 @@ fn interleave(kind: QueueKind) {
     sim.run();
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-ring kernel (conservative parallel DES)
+// ---------------------------------------------------------------------------
+
+/// Ring nodes of the sharded kernel (divisible by every shard count).
+const SHARD_RING_NODES: u64 = 64;
+/// Tokens circulating simultaneously (start nodes spread over the ring).
+const SHARD_RING_TOKENS: u64 = 8;
+/// Full laps each token makes.
+const SHARD_RING_LAPS: u64 = 25;
+/// Per-hop latency; cross-shard hops ride it as the lookahead.
+const SHARD_RING_HOP: Time = ns(1000);
+
+/// Shard counts the kernel is swept over.
+pub const SHARD_RING_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Scheduler-visible operations of one sharded-ring run (one spawn + one
+/// timer per hop), fixed across shard counts so events/sec is comparable.
+pub const SHARD_RING_EVENTS: u64 = SHARD_RING_TOKENS * SHARD_RING_NODES * SHARD_RING_LAPS * 2;
+
+/// Forward a token from `node` with `hops` hops left. An intra-shard hop
+/// is a local timer; a hop crossing a shard boundary is staged as an
+/// envelope delivering exactly one lookahead ahead.
+fn shard_ring_hop(
+    sim: Sim,
+    staged: Rc<RefCell<Vec<Outgoing<u64>>>>,
+    per: u64,
+    node: u64,
+    hops: u64,
+) {
+    if hops == 0 {
+        return;
+    }
+    let next = (node + 1) % SHARD_RING_NODES;
+    if next / per == node / per {
+        let s2 = sim.clone();
+        sim.spawn("ring.hop", async move {
+            s2.delay(SHARD_RING_HOP).await;
+            shard_ring_hop(s2.clone(), staged, per, next, hops - 1);
+        });
+    } else {
+        staged.borrow_mut().push(Outgoing {
+            dst_shard: (next / per) as usize,
+            deliver_at: sim.now() + SHARD_RING_HOP,
+            msg: (next << 32) | (hops - 1),
+        });
+    }
+}
+
+/// One sharded-ring run: [`SHARD_RING_TOKENS`] tokens chase each other
+/// around a [`SHARD_RING_NODES`]-node ring for [`SHARD_RING_LAPS`] laps,
+/// the ring cut into `shards` equal arcs driven by worker threads under
+/// [`run_sharded`]. The workload is identical at every shard count — only
+/// the fraction of hops that cross a shard boundary changes.
+fn shard_ring(shards: usize) {
+    let per = SHARD_RING_NODES / shards as u64;
+    let hops = SHARD_RING_NODES * SHARD_RING_LAPS;
+    run_sharded::<u64, _, _>(shards, SHARD_RING_HOP, move |mut h| {
+        let sim = Sim::new();
+        let staged: Rc<RefCell<Vec<Outgoing<u64>>>> = Rc::new(RefCell::new(Vec::new()));
+        let stride = SHARD_RING_NODES / SHARD_RING_TOKENS;
+        for t in 0..SHARD_RING_TOKENS {
+            let start = t * stride;
+            if start / per == h.index() as u64 {
+                shard_ring_hop(sim.clone(), staged.clone(), per, start, hops);
+            }
+        }
+        let drain = {
+            let staged = staged.clone();
+            move || std::mem::take(&mut *staged.borrow_mut())
+        };
+        let deliver = {
+            let sim = sim.clone();
+            move |env: Envelope<u64>| {
+                let s2 = sim.clone();
+                let staged = staged.clone();
+                sim.spawn("ring.cross", async move {
+                    s2.delay(env.deliver_at - s2.now()).await;
+                    shard_ring_hop(s2.clone(), staged, per, env.msg >> 32, env.msg & 0xFFFF_FFFF);
+                });
+            }
+        };
+        h.run(&sim, drain, deliver)
+    });
+}
+
+/// Measured throughput of the sharded-ring kernel at one shard count.
+pub struct ShardRingResult {
+    /// Worker shards the ring was cut into.
+    pub shards: usize,
+    /// Median events/sec over the harness samples.
+    pub eps: f64,
+}
+
+/// Run the sharded-ring kernel at every [`SHARD_RING_SHARDS`] count.
+/// Host-parallel speedup needs real cores: on a single-core machine the
+/// multi-shard points measure pure synchronization overhead, which is
+/// exactly why only the 1-shard point is regression-gated by [`compare`].
+pub fn run_shard_ring(h: &mut Harness) -> Vec<ShardRingResult> {
+    SHARD_RING_SHARDS
+        .iter()
+        .map(|&shards| {
+            let took_ns = h.bench_median_ns(&format!("shard_ring/{shards}"), || shard_ring(shards));
+            ShardRingResult {
+                shards,
+                eps: SHARD_RING_EVENTS as f64 * 1e9 / took_ns as f64,
+            }
+        })
+        .collect()
+}
+
 /// The benchmark suite, in report order.
 pub fn suite() -> Vec<BenchSpec> {
     vec![
@@ -199,9 +311,10 @@ pub fn suite() -> Vec<BenchSpec> {
     ]
 }
 
-/// Run every kernel under both queue kinds and return median throughput.
-/// Prints the harness min/median/max table as it goes.
-pub fn run_suite() -> (u32, Vec<BenchResult>) {
+/// Run every kernel under both queue kinds, then the sharded-ring sweep;
+/// returns median throughputs. Prints the harness min/median/max table as
+/// it goes.
+pub fn run_suite() -> (u32, Vec<BenchResult>, Vec<ShardRingResult>) {
     let mut h = Harness::new("desim");
     let results = suite()
         .into_iter()
@@ -222,7 +335,8 @@ pub fn run_suite() -> (u32, Vec<BenchResult>) {
             }
         })
         .collect();
-    (h.samples(), results)
+    let shard_ring = run_shard_ring(&mut h);
+    (h.samples(), results, shard_ring)
 }
 
 // ---------------------------------------------------------------------------
@@ -230,7 +344,9 @@ pub fn run_suite() -> (u32, Vec<BenchResult>) {
 // ---------------------------------------------------------------------------
 
 /// Render the suite results as the `tc-desim-bench-v1` JSON document.
-pub fn render(samples: u32, results: &[BenchResult]) -> String {
+/// The `shard_ring` section is omitted when the sweep was not run, so
+/// reports from older checkouts still validate.
+pub fn render(samples: u32, results: &[BenchResult], shard_ring: &[ShardRingResult]) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -248,7 +364,23 @@ pub fn render(samples: u32, results: &[BenchResult]) -> String {
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    out.push_str("  }\n");
+    if shard_ring.is_empty() {
+        out.push_str("  }\n");
+    } else {
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"shard_ring\": {{\n    \"events\": {SHARD_RING_EVENTS},\n    \"series\": {{ "
+        ));
+        for (i, r) in shard_ring.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {:.1}{}",
+                r.shards,
+                r.eps,
+                if i + 1 == shard_ring.len() { "" } else { ", " }
+            ));
+        }
+        out.push_str(" }\n  }\n");
+    }
     out.push_str("}\n");
     out
 }
@@ -287,10 +419,16 @@ fn exact_keys(
 
 /// Strict schema check for a `tc-desim-bench-v1` document. Every level
 /// must have exactly the expected keys; throughputs must be positive.
+/// `shard_ring` is the one optional section (older reports predate it),
+/// but when present it is validated just as strictly.
 pub fn validate(text: &str) -> Result<(), String> {
     let root = parse_json(text)?;
     let m = obj(&root, "root")?;
-    exact_keys(m, &["schema", "samples", "benches"], "root")?;
+    if m.contains_key("shard_ring") {
+        exact_keys(m, &["schema", "samples", "benches", "shard_ring"], "root")?;
+    } else {
+        exact_keys(m, &["schema", "samples", "benches"], "root")?;
+    }
     match &m["schema"] {
         Json::Str(s) if s == SCHEMA => {}
         Json::Str(s) => return Err(format!("schema: expected {SCHEMA:?}, found {s:?}")),
@@ -319,6 +457,29 @@ pub fn validate(text: &str) -> Result<(), String> {
             }
         }
     }
+    if let Some(v) = m.get("shard_ring") {
+        let sr = obj(v, "shard_ring")?;
+        exact_keys(sr, &["events", "series"], "shard_ring")?;
+        let events = num(&sr["events"], "shard_ring.events")?;
+        if events < 1.0 || events.fract() != 0.0 {
+            return Err("shard_ring.events: expected a positive integer".into());
+        }
+        let series = obj(&sr["series"], "shard_ring.series")?;
+        if series.is_empty() {
+            return Err("shard_ring.series: expected at least one shard count".into());
+        }
+        for (shards, eps) in series {
+            let what = format!("shard_ring.series.{shards}");
+            match shards.parse::<usize>() {
+                Ok(n) if n >= 1 => {}
+                _ => return Err(format!("{what}: key must be a positive shard count")),
+            }
+            let x = num(eps, &what)?;
+            if x <= 0.0 || !x.is_finite() {
+                return Err(format!("{what}: expected a positive finite number"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -326,33 +487,61 @@ pub fn validate(text: &str) -> Result<(), String> {
 // Comparison mode
 // ---------------------------------------------------------------------------
 
-fn bench_map(text: &str, what: &str) -> Result<Vec<(String, f64)>, String> {
+fn bench_map(text: &str, what: &str) -> Result<Report, String> {
     validate(text).map_err(|e| format!("{what}: {e}"))?;
     let root = parse_json(text)?;
     let m = obj(&root, "root")?;
     let benches = obj(&m["benches"], "benches")?;
-    benches
+    let wheel = benches
         .iter()
         .map(|(name, v)| {
             let b = obj(v, name)?;
             Ok((name.clone(), num(&b["wheel_eps"], name)?))
         })
-        .collect()
+        .collect::<Result<Vec<_>, String>>()?;
+    let shard_ring = match m.get("shard_ring") {
+        None => None,
+        Some(v) => {
+            let series = obj(&obj(v, "shard_ring")?["series"], "series")?;
+            let mut s = series
+                .iter()
+                .map(|(k, v)| Ok((k.parse::<usize>().unwrap_or(0), num(v, k)?)))
+                .collect::<Result<Vec<(usize, f64)>, String>>()?;
+            s.sort_unstable_by_key(|&(n, _)| n);
+            Some(s)
+        }
+    };
+    Ok(Report { wheel, shard_ring })
+}
+
+struct Report {
+    /// `benches` name -> wheel events/sec.
+    wheel: Vec<(String, f64)>,
+    /// `shard_ring` series, sorted by shard count; `None` if absent.
+    shard_ring: Option<Vec<(usize, f64)>>,
 }
 
 /// Compare two `tc-desim-bench-v1` reports. Returns the human-readable
 /// per-benchmark delta table and whether any benchmark's wheel throughput
 /// regressed by more than [`REGRESSION_LIMIT`] (or disappeared).
+///
+/// The `shard_ring` series is gated only when the OLD report carries one
+/// (so the gate arms itself the first time the section is committed), and
+/// only its 1-shard point can flag a regression: multi-shard throughput is
+/// a host-parallelism number that swings with core count and scheduler
+/// noise, so those points are reported as deltas but never fail the run —
+/// except by disappearing, which always regresses.
 pub fn compare(old_text: &str, new_text: &str) -> Result<(String, bool), String> {
-    let old = bench_map(old_text, "OLD")?;
-    let new = bench_map(new_text, "NEW")?;
+    let old_report = bench_map(old_text, "OLD")?;
+    let new_report = bench_map(new_text, "NEW")?;
+    let (old, new) = (&old_report.wheel, &new_report.wheel);
     let mut out = String::new();
     let mut regressed = false;
     out.push_str(&format!(
         "{:20} {:>16} {:>16} {:>9}\n",
         "benchmark", "old events/s", "new events/s", "delta"
     ));
-    for (name, old_eps) in &old {
+    for (name, old_eps) in old {
         match new.iter().find(|(n, _)| n == name) {
             Some((_, new_eps)) => {
                 let delta = new_eps / old_eps - 1.0;
@@ -380,13 +569,47 @@ pub fn compare(old_text: &str, new_text: &str) -> Result<(String, bool), String>
             }
         }
     }
-    for (name, new_eps) in &new {
+    for (name, new_eps) in new {
         if !old.iter().any(|(n, _)| n == name) {
             out.push_str(&format!(
                 "{name:20} {:>16} {new_eps:>16.0} {:>9}  (new)\n",
                 "-", "-"
             ));
         }
+    }
+    match (&old_report.shard_ring, &new_report.shard_ring) {
+        (Some(old_sr), Some(new_sr)) => {
+            for &(shards, old_eps) in old_sr {
+                let name = format!("shard_ring/{shards}");
+                match new_sr.iter().find(|&&(n, _)| n == shards) {
+                    Some(&(_, new_eps)) => {
+                        let delta = new_eps / old_eps - 1.0;
+                        let flag = if shards == 1 && delta < -REGRESSION_LIMIT {
+                            regressed = true;
+                            "  REGRESSION"
+                        } else {
+                            ""
+                        };
+                        out.push_str(&format!(
+                            "{name:20} {old_eps:>16.0} {new_eps:>16.0} {:>+8.1}%{flag}\n",
+                            delta * 100.0
+                        ));
+                    }
+                    None => {
+                        regressed = true;
+                        out.push_str(&format!(
+                            "{name:20} {old_eps:>16.0} {:>16} {:>9}  REGRESSION (missing)\n",
+                            "-", "-"
+                        ));
+                    }
+                }
+            }
+        }
+        (Some(_), None) => {
+            regressed = true;
+            out.push_str("shard_ring           section disappeared          REGRESSION\n");
+        }
+        (None, _) => {}
     }
     Ok((out, regressed))
 }
@@ -412,49 +635,108 @@ mod tests {
         ]
     }
 
+    fn sample_shard_ring() -> Vec<ShardRingResult> {
+        SHARD_RING_SHARDS
+            .iter()
+            .map(|&shards| ShardRingResult {
+                shards,
+                eps: 4.0e5 / shards as f64,
+            })
+            .collect()
+    }
+
     #[test]
     fn rendered_report_validates() {
-        let text = render(10, &sample_results());
+        let text = render(10, &sample_results(), &[]);
         validate(&text).unwrap();
+        assert!(!text.contains("shard_ring"));
+        let text = render(10, &sample_results(), &sample_shard_ring());
+        validate(&text).unwrap();
+        assert!(text.contains("\"shard_ring\""));
     }
 
     #[test]
     fn validator_rejects_wrong_schema_and_stray_keys() {
-        let good = render(10, &sample_results());
+        let good = render(10, &sample_results(), &sample_shard_ring());
         let bad = good.replace(SCHEMA, "tc-desim-bench-v0");
         assert!(validate(&bad).unwrap_err().contains("schema"));
         let bad = good.replace("\"samples\": 10,", "\"samples\": 10, \"extra\": 1,");
         assert!(validate(&bad).unwrap_err().contains("unexpected key"));
         let bad = good.replace("\"events\": 1000,", "");
         assert!(validate(&bad).unwrap_err().contains("missing key"));
+        let bad = good.replace("\"1\":", "\"zero\":");
+        assert!(validate(&bad).unwrap_err().contains("shard count"));
     }
 
     #[test]
     fn compare_flags_large_regressions_only() {
-        let old = render(10, &sample_results());
+        let old = render(10, &sample_results(), &[]);
         let mut slower = sample_results();
         slower[0].wheel_eps = 1.4e6; // -30%: over the limit
-        let new = render(10, &slower);
+        let new = render(10, &slower, &[]);
         let (report, regressed) = compare(&old, &new).unwrap();
         assert!(regressed, "30% drop must regress:\n{report}");
         assert!(report.contains("REGRESSION"));
 
         let mut ok = sample_results();
         ok[0].wheel_eps = 1.6e6; // -20%: within the limit
-        let new = render(10, &ok);
+        let new = render(10, &ok, &[]);
         let (report, regressed) = compare(&old, &new).unwrap();
         assert!(!regressed, "20% drop must pass:\n{report}");
     }
 
     #[test]
     fn compare_treats_missing_benchmark_as_regression() {
-        let old = render(10, &sample_results());
+        let old = render(10, &sample_results(), &[]);
         let mut kept = sample_results();
         kept.truncate(1);
-        let new = render(10, &kept);
+        let new = render(10, &kept, &[]);
         let (report, regressed) = compare(&old, &new).unwrap();
         assert!(regressed);
         assert!(report.contains("missing"));
+    }
+
+    #[test]
+    fn compare_gates_shard_ring_on_the_serial_point_only() {
+        let old = render(10, &sample_results(), &sample_shard_ring());
+        // OLD without the section: NEW may add it freely, no gate yet.
+        let old_plain = render(10, &sample_results(), &[]);
+        let (report, regressed) = compare(&old_plain, &old).unwrap();
+        assert!(!regressed, "{report}");
+
+        // Multi-shard points may swing arbitrarily without regressing.
+        let mut noisy = sample_shard_ring();
+        for r in noisy.iter_mut().filter(|r| r.shards > 1) {
+            r.eps /= 10.0;
+        }
+        let new = render(10, &sample_results(), &noisy);
+        let (report, regressed) = compare(&old, &new).unwrap();
+        assert!(!regressed, "{report}");
+        assert!(report.contains("shard_ring/4"), "{report}");
+
+        // The 1-shard point is gated like any benchmark.
+        let mut slow = sample_shard_ring();
+        slow[0].eps *= 0.5;
+        let new = render(10, &sample_results(), &slow);
+        let (report, regressed) = compare(&old, &new).unwrap();
+        assert!(regressed, "{report}");
+        assert!(report.contains("shard_ring/1"), "{report}");
+
+        // Dropping the section (or one of its points) always regresses.
+        let (report, regressed) = compare(&old, &old_plain).unwrap();
+        assert!(regressed, "{report}");
+        let mut short = sample_shard_ring();
+        short.truncate(2);
+        let new = render(10, &sample_results(), &short);
+        let (report, regressed) = compare(&old, &new).unwrap();
+        assert!(regressed && report.contains("missing"), "{report}");
+    }
+
+    #[test]
+    fn shard_ring_kernel_runs_at_every_shard_count() {
+        for shards in SHARD_RING_SHARDS {
+            shard_ring(shards);
+        }
     }
 
     #[test]

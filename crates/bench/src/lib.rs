@@ -444,6 +444,10 @@ pub struct WorkloadKnobs {
     /// Override of the messenger's eager/rendezvous threshold in bytes
     /// (`--eager-threshold`; `None` uses each backend's default).
     pub eager_threshold: Option<usize>,
+    /// `scaling` experiment: ring sizes to sweep (`--nodes`); `None`
+    /// means the scale-dependent default
+    /// ([`tc_putget::bench::scaling::node_counts`]).
+    pub nodes: Option<Vec<usize>>,
 }
 
 impl Default for WorkloadKnobs {
@@ -456,6 +460,7 @@ impl Default for WorkloadKnobs {
             loads: vec![4.0, 16.0, 64.0, 256.0],
             app: None,
             eager_threshold: None,
+            nodes: None,
         }
     }
 }
@@ -896,12 +901,18 @@ pub fn plan_with(id: &str, scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPla
             )
         }
         "timeline" => single_plan("timeline", || tc_putget::bench::timeline::report(1024)),
-        "scaling" => plan_points(
-            "scaling",
-            scaling_mod::NODE_COUNTS.len(),
-            |i| scaling_mod::point(i, 1024),
-            |results| scaling_mod::render(1024, &results),
-        ),
+        "scaling" => {
+            let counts = knobs
+                .nodes
+                .clone()
+                .unwrap_or_else(|| scaling_mod::node_counts(false));
+            plan_points(
+                "scaling",
+                counts.len(),
+                move |i| scaling_mod::point(counts[i], 1024),
+                |results| scaling_mod::render(1024, &results),
+            )
+        }
         "sensitivity" => {
             let knobs = sensitivity_mod::knobs();
             plan_points(

@@ -27,7 +27,7 @@ pub type Task = Box<dyn FnOnce() + Send>;
 /// Queue wait is measured from the moment the batch is submitted to the
 /// moment a worker claims the task, so with a saturated pool it reflects
 /// how long work sat behind other tasks.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PoolStats {
     /// Worker threads the batch ran on.
     pub jobs: usize,
@@ -41,6 +41,21 @@ pub struct PoolStats {
     pub queue_wait_ns: u64,
     /// Longest single task, nanoseconds.
     pub max_task_ns: u64,
+    /// Per-worker breakdown of the batch, indexed by worker. Feeds the
+    /// `--verbose` summary only; the metrics JSON schema stays untouched.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// One worker's slice of a batch: how many tasks it claimed off the
+/// shared queue and how long it spent executing them. A lopsided claim
+/// count is normal (the queue is FIFO, not balanced); lopsided busy time
+/// with idle peers means one giant task serialized the batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker claimed.
+    pub tasks: usize,
+    /// Time this worker spent executing tasks, nanoseconds.
+    pub busy_ns: u64,
 }
 
 impl PoolStats {
@@ -63,12 +78,20 @@ impl PoolStats {
         self.busy_ns += other.busy_ns;
         self.queue_wait_ns += other.queue_wait_ns;
         self.max_task_ns = self.max_task_ns.max(other.max_task_ns);
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker
+                .resize(other.per_worker.len(), WorkerStats::default());
+        }
+        for (mine, theirs) in self.per_worker.iter_mut().zip(&other.per_worker) {
+            mine.tasks += theirs.tasks;
+            mine.busy_ns = mine.busy_ns.saturating_add(theirs.busy_ns);
+        }
     }
 
     /// The `--verbose` end-of-run summary block.
     pub fn summary(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
-        format!(
+        let mut out = format!(
             "# runner: {} task(s) on {} job(s)\n\
              #   wall       {:>10.1} ms\n\
              #   busy       {:>10.1} ms (pool utilization {:.0}%)\n\
@@ -81,7 +104,17 @@ impl PoolStats {
             self.utilization() * 100.0,
             ms(self.queue_wait_ns),
             ms(self.max_task_ns),
-        )
+        );
+        if self.per_worker.len() > 1 {
+            for (w, ws) in self.per_worker.iter().enumerate() {
+                out.push_str(&format!(
+                    "\n#   worker {w:<2} {:>4} task(s) claimed, {:>10.1} ms busy",
+                    ws.tasks,
+                    ms(ws.busy_ns),
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -128,7 +161,7 @@ impl Pool {
         let busy = AtomicU64::new(0);
         let wait = AtomicU64::new(0);
         let max_task = AtomicU64::new(0);
-        let run_one = |t: Task| {
+        let run_one = |t: Task| -> u64 {
             let claimed = t0.elapsed().as_nanos() as u64;
             let started = Instant::now();
             t();
@@ -136,27 +169,43 @@ impl Pool {
             busy.fetch_add(took, Ordering::Relaxed);
             wait.fetch_add(claimed, Ordering::Relaxed);
             max_task.fetch_max(took, Ordering::Relaxed);
+            took
         };
+        let per_worker: Vec<WorkerStats>;
         if self.jobs == 1 || n <= 1 {
+            let mut me = WorkerStats::default();
             for t in tasks {
-                run_one(t);
+                me.busy_ns = me.busy_ns.saturating_add(run_one(t));
+                me.tasks += 1;
             }
+            per_worker = if n == 0 { Vec::new() } else { vec![me] };
         } else {
             let workers = self.jobs.min(n);
             let queue = Mutex::new(tasks.into_iter());
+            let slots: Vec<Mutex<WorkerStats>> =
+                (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
+            let (queue_ref, run_ref) = (&queue, &run_one);
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        // Hold the lock only while claiming, never while
-                        // running.
-                        let task = queue.lock().unwrap().next();
-                        match task {
-                            Some(t) => run_one(t),
-                            None => break,
+                for slot in &slots {
+                    s.spawn(move || {
+                        let mut me = WorkerStats::default();
+                        loop {
+                            // Hold the lock only while claiming, never while
+                            // running.
+                            let task = queue_ref.lock().unwrap().next();
+                            match task {
+                                Some(t) => {
+                                    me.busy_ns = me.busy_ns.saturating_add(run_ref(t));
+                                    me.tasks += 1;
+                                }
+                                None => break,
+                            }
                         }
+                        *slot.lock().unwrap() = me;
                     });
                 }
             });
+            per_worker = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
         }
         PoolStats {
             jobs: self.jobs.min(n.max(1)),
@@ -165,6 +214,7 @@ impl Pool {
             busy_ns: busy.into_inner(),
             queue_wait_ns: wait.into_inner(),
             max_task_ns: max_task.into_inner(),
+            per_worker,
         }
     }
 
@@ -276,6 +326,10 @@ mod tests {
             busy_ns: 150,
             queue_wait_ns: 10,
             max_task_ns: 80,
+            per_worker: vec![WorkerStats {
+                tasks: 3,
+                busy_ns: 150,
+            }],
         };
         let b = PoolStats {
             jobs: 4,
@@ -284,6 +338,10 @@ mod tests {
             busy_ns: 40,
             queue_wait_ns: 5,
             max_task_ns: 40,
+            per_worker: vec![
+                WorkerStats { tasks: 1, busy_ns: 40 },
+                WorkerStats { tasks: 0, busy_ns: 0 },
+            ],
         };
         a.merge(&b);
         assert_eq!(a.tasks, 4);
@@ -291,8 +349,40 @@ mod tests {
         assert_eq!(a.wall_ns, 150);
         assert_eq!(a.busy_ns, 190);
         assert_eq!(a.max_task_ns, 80);
+        assert_eq!(
+            a.per_worker,
+            vec![
+                WorkerStats {
+                    tasks: 4,
+                    busy_ns: 190
+                },
+                WorkerStats { tasks: 0, busy_ns: 0 },
+            ]
+        );
         let s = a.summary();
         assert!(s.contains("4 task(s)") && s.contains("utilization"), "{s}");
+        assert!(s.contains("worker 0") && s.contains("worker 1"), "{s}");
+    }
+
+    #[test]
+    fn per_worker_breakdown_accounts_for_every_task() {
+        for jobs in [1, 4] {
+            let tasks: Vec<Task> = (0..10)
+                .map(|_| {
+                    Box::new(|| std::thread::sleep(std::time::Duration::from_micros(200))) as Task
+                })
+                .collect();
+            let stats = Pool::new(jobs).run_tasks(tasks);
+            let workers = stats.per_worker.len();
+            assert!(workers >= 1 && workers <= jobs, "{workers} with jobs={jobs}");
+            let claimed: usize = stats.per_worker.iter().map(|w| w.tasks).sum();
+            let busy: u64 = stats.per_worker.iter().map(|w| w.busy_ns).sum();
+            assert_eq!(claimed, 10, "jobs={jobs}");
+            assert_eq!(busy, stats.busy_ns, "jobs={jobs}");
+        }
+        // A single-worker batch keeps the summary free of worker lines.
+        let one = Pool::serial().run_tasks(vec![Box::new(|| {}) as Task]);
+        assert!(!one.summary().contains("worker 0"), "{}", one.summary());
     }
 
     #[test]

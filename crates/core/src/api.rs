@@ -77,6 +77,16 @@ pub fn create_pair_between(
 }
 
 impl PutGetEndpoint {
+    /// Wrap an already-connected transport (the sharded ring builder
+    /// connects halves itself, after exchanging exports across shards).
+    pub(crate) fn from_transport(transport: AnyTransport, local_base: Addr, buf_len: u64) -> Self {
+        PutGetEndpoint {
+            transport,
+            local_base,
+            buf_len,
+        }
+    }
+
     /// The local symmetric buffer's base address (poll received data here).
     pub fn local_buffer(&self) -> Addr {
         self.local_base

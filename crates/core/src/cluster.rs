@@ -123,10 +123,20 @@ pub struct Cluster {
     pub sim: Sim,
     /// The fabric data-plane bus.
     pub bus: Bus,
-    /// The two nodes.
+    /// The locally-built nodes. For a serial build this is every node;
+    /// for a shard-local subset it is the shard's contiguous node range
+    /// (see [`Cluster::node`] for global-index access).
     pub nodes: Vec<Node>,
     /// The backend this cluster was built with.
     pub backend: Backend,
+    /// Global node index of `nodes[0]` (non-zero only for shard subsets).
+    node_base: usize,
+    /// Node count of the full system (`nodes.len()` for a serial build).
+    total_nodes: usize,
+    /// The EXTOLL fabric (one port per node of the full system).
+    pub(crate) extoll_fabric: Fabric<RmaFrame>,
+    /// The Infiniband fabric (one port per node of the full system).
+    pub(crate) ib_fabric: Fabric<IbFrame>,
 }
 
 impl Cluster {
@@ -146,18 +156,32 @@ impl Cluster {
 
     /// Build a cluster with explicit configuration.
     pub fn with_config(cfg: ClusterConfig) -> Self {
+        Self::with_config_subset(cfg, 0, usize::MAX)
+    }
+
+    /// Build the shard-local subset `[first, first + count)` of a
+    /// `cfg.nodes`-node system. Both fabrics still carry one port per
+    /// node of the *full* system so port indices equal global node
+    /// indices; only the subset's node hardware (RAM, PCIe, GPU, NIC,
+    /// CPU) is instantiated, with registry scopes pinned to global node
+    /// indices so the union of all shards' registries is identical to
+    /// one serial build. `count == usize::MAX` builds every node.
+    pub(crate) fn with_config_subset(cfg: ClusterConfig, first: usize, count: usize) -> Self {
         let sim = Sim::new();
         let bus = Bus::new();
-        assert!((2..=32).contains(&cfg.nodes), "2..=32 nodes supported");
+        assert!((2..=512).contains(&cfg.nodes), "2..=512 nodes supported");
+        let count = count.min(cfg.nodes - first);
+        assert!(first + count <= cfg.nodes && count >= 1, "bad node subset");
         let extoll_fabric: Fabric<RmaFrame> = Fabric::new(&sim, cfg.cable_extoll(), cfg.nodes);
         let ib_fabric: Fabric<IbFrame> = Fabric::new(&sim, cfg.cable_ib(), cfg.nodes);
-        let nodes = (0..cfg.nodes)
+        let nodes = (first..first + count)
             .map(|idx| {
                 bus.add_ram(
                     Rc::new(SparseMem::new(layout::host_dram(idx), layout::HOST_DRAM_LEN)),
                     RegionKind::HostDram { node: idx },
                 );
-                let pcie = Pcie::new(sim.clone(), bus.clone(), cfg.pcie());
+                let pcie =
+                    Pcie::new_named(sim.clone(), bus.clone(), cfg.pcie(), &format!("pcie{idx}"));
                 let gpu = Gpu::new(&sim, idx, cfg.gpu.clone(), &bus, &pcie);
                 // Kernel heap in the upper half of host DRAM.
                 let kernel_heap = Rc::new(Heap::new(
@@ -226,7 +250,40 @@ impl Cluster {
             bus,
             nodes,
             backend: cfg.backend,
+            node_base: first,
+            total_nodes: cfg.nodes,
+            extoll_fabric,
+            ib_fabric,
         }
+    }
+
+    /// The node with *global* index `idx`. Identical to `&self.nodes[idx]`
+    /// on a serial build; on a shard-local subset, panics with a clear
+    /// message when `idx` is not owned by this shard.
+    pub fn node(&self, idx: usize) -> &Node {
+        assert!(
+            idx >= self.node_base && idx < self.node_base + self.nodes.len(),
+            "node {idx} is not built on this shard (owned: {}..{})",
+            self.node_base,
+            self.node_base + self.nodes.len()
+        );
+        &self.nodes[idx - self.node_base]
+    }
+
+    /// Whether `idx` (a global node index) is built in this cluster.
+    pub fn owns_node(&self, idx: usize) -> bool {
+        (self.node_base..self.node_base + self.nodes.len()).contains(&idx)
+    }
+
+    /// Global node index of the first locally-built node.
+    pub fn node_base(&self) -> usize {
+        self.node_base
+    }
+
+    /// Node count of the full system (`nodes.len()` unless this is a
+    /// shard-local subset).
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
     }
 }
 

@@ -17,7 +17,7 @@ use crate::api::PutGetEndpoint;
 
 pub mod ring;
 
-pub use ring::{build_ring, ring_allreduce_sum_u64, RingLayout};
+pub use ring::{build_ring, build_ring_sharded, ring_allreduce_sum_u64, RingLayout};
 
 /// Extra buffer space a collective needs past the user's data region:
 /// a peer-data staging area of the same length plus two 8-byte tags.

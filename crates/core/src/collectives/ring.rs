@@ -11,6 +11,8 @@ use tc_pcie::Processor;
 
 use crate::api::{create_pair_between, PutGetEndpoint, QueueLoc};
 use crate::cluster::Cluster;
+use crate::shard::ShardCluster;
+use crate::transport::HalfExport;
 
 /// Memory layout of one rank's ring buffer:
 /// `[vector | inbox A | inbox B | tag_out | tag_in]`.
@@ -78,6 +80,86 @@ pub fn build_ring(
             );
             ep_tx
         })
+        .collect()
+}
+
+/// [`build_ring`] for one shard of a sharded cluster: build this shard's
+/// owned ranks' endpoints, exchanging the cut edges' half-exports with
+/// the neighbouring shards. `bufs` holds the owned ranks' buffers in
+/// ascending rank order (aligned with [`ShardCluster::owned`]); the
+/// returned endpoints are in the same order, `eps[i]` sending from owned
+/// rank `owned.start + i` to its right neighbour.
+///
+/// Every shard must call this in lockstep (it contains one
+/// [`ShardCluster::exchange`]). The per-node allocation order matches the
+/// serial [`build_ring`]'s projection onto the owned nodes exactly, so
+/// heap layouts, NLAs, QPNs and registry scopes are identical to a serial
+/// build — the basis for the byte-identical golden test.
+pub fn build_ring_sharded(
+    sc: &mut ShardCluster<'_>,
+    bufs: &[Addr],
+    layout: RingLayout,
+) -> Vec<PutGetEndpoint> {
+    let n = layout.nodes as usize;
+    let owned = sc.owned();
+    assert_eq!(bufs.len(), owned.len(), "one buffer per owned rank");
+    let first = owned.start;
+    let owns = |r: usize| owned.contains(&r);
+    let buf = |r: usize| bufs[r - first];
+    let len = layout.buffer_bytes();
+    let backend = sc.cluster.backend;
+
+    // Pass 1 — every allocation, in the serial builder's per-node
+    // projection order: edges ascending, a-side before b-side within an
+    // edge. (Serially, node k's ops are "b-side of edge k-1, then a-side
+    // of edge k"; ascending edge iteration preserves that per node.)
+    let mut eps: Vec<Option<PutGetEndpoint>> = (0..owned.len()).map(|_| None).collect();
+    let mut halves = Vec::new();
+    let mut exports: Vec<(usize, bool, HalfExport)> = Vec::new();
+    for k in 0..n {
+        let (a, b) = (k, (k + 1) % n);
+        match (owns(a), owns(b)) {
+            (true, true) => {
+                let (ep_tx, _ep_rx) =
+                    create_pair_between(&sc.cluster, (a, buf(a)), (b, buf(b)), len, QueueLoc::Host);
+                eps[a - first] = Some(ep_tx);
+            }
+            (true, false) => {
+                let (half, x) = backend.export_half(&sc.cluster, a, buf(a), len, QueueLoc::Host);
+                halves.push((k, true, half));
+                exports.push((k, true, x));
+            }
+            (false, true) => {
+                let (half, x) = backend.export_half(&sc.cluster, b, buf(b), len, QueueLoc::Host);
+                halves.push((k, false, half));
+                exports.push((k, false, x));
+            }
+            (false, false) => {}
+        }
+    }
+
+    // Pass 2 — all-gather the cut edges' exports, then connect. Connects
+    // are pure state wiring (`Backend::connect_half`), so running them
+    // here instead of inside each edge's build is unobservable.
+    let all: Vec<(usize, bool, HalfExport)> =
+        sc.exchange(exports).into_iter().flatten().collect();
+    let peer = |edge: usize, a_side: bool| -> HalfExport {
+        all.iter()
+            .find(|&&(e, s, _)| e == edge && s == a_side)
+            .map(|&(_, _, x)| x)
+            .expect("peer half missing from shard exchange")
+    };
+    for (edge, a_side, half) in halves {
+        let t = backend.connect_half(half, &peer(edge, !a_side));
+        if a_side {
+            eps[edge - first] = Some(PutGetEndpoint::from_transport(t, buf(edge), len));
+        }
+        // b-side transports are dropped, exactly like the serial
+        // builder's `_ep_rx`; the connect still ran, so the receiving
+        // NIC's state matches a serial build.
+    }
+    eps.into_iter()
+        .map(|e| e.expect("every owned rank has an outgoing edge"))
         .collect()
 }
 
@@ -217,5 +299,59 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn uneven_partition_is_rejected() {
         RingLayout::for_u64(3, 100);
+    }
+
+    fn run_ring_sharded(backend: Backend, nodes: usize, shards: usize, elements: usize) {
+        let layout = RingLayout::for_u64(nodes, elements);
+        let mut reference = vec![0u64; elements];
+        for rank in 0..nodes {
+            for (i, r) in reference.iter_mut().enumerate() {
+                *r += (rank as u64 + 1) * 7 + i as u64 * 3;
+            }
+        }
+        let reference = &reference;
+        let oks = Cluster::sharded(backend, nodes, shards).run(|sc| {
+            let owned = sc.owned();
+            let bufs: Vec<Addr> = owned
+                .clone()
+                .map(|r| sc.cluster.node(r).gpu.alloc(layout.buffer_bytes(), 256))
+                .collect();
+            for (j, rank) in owned.clone().enumerate() {
+                for i in 0..elements {
+                    let v = (rank as u64 + 1) * 7 + i as u64 * 3;
+                    sc.cluster.bus.write_u64(bufs[j] + (i * 8) as u64, v);
+                }
+            }
+            let eps = build_ring_sharded(sc, &bufs, layout);
+            for (j, ep) in eps.into_iter().enumerate() {
+                let rank = owned.start + j;
+                let gpu = sc.cluster.node(rank).gpu.clone();
+                let buf = bufs[j];
+                sc.cluster.sim.spawn(&format!("rank{rank}"), async move {
+                    ring_allreduce_sum_u64(&gpu.thread(), &ep, buf, rank, layout).await;
+                });
+            }
+            sc.run();
+            bufs.iter().all(|&buf| {
+                reference
+                    .iter()
+                    .enumerate()
+                    .all(|(i, want)| sc.cluster.bus.read_u64(buf + (i * 8) as u64) == *want)
+            })
+        });
+        assert!(
+            oks.into_iter().all(|ok| ok),
+            "{backend:?} sharded allreduce produced wrong sums"
+        );
+    }
+
+    #[test]
+    fn sharded_ring_allreduce_extoll() {
+        run_ring_sharded(Backend::Extoll, 4, 2, 64);
+    }
+
+    #[test]
+    fn sharded_ring_allreduce_infiniband() {
+        run_ring_sharded(Backend::Infiniband, 4, 2, 64);
     }
 }

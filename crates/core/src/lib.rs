@@ -62,12 +62,14 @@ pub mod cluster;
 pub mod collectives;
 pub mod flag;
 pub mod msg;
+pub mod shard;
 pub mod transport;
 
 pub use api::{create_pair, create_pair_between, CommError, PutGetEndpoint, QueueLoc};
 pub use cluster::{Backend, Cluster, ClusterConfig, Node};
 pub use msg::apps::AppKind;
 pub use msg::{messenger_pair, messenger_pair_between, MsgConfig, MsgDesc, Messenger, RendezvousMode};
+pub use shard::{ShardCluster, ShardPlan, WireFrame};
 pub use transport::{AnyTransport, ExtollTransport, IbTransport, Transport, TransportCaps};
 
 // Re-export the pieces users need to drive the library.

@@ -746,6 +746,66 @@ impl Transport for AnyTransport {
     }
 }
 
+/// The plain-data description of one endpoint half that its *peer* needs
+/// to finish connecting: node identity plus the backend's addressing
+/// handles. `Send + Clone` by construction so a sharded build can
+/// exchange exports across worker threads (the live [`HalfBuilt`] state
+/// never crosses a thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HalfExport {
+    /// An EXTOLL half: registered NLA plus RMA/VELO port indices.
+    Extoll {
+        /// Global node index of this half.
+        node: usize,
+        /// Network logical address of the registered buffer.
+        nla: u64,
+        /// RMA port index on that node's NIC.
+        rma_port: u16,
+        /// VELO port index on that node's NIC.
+        velo_port: u16,
+    },
+    /// An Infiniband half: queue-pair number plus the remote-access MR.
+    Ib {
+        /// Global node index of this half.
+        node: usize,
+        /// Queue pair number the peer posts to.
+        qpn: u32,
+        /// The registered buffer's memory region (rkey for RDMA access).
+        mr: MemoryRegion,
+    },
+}
+
+impl HalfExport {
+    /// The global node index this half lives on.
+    pub fn node(&self) -> usize {
+        match *self {
+            HalfExport::Extoll { node, .. } | HalfExport::Ib { node, .. } => node,
+        }
+    }
+}
+
+/// The live local state of one endpoint half between
+/// [`Backend::export_half`] and [`Backend::connect_half`]. Opaque; holds
+/// `Rc` handles into one shard's simulation, so it is deliberately not
+/// `Send`.
+pub struct HalfBuilt(HalfImp);
+
+enum HalfImp {
+    Extoll {
+        port: Rc<RmaPort>,
+        nla: u64,
+        velo: VeloPort,
+        drops: tc_trace::Counter,
+    },
+    Ib {
+        qp: Rc<IbvQp>,
+        send_cq: Rc<IbvCq>,
+        recv_cq: Rc<IbvCq>,
+        mr_local: MemoryRegion,
+        msg_mr: MemoryRegion,
+    },
+}
+
 impl Backend {
     /// The backend's capability descriptor, without instantiating anything.
     pub fn transport_caps(self) -> TransportCaps {
@@ -774,101 +834,156 @@ impl Backend {
         let (node_a, buf_a) = a;
         let (node_b, buf_b) = b;
         assert_ne!(node_a, node_b, "endpoints must live on different nodes");
+        let (half_a, export_a) = self.export_half(cluster, node_a, buf_a, buf_len, queue_loc);
+        let (half_b, export_b) = self.export_half(cluster, node_b, buf_b, buf_len, queue_loc);
+        (
+            self.connect_half(half_a, &export_b),
+            self.connect_half(half_b, &export_a),
+        )
+    }
+
+    /// Build the local half of an endpoint pair on `node`: every
+    /// allocation, registration and queue creation that side needs, in
+    /// the same per-node order the serial [`Backend::instantiate`]
+    /// performs them. Returns the live local state ([`HalfBuilt`], not
+    /// `Send`) plus the plain-data [`HalfExport`] the *peer* half needs,
+    /// which a sharded build exchanges across worker threads.
+    pub fn export_half(
+        self,
+        cluster: &Cluster,
+        node: usize,
+        buf: Addr,
+        buf_len: u64,
+        queue_loc: QueueLoc,
+    ) -> (HalfBuilt, HalfExport) {
         match self {
             Backend::Extoll => {
-                let nic0 = cluster.nodes[node_a].extoll();
-                let nic1 = cluster.nodes[node_b].extoll();
-                let nla_a = nic0.register_memory(buf_a, buf_len);
-                let nla_b = nic1.register_memory(buf_b, buf_len);
-                let p0 = Rc::new(nic0.open_port());
-                let p1 = Rc::new(nic1.open_port());
-                p0.connect_node(node_b as u8);
-                p1.connect_node(node_a as u8);
-                let v0 = nic0.open_velo_port();
-                let v1 = nic1.open_velo_port();
-                v0.set_peer_node(node_b as u16);
-                v1.set_peer_node(node_a as u16);
-                let (v0_idx, v1_idx) = (v0.index(), v1.index());
-                let (p0_idx, p1_idx) = (p0.index(), p1.index());
-                let drops_a = nic0.stats().velo_drops.clone();
-                let drops_b = nic1.stats().velo_drops.clone();
+                let nic = cluster.node(node).extoll();
+                let nla = nic.register_memory(buf, buf_len);
+                let port = Rc::new(nic.open_port());
+                let velo = nic.open_velo_port();
+                let export = HalfExport::Extoll {
+                    node,
+                    nla,
+                    rma_port: port.index(),
+                    velo_port: velo.index(),
+                };
+                let drops = nic.stats().velo_drops.clone();
                 (
-                    AnyTransport::Extoll(ExtollTransport {
-                        peer_port: p1_idx,
-                        port: p0,
-                        local_nla: nla_a,
-                        remote_nla: nla_b,
-                        velo: v0,
-                        velo_peer: v1_idx,
-                        outstanding: Cell::new(0),
-                        velo_drops_base: drops_a.get(),
-                        velo_drops: drops_a,
+                    HalfBuilt(HalfImp::Extoll {
+                        port,
+                        nla,
+                        velo,
+                        drops,
                     }),
-                    AnyTransport::Extoll(ExtollTransport {
-                        peer_port: p0_idx,
-                        port: p1,
-                        local_nla: nla_b,
-                        remote_nla: nla_a,
-                        velo: v1,
-                        velo_peer: v0_idx,
-                        outstanding: Cell::new(0),
-                        velo_drops_base: drops_b.get(),
-                        velo_drops: drops_b,
-                    }),
+                    export,
                 )
             }
             Backend::Infiniband => {
                 let loc: BufLoc = queue_loc.into();
-                let mk_ctx = |n: usize| {
-                    IbvContext::new(
-                        cluster.nodes[n].ib().clone(),
-                        cluster.nodes[n].host_heap.clone(),
-                        Some(cluster.nodes[n].gpu.clone()),
-                        loc,
-                    )
-                };
-                let ctx0 = mk_ctx(node_a);
-                let ctx1 = mk_ctx(node_b);
-                let scq0 = ctx0.create_cq(loc);
-                let rcq0 = ctx0.create_cq(loc);
-                let scq1 = ctx1.create_cq(loc);
-                let rcq1 = ctx1.create_cq(loc);
-                let qp0 = Rc::new(ctx0.create_qp(scq0.clone(), rcq0.clone(), loc));
-                let qp1 = Rc::new(ctx1.create_qp(scq1.clone(), rcq1.clone(), loc));
-                qp0.connect_to(node_b, qp1.qpn());
-                qp1.connect_to(node_a, qp0.qpn());
-                let mr_a = ctx0.reg_mr(buf_a, buf_len, Access::full());
-                let mr_b = ctx1.reg_mr(buf_b, buf_len, Access::full());
+                let n = cluster.node(node);
+                let ctx = IbvContext::new(
+                    n.ib().clone(),
+                    n.host_heap.clone(),
+                    Some(n.gpu.clone()),
+                    loc,
+                );
+                let send_cq = ctx.create_cq(loc);
+                let recv_cq = ctx.create_cq(loc);
+                let qp = Rc::new(ctx.create_qp(send_cq.clone(), recv_cq.clone(), loc));
+                let mr_local = ctx.reg_mr(buf, buf_len, Access::full());
                 // Two-sided message slots (send staging + receive inbox),
                 // allocated last so existing experiments see unchanged
                 // heap layouts for their own buffers.
-                let mk_msg = |n: usize, ctx: &IbvContext| {
-                    let len = 2 * MSG_SLOTS * MSG_SLOT_LEN;
-                    let base = cluster.nodes[n].host_heap.alloc(len, MSG_SLOT_LEN);
-                    ctx.reg_mr(base, len, Access::full())
+                let msg_len = 2 * MSG_SLOTS * MSG_SLOT_LEN;
+                let msg_base = n.host_heap.alloc(msg_len, MSG_SLOT_LEN);
+                let msg_mr = ctx.reg_mr(msg_base, msg_len, Access::full());
+                let export = HalfExport::Ib {
+                    node,
+                    qpn: qp.qpn(),
+                    mr: mr_local,
                 };
-                let msg_a = mk_msg(node_a, &ctx0);
-                let msg_b = mk_msg(node_b, &ctx1);
-                let mk = |qp, send_cq, recv_cq, mr_local, mr_remote, msg_mr| {
-                    AnyTransport::Ib(IbTransport {
+                (
+                    HalfBuilt(HalfImp::Ib {
                         qp,
                         send_cq,
                         recv_cq,
                         mr_local,
-                        mr_remote,
                         msg_mr,
-                        tx_head: Cell::new(0),
-                        rx_head: Cell::new(0),
-                        rx_tail: Cell::new(0),
-                        rx_posted: Cell::new(0),
-                        outstanding: Cell::new(0),
-                    })
-                };
-                (
-                    mk(qp0, scq0, rcq0, mr_a, mr_b, msg_a),
-                    mk(qp1, scq1, rcq1, mr_b, mr_a, msg_b),
+                    }),
+                    export,
                 )
             }
+        }
+    }
+
+    /// Connect a built half to its peer's export, yielding the transport.
+    /// Pure wiring: only pre-allocated state is set (EXTOLL port peers,
+    /// the IB queue-pair Reset→RTS transition) — no allocation,
+    /// registration or counter movement — so connecting in a different
+    /// global order than the serial build is unobservable.
+    pub fn connect_half(self, half: HalfBuilt, peer: &HalfExport) -> AnyTransport {
+        match (self, half.0, peer) {
+            (
+                Backend::Extoll,
+                HalfImp::Extoll {
+                    port,
+                    nla,
+                    velo,
+                    drops,
+                },
+                &HalfExport::Extoll {
+                    node: peer_node,
+                    nla: peer_nla,
+                    rma_port,
+                    velo_port,
+                },
+            ) => {
+                port.connect_node(peer_node as u16);
+                velo.set_peer_node(peer_node as u16);
+                AnyTransport::Extoll(ExtollTransport {
+                    peer_port: rma_port,
+                    port,
+                    local_nla: nla,
+                    remote_nla: peer_nla,
+                    velo,
+                    velo_peer: velo_port,
+                    outstanding: Cell::new(0),
+                    velo_drops_base: drops.get(),
+                    velo_drops: drops,
+                })
+            }
+            (
+                Backend::Infiniband,
+                HalfImp::Ib {
+                    qp,
+                    send_cq,
+                    recv_cq,
+                    mr_local,
+                    msg_mr,
+                },
+                &HalfExport::Ib {
+                    node: peer_node,
+                    qpn: peer_qpn,
+                    mr: peer_mr,
+                },
+            ) => {
+                qp.connect_to(peer_node, peer_qpn);
+                AnyTransport::Ib(IbTransport {
+                    qp,
+                    send_cq,
+                    recv_cq,
+                    mr_local,
+                    mr_remote: peer_mr,
+                    msg_mr,
+                    tx_head: Cell::new(0),
+                    rx_head: Cell::new(0),
+                    rx_tail: Cell::new(0),
+                    rx_posted: Cell::new(0),
+                    outstanding: Cell::new(0),
+                })
+            }
+            _ => panic!("mismatched backend/half/export combination"),
         }
     }
 }

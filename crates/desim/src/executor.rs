@@ -68,6 +68,10 @@ struct Shared {
     /// Clock fast path: mirrors the run loop's notion of "now" so `now()`
     /// is a `Cell` read, never a `RefCell` borrow.
     now: Cell<Time>,
+    /// Time of the most recently fired timer. Unlike `now`, this is never
+    /// advanced synthetically by a deadline-bounded `run_until`, so it is
+    /// the value a full `run()` would have returned so far.
+    last_event: Cell<Time>,
     /// Process currently being polled, if any (fast path for
     /// `current_proc()` and trace track names).
     current: Cell<Option<ProcId>>,
@@ -110,6 +114,7 @@ impl Sim {
         Sim {
             shared: Rc::new(Shared {
                 now: Cell::new(0),
+                last_event: Cell::new(0),
                 current: Cell::new(None),
                 inner: RefCell::new(Inner {
                     queue: TimerQueue::new(kind),
@@ -146,6 +151,27 @@ impl Sim {
     #[inline]
     pub fn now(&self) -> Time {
         self.shared.now.get()
+    }
+
+    /// Simulated time of the most recently fired timer — the value a full
+    /// [`Sim::run`] would have returned so far. Unlike [`Sim::now`], this
+    /// is not advanced by the synthetic clock jump a deadline-bounded
+    /// [`Sim::run_until`] performs when it stops early, so a windowed
+    /// driver (see [`crate::shard`]) can report the true event horizon.
+    pub fn last_event_time(&self) -> Time {
+        self.shared.last_event.get()
+    }
+
+    /// Earliest pending timer deadline, if any.
+    ///
+    /// Intended to be called between bounded runs (after [`Sim::run_until`]
+    /// has returned): every timer at or before the current time has then
+    /// already fired, so the deadline-bounded peek takes its exact,
+    /// non-destructive path and the wheel cursor is left untouched —
+    /// timers earlier than the reported deadline can still be inserted.
+    pub fn next_event_time(&self) -> Option<Time> {
+        let now = self.shared.now.get();
+        self.shared.inner.borrow_mut().queue.next_at(now)
     }
 
     /// Number of processes that have been spawned and not yet finished.
@@ -322,6 +348,7 @@ impl Sim {
                     let (at, waiter) = inner.queue.pop().expect("due timer vanished");
                     debug_assert!(at >= self.shared.now.get(), "time went backwards");
                     self.shared.now.set(at);
+                    self.shared.last_event.set(at);
                     if let Some(pid) = waiter {
                         inner.make_runnable(pid);
                     }

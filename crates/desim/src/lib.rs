@@ -46,10 +46,12 @@
 pub mod executor;
 mod intern;
 mod queue;
+pub mod shard;
 pub mod sync;
 pub mod time;
 
 pub use executor::{ProcId, Sim};
+pub use shard::{run_sharded, Envelope, Outgoing, ShardHandle};
 pub use queue::QueueKind;
 pub use time::{Freq, Time};
 

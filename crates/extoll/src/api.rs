@@ -146,7 +146,7 @@ pub struct RmaPort {
     port: u16,
     /// The node puts/gets are routed to (§III-B: "a connection has to be
     /// established"). Defaults to the other node of a two-node system.
-    peer_node: Cell<u8>,
+    peer_node: Cell<u16>,
     bar_page: Addr,
     /// Requester notifications ("transfer started / WR slot free").
     pub requester: NotifConsumer,
@@ -216,7 +216,7 @@ impl RmaPort {
     }
 
     /// Establish the connection: route this port's puts/gets to `node`.
-    pub fn connect_node(&self, node: u8) {
+    pub fn connect_node(&self, node: u16) {
         self.peer_node.set(node);
     }
 

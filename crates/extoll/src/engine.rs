@@ -77,7 +77,7 @@ pub enum RmaFrame {
     /// Get request travelling to the data source.
     GetReq {
         /// Node the response must return to.
-        origin_node: u8,
+        origin_node: u16,
         /// Port the response (and origin notification) targets.
         origin_port: u16,
         /// NLA the response data lands at.
@@ -471,7 +471,7 @@ impl ExtollNic {
                             tx.send((
                                 wr.dst_node as usize,
                                 RmaFrame::GetReq {
-                                    origin_node: inner.node as u8,
+                                    origin_node: inner.node as u16,
                                     origin_port: port,
                                     origin_nla: wr.local_nla,
                                     target_port: wr.dst_port,

@@ -30,8 +30,8 @@ pub struct WorkRequest {
     pub command: RmaCommand,
     /// Notification requests.
     pub flags: WrFlags,
-    /// Destination node (the routing field; up to 32 nodes).
-    pub dst_node: u8,
+    /// Destination node (the routing field; up to 512 nodes).
+    pub dst_node: u16,
     /// Destination port on the remote node (routes remote notifications).
     pub dst_port: u16,
     /// Payload size in bytes.
@@ -60,11 +60,12 @@ impl WorkRequest {
         if self.flags.notify_responder {
             flags |= 4;
         }
-        assert!(self.dst_node < 32, "routing field holds 32 nodes");
+        assert!(self.dst_node < 512, "routing field holds 512 nodes");
+        assert!(self.dst_port < 4096, "port field holds 4096 ports");
         let w0 = cmd
             | (flags << 8)
             | ((self.dst_node as u64) << 11)
-            | ((self.dst_port as u64) << 16)
+            | ((self.dst_port as u64) << 20)
             | ((self.len as u64) << 32);
         [w0, self.local_nla, self.remote_nla]
     }
@@ -85,8 +86,8 @@ impl WorkRequest {
                 notify_completer: f & 2 != 0,
                 notify_responder: f & 4 != 0,
             },
-            dst_node: ((words[0] >> 11) & 0x1F) as u8,
-            dst_port: ((words[0] >> 16) & 0xFFFF) as u16,
+            dst_node: ((words[0] >> 11) & 0x1FF) as u16,
+            dst_port: ((words[0] >> 20) & 0xFFF) as u16,
             len: (words[0] >> 32) as u32,
             local_nla: words[1],
             remote_nla: words[2],
@@ -144,8 +145,8 @@ mod tests {
                 notify_completer: true,
                 notify_responder: true,
             },
-            dst_node: 31,
-            dst_port: u16::MAX,
+            dst_node: 511,
+            dst_port: 4095,
             len: u32::MAX,
             local_nla: u64::MAX,
             remote_nla: 1,

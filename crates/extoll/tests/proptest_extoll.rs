@@ -22,8 +22,8 @@ fn gen_wr(rng: &mut XorShift64) -> WorkRequest {
             notify_completer: flags & 2 != 0,
             notify_responder: flags & 4 != 0,
         },
-        dst_node: rng.below(32) as u8,
-        dst_port: rng.next_u64() as u16,
+        dst_node: rng.below(512) as u16,
+        dst_port: (rng.next_u64() % 4096) as u16,
         len: rng.next_u64() as u32,
         local_nla: rng.next_u64(),
         remote_nla: rng.next_u64(),

@@ -9,12 +9,17 @@
 //! the property that lets the paper poll on the last received payload
 //! element instead of a completion notification.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use tc_desim::sync::Channel;
 use tc_desim::time::{Time, SEC};
 use tc_desim::Sim;
+
+/// Callback capturing a frame bound for a remote (off-shard) port:
+/// `(dst_port, src_port, deliver_at, payload_bytes, frame)`. See
+/// [`Fabric::set_remote_tap`].
+pub type RemoteTap<T> = Box<dyn Fn(usize, usize, Time, u64, T)>;
 
 /// Configuration of a link/fabric.
 #[derive(Debug, Clone, Copy)]
@@ -56,12 +61,18 @@ impl CableConfig {
 struct PortState<T> {
     tx_busy_until: Cell<Time>,
     rx: Channel<T>,
+    /// True when this port's NIC lives on another shard of a sharded run:
+    /// frames sent *to* it are handed to the remote tap instead of being
+    /// delivered locally (the sender-side serialization still happens
+    /// here, so TX timing is identical to the serial build).
+    remote: Cell<bool>,
 }
 
 struct FabricInner<T> {
     sim: Sim,
     cfg: CableConfig,
     ports: Vec<PortState<T>>,
+    tap: RefCell<Option<RemoteTap<T>>>,
 }
 
 /// An N-port interconnect. Frames are serialized on the sender's TX link,
@@ -91,10 +102,63 @@ impl<T: 'static> Fabric<T> {
                     .map(|_| PortState {
                         tx_busy_until: Cell::new(0),
                         rx: Channel::new(sim, 0),
+                        remote: Cell::new(false),
                     })
                     .collect(),
+                tap: RefCell::new(None),
             }),
         }
+    }
+
+    /// Mark `side` as living on another shard: frames addressed to it are
+    /// captured by the tap (see [`Fabric::set_remote_tap`]) instead of
+    /// being delivered to its local receive queue.
+    pub fn mark_remote(&self, side: usize) {
+        self.inner.ports[side].remote.set(true);
+    }
+
+    /// Install the callback receiving frames addressed to remote ports.
+    /// It fires at the instant serialization completes and is given the
+    /// absolute delivery time (`tx_done + latency`), so a shard
+    /// coordinator can exchange the frame as a timestamped envelope and
+    /// replay it with [`Fabric::inject`] on the owning shard.
+    pub fn set_remote_tap(&self, tap: RemoteTap<T>) {
+        *self.inner.tap.borrow_mut() = Some(tap);
+    }
+
+    /// Deliver a frame captured on another shard: the local half of the
+    /// propagation modelled by [`Port::send_to`]. Spawns the same
+    /// `fabric.prop` process the serial path uses — the frame lands in
+    /// `dst`'s receive queue at exactly `deliver_at`, and the deserialize
+    /// span is back-dated by one fabric latency so traces line up with a
+    /// serial run. Must be called before simulated time reaches
+    /// `deliver_at`.
+    pub fn inject(&self, dst: usize, src: usize, deliver_at: Time, frame: T, payload_bytes: u64)
+    where
+        T: 'static,
+    {
+        let inner = &self.inner;
+        assert!(dst < inner.ports.len(), "no such fabric port: {dst}");
+        let rx = inner.ports[dst].rx.clone();
+        let sim = inner.sim.clone();
+        let lat = inner.cfg.latency;
+        let rec = inner.sim.recorder().clone();
+        inner.sim.spawn("fabric.prop", async move {
+            let now = sim.now();
+            assert!(deliver_at > now, "injected frame would deliver in the past");
+            sim.delay(deliver_at - now).await;
+            if rec.on() {
+                rec.span(
+                    deliver_at - lat,
+                    deliver_at,
+                    "link",
+                    format!("fabric.port{dst}.rx"),
+                    "deserialize",
+                    vec![("bytes", payload_bytes.into()), ("src", (src as u64).into())],
+                );
+            }
+            rx.send(frame).await;
+        });
     }
 
     /// The attachment point for `side`.
@@ -193,6 +257,17 @@ impl<T: 'static> Port<T> {
                 "serialize",
                 vec![("bytes", payload_bytes.into()), ("dst", (dst as u64).into())],
             );
+        }
+        if inner.ports[dst].remote.get() {
+            // The destination NIC lives on another shard: hand the frame
+            // to the coordinator with its absolute delivery time instead
+            // of propagating it locally.
+            let tap = inner.tap.borrow();
+            let tap = tap
+                .as_ref()
+                .expect("frame for a remote port but no remote tap installed");
+            tap(dst, self.side, tx_done + inner.cfg.latency, payload_bytes, frame);
+            return;
         }
         // Propagation: enqueue at the destination after `latency`.
         let rx = inner.ports[dst].rx.clone();

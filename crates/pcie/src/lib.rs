@@ -61,9 +61,30 @@ impl Pcie {
     /// (numbered by fabric construction order, which is deterministic).
     pub fn new(sim: Sim, bus: Bus, cfg: PcieConfig) -> Self {
         let scope = sim.registry().scope("pcie");
+        let name: Rc<str> = scope.name().into();
+        Self::with_scope(sim, bus, cfg, &scope, name)
+    }
+
+    /// A fabric whose counters register under the explicit scope `name`
+    /// (e.g. `pcie3`, keyed by node index) instead of the construction-
+    /// order auto index. A sharded cluster build constructs only a subset
+    /// of nodes per simulation, so it must pin scope names to global node
+    /// indices to keep registry snapshots identical to the serial build.
+    pub fn new_named(sim: Sim, bus: Bus, cfg: PcieConfig, name: &str) -> Self {
+        let scope = sim.registry().scope_named(name);
+        Self::with_scope(sim, bus, cfg, &scope, name.into())
+    }
+
+    fn with_scope(
+        sim: Sim,
+        bus: Bus,
+        cfg: PcieConfig,
+        scope: &tc_trace::Scope,
+        name: Rc<str>,
+    ) -> Self {
         Pcie {
-            stats: Rc::new(PcieStats::in_scope(&scope)),
-            scope: scope.name().into(),
+            stats: Rc::new(PcieStats::in_scope(scope)),
+            scope: name,
             sim,
             bus,
             cfg: Rc::new(cfg),

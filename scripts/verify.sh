@@ -23,6 +23,9 @@ cargo test -q --test determinism
 echo "== parallel runner golden (--jobs N output byte-identical to serial) =="
 cargo test -q --test parallel_golden
 
+echo "== sharded-DES golden (sharded build byte-identical to serial) =="
+cargo test -q --test shard_golden
+
 echo "== backend + message-layer conformance (both fabrics, put/get rendezvous) =="
 cargo test -q -p tc-putget --test conformance
 
@@ -47,9 +50,11 @@ cargo run --release -p tc-bench --bin reproduce -- \
     --validate-metrics "$metrics_dir/crossover.metrics.json"
 
 echo "== DES-kernel microbenchmarks (tc-desim-bench-v1 -> BENCH_desim.json) =="
-# Wheel-vs-reference-heap events/sec; the committed JSON tracks the
-# trajectory PR over PR. Compare against the previous report first so a
-# >25% wheel-throughput regression fails verification.
+# Wheel-vs-reference-heap events/sec plus the sharded-ring sweep (1/2/4/8
+# worker shards); the committed JSON tracks the trajectory PR over PR.
+# Compare against the previous report first so a >25% wheel-throughput
+# regression fails verification (the shard_ring series gates on its
+# 1-shard point only — multi-shard points depend on host core count).
 TC_BENCH_SAMPLES="${TC_BENCH_SAMPLES:-9}" cargo run --release -p tc-bench --bin reproduce -- \
     --bench-desim "$metrics_dir/BENCH_desim.json"
 cargo run --release -p tc-bench --bin reproduce -- \
