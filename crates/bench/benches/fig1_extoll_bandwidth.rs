@@ -12,7 +12,11 @@ fn main() {
         ExtollMode::HostControlled,
     ] {
         let r = extoll_bandwidth(mode, 65536, 24);
-        println!("{:24} 64 KiB bandwidth = {:8.1} MB/s", mode.label(), r.mbytes_per_s());
+        println!(
+            "{:24} 64 KiB bandwidth = {:8.1} MB/s",
+            mode.label(),
+            r.mbytes_per_s()
+        );
         h.bench(mode.label(), || extoll_bandwidth(mode, 65536, 24).elapsed);
     }
 }

@@ -16,7 +16,11 @@ fn main() {
         ExtollMode::HostControlled,
     ] {
         let r = extoll_pingpong(mode, 1024, 20, 2);
-        println!("{:24} 1 KiB latency = {:8.2} us", mode.label(), r.latency_us());
+        println!(
+            "{:24} 1 KiB latency = {:8.2} us",
+            mode.label(),
+            r.latency_us()
+        );
         h.bench(mode.label(), || extoll_pingpong(mode, 1024, 20, 2).half_rtt);
     }
 }

@@ -13,7 +13,11 @@ fn main() {
         IbMode::HostControlled,
     ] {
         let r = ib_bandwidth(mode, 65536, 24);
-        println!("{:24} 64 KiB bandwidth = {:8.1} MB/s", mode.label(), r.mbytes_per_s());
+        println!(
+            "{:24} 64 KiB bandwidth = {:8.1} MB/s",
+            mode.label(),
+            r.mbytes_per_s()
+        );
         h.bench(mode.label(), || ib_bandwidth(mode, 65536, 24).elapsed);
     }
 }

@@ -13,7 +13,11 @@ fn main() {
         IbMode::HostControlled,
     ] {
         let r = ib_pingpong(mode, 1024, 15, 2);
-        println!("{:24} 1 KiB latency = {:8.2} us", mode.label(), r.latency_us());
+        println!(
+            "{:24} 1 KiB latency = {:8.2} us",
+            mode.label(),
+            r.latency_us()
+        );
         h.bench(mode.label(), || ib_pingpong(mode, 1024, 15, 2).half_rtt);
     }
 }

@@ -13,7 +13,11 @@ fn main() {
         RateMode::HostControlled,
     ] {
         let r = ib_msgrate(mode, 8, 50);
-        println!("{:24} 8 pairs = {:10.0} MSGs/s", mode.label(), r.msgs_per_s());
+        println!(
+            "{:24} 8 pairs = {:10.0} MSGs/s",
+            mode.label(),
+            r.msgs_per_s()
+        );
         h.bench(mode.label(), || ib_msgrate(mode, 8, 50).elapsed);
     }
 }

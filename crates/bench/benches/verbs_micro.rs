@@ -5,7 +5,9 @@ use tc_putget::bench::counters::verbs_instruction_counts;
 
 fn main() {
     let (post, poll) = verbs_instruction_counts();
-    println!("verbs micro: post_send = {post} instr (paper 442), poll_cq = {poll} instr (paper 283)");
+    println!(
+        "verbs micro: post_send = {post} instr (paper 442), poll_cq = {poll} instr (paper 283)"
+    );
     let mut h = Harness::new("verbs_micro");
     h.bench("post_and_poll", verbs_instruction_counts);
 }

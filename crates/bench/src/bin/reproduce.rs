@@ -20,8 +20,11 @@
 //! exists first. `--validate-metrics FILE` runs the schema self-check on
 //! an emitted file and exits without running any experiment.
 //!
-//! If the `check` experiment runs and any paper claim reports `[FAIL]`,
-//! the process exits with status 1 so CI can gate on it.
+//! `--metrics DIR` also writes `DIR/<experiment>.timeseries.json` (schema
+//! `tc-timeseries-v1`) for experiments that sample telemetry windows.
+//!
+//! If the `check` or `profile` experiment runs and any claim reports
+//! `[FAIL]`, the process exits with status 1 so CI can gate on it.
 
 use std::io::Write as _;
 use std::process::exit;
@@ -66,10 +69,16 @@ fn main() {
                 exit(2);
             }
         };
-        // Dispatch on the document's schema: desim-bench reports and
-        // per-experiment metrics share one validation entry point.
+        // Dispatch on the document's schema: desim-bench reports,
+        // telemetry time series, and per-experiment metrics share one
+        // validation entry point.
         let (schema, result) = if text.contains(desimbench::SCHEMA) {
             (desimbench::SCHEMA, desimbench::validate(&text))
+        } else if text.contains(tc_trace::series::SCHEMA) {
+            (
+                tc_trace::series::SCHEMA,
+                metrics::validate_timeseries(&text),
+            )
         } else {
             (metrics::SCHEMA, metrics::validate(&text))
         };
@@ -192,8 +201,11 @@ fn main() {
                 &format!("{dir}/{id}.metrics.json"),
                 &metrics_report(id, scale_name, out.sim.as_ref(), &stats),
             );
+            if let Some(series) = &out.series {
+                write_file(&format!("{dir}/{id}.timeseries.json"), series);
+            }
         }
-        if *id == "check" && out.text.contains("[FAIL]") {
+        if matches!(*id, "check" | "profile") && out.text.contains("[FAIL]") {
             check_failed = true;
         }
     }
@@ -217,7 +229,7 @@ fn main() {
         pool.jobs()
     );
     if check_failed {
-        eprintln!("error: claims self-check reported at least one [FAIL]");
+        eprintln!("error: at least one claim reported [FAIL]");
         exit(1);
     }
 }

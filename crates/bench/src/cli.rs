@@ -219,19 +219,25 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
             }
             "--ids" => {
                 let list = args.next().ok_or("--ids needs a comma-separated list")?;
-                opts.ids
-                    .extend(list.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+                opts.ids.extend(
+                    list.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string),
+                );
             }
             "--validate-metrics" => {
-                opts.validate_metrics =
-                    Some(args.next().ok_or("--validate-metrics needs a file")?);
+                opts.validate_metrics = Some(args.next().ok_or("--validate-metrics needs a file")?);
             }
             "--bench-desim" => {
                 opts.bench_desim = Some(args.next().ok_or("--bench-desim needs a file")?);
             }
             "--bench-compare" => {
-                let old = args.next().ok_or("--bench-compare needs OLD and NEW files")?;
-                let new = args.next().ok_or("--bench-compare needs OLD and NEW files")?;
+                let old = args
+                    .next()
+                    .ok_or("--bench-compare needs OLD and NEW files")?;
+                let new = args
+                    .next()
+                    .ok_or("--bench-compare needs OLD and NEW files")?;
                 opts.bench_compare = Some((old, new));
             }
             "--conns" => {
@@ -422,10 +428,16 @@ mod tests {
         let o = p(&["workload", "--app", "halo", "--eager-threshold", "4096"]).unwrap();
         assert_eq!(o.app, Some(AppKind::Halo));
         assert_eq!(o.eager_threshold, Some(4096));
-        assert_eq!(p(&["--app", "allreduce"]).unwrap().app, Some(AppKind::Allreduce));
+        assert_eq!(
+            p(&["--app", "allreduce"]).unwrap().app,
+            Some(AppKind::Allreduce)
+        );
         assert_eq!(p(&["--app", "rpc"]).unwrap().app, Some(AppKind::Rpc));
         // Threshold 0 (all rendezvous) is legal.
-        assert_eq!(p(&["--eager-threshold", "0"]).unwrap().eager_threshold, Some(0));
+        assert_eq!(
+            p(&["--eager-threshold", "0"]).unwrap().eager_threshold,
+            Some(0)
+        );
         // Malformed values are usage errors listing the alternatives.
         assert!(p(&["--app"]).is_err());
         let e = p(&["--app", "fft"]).unwrap_err();

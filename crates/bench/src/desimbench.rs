@@ -250,7 +250,13 @@ fn shard_ring(shards: usize) {
                 let staged = staged.clone();
                 sim.spawn("ring.cross", async move {
                     s2.delay(env.deliver_at - s2.now()).await;
-                    shard_ring_hop(s2.clone(), staged, per, env.msg >> 32, env.msg & 0xFFFF_FFFF);
+                    shard_ring_hop(
+                        s2.clone(),
+                        staged,
+                        per,
+                        env.msg >> 32,
+                        env.msg & 0xFFFF_FFFF,
+                    );
                 });
             }
         };
@@ -385,7 +391,10 @@ pub fn render(samples: u32, results: &[BenchResult], shard_ring: &[ShardRingResu
     out
 }
 
-fn obj<'a>(v: &'a Json, what: &str) -> Result<&'a std::collections::BTreeMap<String, Json>, String> {
+fn obj<'a>(
+    v: &'a Json,
+    what: &str,
+) -> Result<&'a std::collections::BTreeMap<String, Json>, String> {
     match v {
         Json::Obj(m) => Ok(m),
         _ => Err(format!("{what}: expected an object")),
@@ -436,7 +445,9 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     let samples = num(&m["samples"], "samples")?;
     if samples < 1.0 || samples.fract() != 0.0 {
-        return Err(format!("samples: expected a positive integer, found {samples}"));
+        return Err(format!(
+            "samples: expected a positive integer, found {samples}"
+        ));
     }
     let benches = obj(&m["benches"], "benches")?;
     if benches.is_empty() {

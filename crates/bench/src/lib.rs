@@ -31,18 +31,18 @@ use tc_putget::bench::check as claims;
 use tc_putget::bench::counters::{
     fig3_point, table1, table1_case, table2, table2_case, verbs_instruction_counts,
 };
+use tc_putget::bench::crossover;
 use tc_putget::bench::msgrate::{extoll_msgrate, ib_msgrate};
 use tc_putget::bench::pingpong::{extoll_pingpong, ib_pingpong, PingPongResult};
 use tc_putget::bench::scaling as scaling_mod;
 use tc_putget::bench::sensitivity as sensitivity_mod;
-use tc_putget::bench::crossover;
 use tc_putget::bench::workload::{self, ArrivalProcess, WorkloadSpec};
-use tc_putget::AppKind;
 use tc_putget::bench::{
     bandwidth_sizes, latency_sizes, pair_counts, pollratio_sizes, render_series_table, ExtollMode,
     IbMode, RateMode, Series,
 };
 use tc_putget::time;
+use tc_putget::AppKind;
 use tc_putget::{Backend, CounterSnapshot};
 use tc_trace::Snapshot;
 
@@ -132,6 +132,10 @@ pub struct ExperimentOutput {
     pub text: String,
     /// Merged sweep-point registry contribution, if the experiment has one.
     pub sim: Option<SimContribution>,
+    /// Simulated-time telemetry (`tc-timeseries-v1` JSON), if the
+    /// experiment samples any. Written next to the metrics file by the
+    /// `reproduce` binary as `<id>.timeseries.json`.
+    pub series: Option<String>,
 }
 
 /// One experiment, decomposed for scheduling: independent sweep-point
@@ -181,6 +185,24 @@ where
     S: Fn(&P) -> Option<SimContribution> + Send + 'static,
     R: FnOnce(Vec<P>) -> String + Send + 'static,
 {
+    plan_points_series(id, n, point, sim_of, |results| (render(results), None))
+}
+
+/// [`plan_points_sim`] for experiments whose renderer also emits a
+/// telemetry time-series document (`tc-timeseries-v1` JSON).
+fn plan_points_series<P, F, S, R>(
+    id: &'static str,
+    n: usize,
+    point: F,
+    sim_of: S,
+    render: R,
+) -> ExperimentPlan
+where
+    P: Send + 'static,
+    F: Fn(usize) -> P + Send + Sync + 'static,
+    S: Fn(&P) -> Option<SimContribution> + Send + 'static,
+    R: FnOnce(Vec<P>) -> (String, Option<String>) + Send + 'static,
+{
     let slots: Arc<Vec<Mutex<Option<P>>>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
     let point = Arc::new(point);
     let tasks: Vec<Task> = (0..n)
@@ -206,10 +228,8 @@ where
                 sim.get_or_insert_with(SimContribution::default).absorb(&c);
             }
         }
-        ExperimentOutput {
-            text: render(results),
-            sim,
-        }
+        let (text, series) = render(results);
+        ExperimentOutput { text, sim, series }
     });
     ExperimentPlan { id, tasks, render }
 }
@@ -355,10 +375,19 @@ fn rate_plan(
         RateMode::HostControlled,
     ];
     let labels = modes.iter().map(|m| m.label()).collect();
-    figure_plan(id, title, "pairs", "MSGs/s", modes, labels, pair_counts(), move |mode, pairs| {
-        let r = run(mode, pairs as u32, scale.rate_msgs);
-        FigPoint::new(r.msgs_per_s(), r.registry, r.elapsed)
-    })
+    figure_plan(
+        id,
+        title,
+        "pairs",
+        "MSGs/s",
+        modes,
+        labels,
+        pair_counts(),
+        move |mode, pairs| {
+            let r = run(mode, pairs as u32, scale.rate_msgs);
+            FigPoint::new(r.msgs_per_s(), r.registry, r.elapsed)
+        },
+    )
 }
 
 fn plan_fig3(scale: Scale) -> ExperimentPlan {
@@ -491,9 +520,7 @@ fn plan_workload(scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPlan {
                 eager_threshold,
             })
         },
-        |r: &workload::WorkloadResult| {
-            Some(SimContribution::point(r.registry.clone(), r.elapsed))
-        },
+        |r: &workload::WorkloadResult| Some(SimContribution::point(r.registry.clone(), r.elapsed)),
         |results| workload::render(&results),
     )
 }
@@ -787,15 +814,25 @@ pub fn trace_report(id: &str) -> String {
         b1.quiet(&t).await.unwrap();
     });
     cluster.sim.run();
-    let events = cluster.sim.recorder().take_events();
+    let mut events = cluster.sim.recorder().take_events();
+    if id == "profile" {
+        // The profile experiment's telemetry windows ride along as
+        // Perfetto counter tracks next to the span trace.
+        if let tc_putget::bench::profile::ProfilePoint::Series(run) =
+            tc_putget::bench::profile::point(tc_putget::bench::profile::POINTS - 1)
+        {
+            events.extend(run.series.counter_events());
+        }
+    }
     tc_trace::chrome::to_chrome_json(&events)
 }
 
 /// Every experiment id accepted by the `reproduce` binary.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "pingpong",
     "workload",
     "crossover",
+    "profile",
     "fig1a",
     "fig1b",
     "fig2",
@@ -901,6 +938,16 @@ pub fn plan_with(id: &str, scale: Scale, knobs: &WorkloadKnobs) -> ExperimentPla
             )
         }
         "timeline" => single_plan("timeline", || tc_putget::bench::timeline::report(1024)),
+        "profile" => plan_points_series(
+            "profile",
+            tc_putget::bench::profile::POINTS,
+            tc_putget::bench::profile::point,
+            |_| None,
+            |points| {
+                let (text, series) = tc_putget::bench::profile::render(&points);
+                (text, Some(series.to_json("profile")))
+            },
+        ),
         "scaling" => {
             let counts = knobs
                 .nodes
@@ -1098,6 +1145,9 @@ mod tests {
         }
         // The figures decompose point-wise, not mode-wise.
         assert_eq!(plan("fig1a", Scale::quick()).task_count(), 4 * 9);
+        // profile: serial/sharded pingpong, two crossover points, one
+        // telemetry-sampled workload run.
+        assert_eq!(plan("profile", Scale::quick()).task_count(), 5);
         assert_eq!(plan("table1", Scale::quick()).task_count(), 2);
         // The extension sweeps decompose per size, so a wide --jobs run
         // is not serialized behind one long task.
@@ -1198,8 +1248,7 @@ mod tests {
         assert!(json.contains("\"gpu0.instructions\""), "{json}");
         // Byte-identical across pool widths.
         let wide = plan("pingpong", Scale::quick()).run(&Pool::new(4));
-        let json_wide =
-            metrics_report("pingpong", "quick", wide.sim.as_ref(), &stats);
+        let json_wide = metrics_report("pingpong", "quick", wide.sim.as_ref(), &stats);
         assert_eq!(json, json_wide);
     }
 
@@ -1210,6 +1259,24 @@ mod tests {
         assert!(a.contains("\"node0/gpu\"") && a.contains("\"node1/"), "{a}");
         let ib = trace_report("fig5");
         assert!(ib.contains("\"node0/"), "{ib}");
+    }
+
+    #[test]
+    fn profile_plan_is_byte_identical_across_jobs_and_emits_series() {
+        let serial = plan("profile", Scale::quick()).run(&Pool::serial());
+        let wide = plan("profile", Scale::quick()).run(&Pool::new(4));
+        assert_eq!(
+            serial.text, wide.text,
+            "profile text must not depend on --jobs"
+        );
+        assert_eq!(serial.series, wide.series);
+        let series = serial.series.expect("profile emits telemetry");
+        metrics::validate_timeseries(&series)
+            .expect("emitted telemetry must pass the schema self-check");
+        assert!(!serial.text.contains("[FAIL]"), "{}", serial.text);
+        // The profile trace carries the telemetry as counter tracks.
+        let trace = trace_report("profile");
+        assert!(trace.contains("\"ph\":\"C\""), "{trace}");
     }
 
     #[test]

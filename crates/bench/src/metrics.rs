@@ -68,7 +68,11 @@ pub fn render(
         .iter()
         .map(|(name, v)| format!("      {}: {v}", quote(name)))
         .collect();
-    let _ = writeln!(out, "    \"counters\": {{\n{}\n    }},", counters.join(",\n"));
+    let _ = writeln!(
+        out,
+        "    \"counters\": {{\n{}\n    }},",
+        counters.join(",\n")
+    );
 
     let hists: Vec<String> = snapshot
         .histograms()
@@ -358,7 +362,10 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
 fn obj<'a>(v: &'a Json, what: &str) -> Result<&'a BTreeMap<String, Json>, String> {
     match v {
         Json::Obj(m) => Ok(m),
-        other => Err(format!("{what} must be an object, got {}", other.type_name())),
+        other => Err(format!(
+            "{what} must be an object, got {}",
+            other.type_name()
+        )),
     }
 }
 
@@ -393,7 +400,11 @@ fn exact_keys(m: &BTreeMap<String, Json>, want: &[&str], what: &str) -> Result<(
 pub fn validate(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let top = obj(&doc, "document")?;
-    exact_keys(top, &["schema", "experiment", "scale", "sim", "runner"], "document")?;
+    exact_keys(
+        top,
+        &["schema", "experiment", "scale", "sim", "runner"],
+        "document",
+    )?;
     match top.get("schema") {
         Some(Json::Str(s)) if s == SCHEMA => {}
         Some(Json::Str(s)) => return Err(format!("unsupported schema {s:?}, expected {SCHEMA:?}")),
@@ -406,7 +417,11 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
 
     let sim = obj(&top["sim"], "sim")?;
-    exact_keys(sim, &["simulated_ps", "counters", "histograms", "gauges"], "sim")?;
+    exact_keys(
+        sim,
+        &["simulated_ps", "counters", "histograms", "gauges"],
+        "sim",
+    )?;
     num(sim, "simulated_ps", "sim")?;
     for (name, v) in obj(&sim["counters"], "sim.counters")? {
         if !matches!(v, Json::Num(_)) {
@@ -460,6 +475,67 @@ pub fn validate(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a telemetry time-series document against schema
+/// `tc-timeseries-v1` (emitted by [`tc_trace::series::SeriesSet::to_json`]):
+/// strict top-level key set, a positive sampling window, and per-series
+/// type checks — every point must be a `[ts, value]` pair of non-negative
+/// numbers with strictly increasing timestamps.
+pub fn validate_timeseries(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let top = obj(&doc, "document")?;
+    exact_keys(
+        top,
+        &["schema", "experiment", "window_ps", "series"],
+        "document",
+    )?;
+    match top.get("schema") {
+        Some(Json::Str(s)) if s == tc_trace::series::SCHEMA => {}
+        Some(Json::Str(s)) => {
+            return Err(format!(
+                "unsupported schema {s:?}, expected {:?}",
+                tc_trace::series::SCHEMA
+            ))
+        }
+        _ => return Err("schema must be a string".to_string()),
+    }
+    if !matches!(top.get("experiment"), Some(Json::Str(_))) {
+        return Err("experiment must be a string".to_string());
+    }
+    let window = num(top, "window_ps", "document")?;
+    if window <= 0.0 {
+        return Err("window_ps must be positive".to_string());
+    }
+    for (name, v) in obj(&top["series"], "series")? {
+        let s = obj(v, &format!("series {name:?}"))?;
+        exact_keys(s, &["unit", "points"], &format!("series {name:?}"))?;
+        if !matches!(s.get("unit"), Some(Json::Str(_))) {
+            return Err(format!("series {name:?} unit must be a string"));
+        }
+        let Some(Json::Arr(points)) = s.get("points") else {
+            return Err(format!("series {name:?} points must be an array"));
+        };
+        let mut prev_ts: Option<f64> = None;
+        for (i, p) in points.iter().enumerate() {
+            let Json::Arr(pair) = p else {
+                return Err(format!("series {name:?} point {i} must be an array"));
+            };
+            let [Json::Num(ts), Json::Num(value)] = pair.as_slice() else {
+                return Err(format!(
+                    "series {name:?} point {i} must be a [ts, value] number pair"
+                ));
+            };
+            if *ts < 0.0 || *value < 0.0 {
+                return Err(format!("series {name:?} point {i} must be non-negative"));
+            }
+            if prev_ts.is_some_and(|prev| *ts <= prev) {
+                return Err(format!("series {name:?} point {i} timestamp must increase"));
+            }
+            prev_ts = Some(*ts);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,7 +566,13 @@ mod tests {
 
     #[test]
     fn rendered_report_validates() {
-        let json = render("pingpong", "quick", &sample_snapshot(), 12345, &sample_pool());
+        let json = render(
+            "pingpong",
+            "quick",
+            &sample_snapshot(),
+            12345,
+            &sample_pool(),
+        );
         validate(&json).unwrap();
         assert!(json.contains("\"tc-metrics-v1\""));
         assert!(json.contains("\"gpu0.instructions\": 42"));
@@ -526,6 +608,42 @@ mod tests {
         let json = render("x", "quick", &sample_snapshot(), 5, &sample_pool());
         let json = json.replacen(SCHEMA, "tc-metrics-v0", 1);
         assert!(validate(&json).unwrap_err().contains("tc-metrics-v0"));
+    }
+
+    fn sample_timeseries() -> String {
+        let mut set = tc_trace::series::SeriesSet::new(25_000_000);
+        set.push("workload0.queue_depth", "ops", 25_000_000, 3);
+        set.push("workload0.queue_depth", "ops", 50_000_000, 1);
+        set.push("workload.achieved_kops", "kop/s", 25_000_000, 180);
+        set.to_json("workload")
+    }
+
+    #[test]
+    fn emitted_timeseries_validates() {
+        let json = sample_timeseries();
+        validate_timeseries(&json).unwrap();
+        assert!(json.contains(tc_trace::series::SCHEMA));
+    }
+
+    #[test]
+    fn timeseries_schema_violations_are_rejected() {
+        let json = sample_timeseries();
+        // Wrong schema id.
+        let bad = json.replacen(tc_trace::series::SCHEMA, "tc-timeseries-v0", 1);
+        assert!(validate_timeseries(&bad)
+            .unwrap_err()
+            .contains("tc-timeseries-v0"));
+        // Unknown top-level key.
+        let bad = json.replacen("\"window_ps\"", "\"window\"", 1);
+        assert!(validate_timeseries(&bad).is_err());
+        // Non-increasing timestamps.
+        let bad = json.replacen("[50000000,1]", "[25000000,1]", 1);
+        assert!(validate_timeseries(&bad)
+            .unwrap_err()
+            .contains("timestamp must increase"));
+        // A point that is not a pair.
+        let bad = json.replacen("[50000000,1]", "[50000000,1,2]", 1);
+        assert!(validate_timeseries(&bad).is_err());
     }
 
     #[test]

@@ -182,8 +182,9 @@ impl Pool {
         } else {
             let workers = self.jobs.min(n);
             let queue = Mutex::new(tasks.into_iter());
-            let slots: Vec<Mutex<WorkerStats>> =
-                (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
+            let slots: Vec<Mutex<WorkerStats>> = (0..workers)
+                .map(|_| Mutex::new(WorkerStats::default()))
+                .collect();
             let (queue_ref, run_ref) = (&queue, &run_one);
             std::thread::scope(|s| {
                 for slot in &slots {
@@ -275,8 +276,7 @@ mod tests {
         use std::sync::atomic::AtomicU64;
         use std::sync::Arc;
         for jobs in [1, 3, 8] {
-            let hits: Arc<Vec<AtomicU64>> =
-                Arc::new((0..20).map(|_| AtomicU64::new(0)).collect());
+            let hits: Arc<Vec<AtomicU64>> = Arc::new((0..20).map(|_| AtomicU64::new(0)).collect());
             let tasks: Vec<Task> = (0..20)
                 .map(|i| {
                     let hits = hits.clone();
@@ -339,8 +339,14 @@ mod tests {
             queue_wait_ns: 5,
             max_task_ns: 40,
             per_worker: vec![
-                WorkerStats { tasks: 1, busy_ns: 40 },
-                WorkerStats { tasks: 0, busy_ns: 0 },
+                WorkerStats {
+                    tasks: 1,
+                    busy_ns: 40,
+                },
+                WorkerStats {
+                    tasks: 0,
+                    busy_ns: 0,
+                },
             ],
         };
         a.merge(&b);
@@ -356,7 +362,10 @@ mod tests {
                     tasks: 4,
                     busy_ns: 190
                 },
-                WorkerStats { tasks: 0, busy_ns: 0 },
+                WorkerStats {
+                    tasks: 0,
+                    busy_ns: 0
+                },
             ]
         );
         let s = a.summary();
@@ -374,7 +383,10 @@ mod tests {
                 .collect();
             let stats = Pool::new(jobs).run_tasks(tasks);
             let workers = stats.per_worker.len();
-            assert!(workers >= 1 && workers <= jobs, "{workers} with jobs={jobs}");
+            assert!(
+                workers >= 1 && workers <= jobs,
+                "{workers} with jobs={jobs}"
+            );
             let claimed: usize = stats.per_worker.iter().map(|w| w.tasks).sum();
             let busy: u64 = stats.per_worker.iter().map(|w| w.busy_ns).sum();
             assert_eq!(claimed, 10, "jobs={jobs}");

@@ -61,7 +61,9 @@ pub fn create_pair_between(
     buf_len: u64,
     queue_loc: QueueLoc,
 ) -> (PutGetEndpoint, PutGetEndpoint) {
-    let (ta, tb) = cluster.backend.instantiate(cluster, a, b, buf_len, queue_loc);
+    let (ta, tb) = cluster
+        .backend
+        .instantiate(cluster, a, b, buf_len, queue_loc);
     (
         PutGetEndpoint {
             transport: ta,

@@ -147,7 +147,8 @@ pub fn ablation_warp() -> WarpAblation {
         s2.set((sim.now() - t0) / N);
         let t0 = sim.now();
         for _ in 0..N {
-            p0.post_put_warp(&t, peer, src_nla, dst_nla, 64, flags).await;
+            p0.post_put_warp(&t, peer, src_nla, dst_nla, 64, flags)
+                .await;
             p0.requester.wait(&t).await;
             p0.requester.free(&t).await;
         }
@@ -354,9 +355,14 @@ pub struct CombinedClaims {
 pub fn combined_claims(size: u64, iters: u32) -> CombinedClaims {
     use tc_extoll::WrFlags;
 
-    let direct =
-        extoll_pingpong_cfg(ClusterConfig::extoll(), ExtollMode::Dev2DevDirect, size, iters, 2)
-            .half_rtt;
+    let direct = extoll_pingpong_cfg(
+        ClusterConfig::extoll(),
+        ExtollMode::Dev2DevDirect,
+        size,
+        iters,
+        2,
+    )
+    .half_rtt;
     let host = extoll_pingpong_cfg(
         ClusterConfig::extoll(),
         ExtollMode::HostControlled,
@@ -609,10 +615,7 @@ mod tests {
         let (single, warp) = ablation_warp_ib();
         // The verbs path is instruction-dominated, so the warp win is
         // large (well over 1.5x).
-        assert!(
-            warp * 3 < single * 2,
-            "warp {warp} vs single {single}"
-        );
+        assert!(warp * 3 < single * 2, "warp {warp} vs single {single}");
     }
 
     #[test]

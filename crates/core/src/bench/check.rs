@@ -70,7 +70,11 @@ fn probe_extoll_latency(iters: u32) -> Vec<Claim> {
         source: "SV-A.1",
         statement: "pollOnGPU drops below host-assisted",
         holds: poll.half_rtt < assisted.half_rtt,
-        evidence: format!("{:.2} us vs {:.2} us", poll.latency_us(), assisted.latency_us()),
+        evidence: format!(
+            "{:.2} us vs {:.2} us",
+            poll.latency_us(),
+            assisted.latency_us()
+        ),
     });
     claims
 }

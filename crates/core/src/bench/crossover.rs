@@ -217,9 +217,10 @@ pub fn app_point(backend: Backend, kind: AppKind, bytes: u64, iters: u32) -> App
                     AppKind::Allreduce => {
                         apps::allreduce_iter(&m0, &cpu, bytes as u32).await.unwrap()
                     }
-                    AppKind::Rpc => {
-                        apps::rpc_call(&m0, &cpu, bytes as u32).await.map(|_| ()).unwrap()
-                    }
+                    AppKind::Rpc => apps::rpc_call(&m0, &cpu, bytes as u32)
+                        .await
+                        .map(|_| ())
+                        .unwrap(),
                 }
             }
             iter_time.set((sim.now() - t0) / iters as u64);
@@ -270,9 +271,8 @@ fn find(points: &[ProtoPoint], backend: Backend, proto: Proto, size: u64) -> &Pr
 /// and the application sweep.
 pub fn render(protos: &[ProtoPoint], app_points: &[AppPoint]) -> String {
     use std::fmt::Write;
-    let mut out = String::from(
-        "# crossover: eager vs rendezvous message protocols (put-mode rendezvous)\n",
-    );
+    let mut out =
+        String::from("# crossover: eager vs rendezvous message protocols (put-mode rendezvous)\n");
     for backend in BACKENDS {
         let caps = backend.transport_caps();
         let _ = writeln!(
@@ -298,10 +298,18 @@ pub fn render(protos: &[ProtoPoint], app_points: &[AppPoint]) -> String {
                 size,
                 time::to_us_f64(e.latency),
                 time::to_us_f64(r.latency),
-                if e.latency <= r.latency { "eager" } else { "rendezvous" },
+                if e.latency <= r.latency {
+                    "eager"
+                } else {
+                    "rendezvous"
+                },
                 e.mbytes_s,
                 r.mbytes_s,
-                if e.mbytes_s >= r.mbytes_s { "eager" } else { "rndv" },
+                if e.mbytes_s >= r.mbytes_s {
+                    "eager"
+                } else {
+                    "rndv"
+                },
             );
         }
         match cross {

@@ -10,6 +10,7 @@ pub mod counters;
 pub mod crossover;
 pub mod msgrate;
 pub mod pingpong;
+pub mod profile;
 pub mod scaling;
 pub mod sensitivity;
 pub mod staging;
@@ -128,12 +129,7 @@ impl Series {
 
 /// Render aligned text for a set of series sharing an x axis (the
 /// `reproduce` binary's figure output).
-pub fn render_series_table(
-    title: &str,
-    x_name: &str,
-    y_name: &str,
-    series: &[Series],
-) -> String {
+pub fn render_series_table(title: &str, x_name: &str, y_name: &str, series: &[Series]) -> String {
     use fmt::Write;
     let mut out = String::new();
     let _ = writeln!(out, "# {title}");

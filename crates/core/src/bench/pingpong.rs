@@ -6,10 +6,10 @@ use std::rc::Rc;
 
 use tc_desim::time::{self, Time};
 use tc_gpu::CounterSnapshot;
-use tc_trace::Snapshot;
 use tc_ib::{BufLoc, IbvContext, SendOpcode, SendWr};
 use tc_mem::Addr;
 use tc_pcie::Processor;
+use tc_trace::Snapshot;
 
 use crate::api::{create_pair, PutGetEndpoint, QueueLoc};
 use crate::cluster::{Backend, Cluster};
@@ -386,24 +386,23 @@ fn extoll_nlas(c: &Cluster, local: Addr, remote: Addr, len: u64) -> (u64, u64) {
     let n0 = c.nodes[0].extoll();
     let n1 = c.nodes[1].extoll();
     let (ln, rn) = if tc_mem::layout::node_of(local) == 0 {
-        (n0.register_memory(local, len), n1.register_memory(remote, len))
+        (
+            n0.register_memory(local, len),
+            n1.register_memory(remote, len),
+        )
     } else {
-        (n1.register_memory(local, len), n0.register_memory(remote, len))
+        (
+            n1.register_memory(local, len),
+            n0.register_memory(remote, len),
+        )
     };
     (ln, rn)
 }
 
 fn finish(tm: &Timing, gpu0: &tc_gpu::Gpu, size: u64, iters: u32) -> PingPongResult {
     let span = tm.t_end.get().saturating_sub(tm.t_start.get());
-    let start = tm
-        .counters_at_start
-        .borrow()
-        .unwrap_or_default();
-    let reg_start = tm
-        .registry_at_start
-        .borrow()
-        .clone()
-        .unwrap_or_default();
+    let start = tm.counters_at_start.borrow().unwrap_or_default();
+    let reg_start = tm.registry_at_start.borrow().clone().unwrap_or_default();
     PingPongResult {
         size,
         iters,
@@ -691,7 +690,11 @@ mod tests {
     fn extoll_direct_latency_reasonable() {
         let r = extoll_pingpong(ExtollMode::Dev2DevDirect, 4, 20, 2);
         // Single-digit-to-tens of microseconds for tiny messages.
-        assert!(r.latency_us() > 1.0 && r.latency_us() < 50.0, "{}", r.latency_us());
+        assert!(
+            r.latency_us() > 1.0 && r.latency_us() < 50.0,
+            "{}",
+            r.latency_us()
+        );
         assert!(r.counters.sysmem_writes > 0);
     }
 

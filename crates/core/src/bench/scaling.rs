@@ -90,7 +90,9 @@ pub fn ring_scaling(backend: Backend, nodes: usize, elements: usize) -> ScalingR
     }
     let elapsed = c.sim.run();
     let reference = reference_sums(nodes, elements);
-    let verified = bufs.iter().all(|&buf| buffer_matches(&c.bus, buf, &reference));
+    let verified = bufs
+        .iter()
+        .all(|&buf| buffer_matches(&c.bus, buf, &reference));
     ScalingResult {
         nodes,
         elements,
@@ -200,7 +202,11 @@ pub fn render(elements: usize, results: &[ScalingResult]) -> String {
             r.shards,
             tc_desim::time::to_us_f64(r.elapsed),
             r.ns_per_element(),
-            if r.verified { "" } else { "  [FAIL] wrong sums" },
+            if r.verified {
+                ""
+            } else {
+                "  [FAIL] wrong sums"
+            },
         ));
     }
     out.push_str(

@@ -124,9 +124,8 @@ pub fn sweep(iters: u32) -> Vec<SensitivityResult> {
 
 /// Render results gathered per [`check`], in [`knobs`] order.
 pub fn render(results: &[SensitivityResult]) -> String {
-    let mut out = String::from(
-        "# extension: calibration sensitivity — do the paper's orderings survive?\n",
-    );
+    let mut out =
+        String::from("# extension: calibration sensitivity — do the paper's orderings survive?\n");
     out.push_str(&format!(
         "{:28} {:>18} {:>18} {:>14}\n",
         "perturbation", "EXTOLL host wins", "pollOnGPU wins", "IB host wins"
@@ -172,11 +171,7 @@ mod tests {
     #[test]
     fn orderings_survive_halved_and_doubled_calibration() {
         for r in sweep(10) {
-            assert!(
-                r.all_hold(),
-                "ordering flipped under {}: {r:?}",
-                r.knob
-            );
+            assert!(r.all_hold(), "ordering flipped under {}: {r:?}", r.knob);
         }
     }
 

@@ -131,9 +131,8 @@ pub fn point(size: u64, messages: u32) -> StagingResult {
 
 /// Render sweep results (in [`sizes`] order) as the text report.
 pub fn render(results: &[StagingResult]) -> String {
-    let mut out = String::from(
-        "# extension: host-staged pipeline vs GPUDirect (host-controlled, EXTOLL)\n",
-    );
+    let mut out =
+        String::from("# extension: host-staged pipeline vs GPUDirect (host-controlled, EXTOLL)\n");
     out.push_str(&format!(
         "{:>10} {:>16} {:>16} {:>10}\n",
         "bytes", "GPUDirect MB/s", "staged MB/s", "winner"
@@ -144,7 +143,11 @@ pub fn render(results: &[StagingResult]) -> String {
             r.size,
             r.direct_mbs(),
             r.staged_mbs(),
-            if r.direct < r.staged { "direct" } else { "staged" }
+            if r.direct < r.staged {
+                "direct"
+            } else {
+                "staged"
+            }
         ));
     }
     out.push_str(

@@ -10,8 +10,8 @@
 //! same run as Chrome trace-event JSON for Perfetto / `chrome://tracing`.
 
 use tc_desim::time;
-use tc_trace::{chrome, ArgVal, Phase, TraceEvent};
 use tc_extoll::WrFlags;
+use tc_trace::{chrome, ArgVal, Phase, TraceEvent};
 
 use crate::cluster::{Backend, Cluster};
 
@@ -94,7 +94,7 @@ pub fn report(size: u64) -> String {
     for ev in &tl {
         let dur = match ev.phase {
             Phase::Span { dur } => format!(" [{:.3} us]", time::to_us_f64(dur)),
-            Phase::Instant => String::new(),
+            Phase::Instant | Phase::Counter { .. } => String::new(),
         };
         out.push_str(&format!(
             "{:>12.3} {:>9.3}  {:<24} {}{}{}\n",
@@ -178,7 +178,12 @@ mod tests {
         // Instance-indexed tracks (gpu0.*, pcie0.*, …) group under a
         // per-node Perfetto process; layer-global tracks keep the bare
         // layer name.
-        for pname in ["\"desim\"", "\"node0/gpu\"", "\"node0/pcie\"", "\"node0/nic\""] {
+        for pname in [
+            "\"desim\"",
+            "\"node0/gpu\"",
+            "\"node0/pcie\"",
+            "\"node0/nic\"",
+        ] {
             assert!(a.contains(pname), "missing process {pname}");
         }
     }

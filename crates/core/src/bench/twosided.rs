@@ -49,8 +49,18 @@ fn run(size: u64, iters: u32, two_sided: bool) -> Time {
     let rx0 = c.nodes[0].host_heap.alloc(buf_len, 256);
     let tx1 = c.nodes[1].host_heap.alloc(buf_len, 256);
     let rx1 = c.nodes[1].host_heap.alloc(buf_len, 256);
-    let ctx0 = IbvContext::new(c.nodes[0].ib().clone(), c.nodes[0].host_heap.clone(), None, BufLoc::Host);
-    let ctx1 = IbvContext::new(c.nodes[1].ib().clone(), c.nodes[1].host_heap.clone(), None, BufLoc::Host);
+    let ctx0 = IbvContext::new(
+        c.nodes[0].ib().clone(),
+        c.nodes[0].host_heap.clone(),
+        None,
+        BufLoc::Host,
+    );
+    let ctx1 = IbvContext::new(
+        c.nodes[1].ib().clone(),
+        c.nodes[1].host_heap.clone(),
+        None,
+        BufLoc::Host,
+    );
     let cq0 = ctx0.create_cq(BufLoc::Host);
     let cq1 = ctx1.create_cq(BufLoc::Host);
     let qp0 = Rc::new(ctx0.create_qp(cq0.clone(), cq0.clone(), BufLoc::Host));
@@ -73,7 +83,8 @@ fn run(size: u64, iters: u32, two_sided: bool) -> Time {
     if two_sided {
         c.sim.spawn("ts.node0", async move {
             // Keep one receive pre-posted at all times.
-            qp0.post_recv(&cpu0, m_rx0.addr, m_rx0.lkey, buf_len as u32).await;
+            qp0.post_recv(&cpu0, m_rx0.addr, m_rx0.lkey, buf_len as u32)
+                .await;
             for i in 0..total {
                 if i == warmup {
                     ts.set(sim.now());
@@ -95,16 +106,19 @@ fn run(size: u64, iters: u32, two_sided: bool) -> Time {
                 // Local send completion + the pong's receive completion.
                 cq0.wait(&cpu0).await;
                 cq0.wait(&cpu0).await;
-                qp0.post_recv(&cpu0, m_rx0.addr, m_rx0.lkey, buf_len as u32).await;
+                qp0.post_recv(&cpu0, m_rx0.addr, m_rx0.lkey, buf_len as u32)
+                    .await;
             }
             te.set(sim.now());
         });
         c.sim.spawn("ts.node1", async move {
-            qp1.post_recv(&cpu1, m_rx1.addr, m_rx1.lkey, buf_len as u32).await;
+            qp1.post_recv(&cpu1, m_rx1.addr, m_rx1.lkey, buf_len as u32)
+                .await;
             for _ in 0..total {
                 // Wait for the ping's receive completion.
                 cq1.wait(&cpu1).await;
-                qp1.post_recv(&cpu1, m_rx1.addr, m_rx1.lkey, buf_len as u32).await;
+                qp1.post_recv(&cpu1, m_rx1.addr, m_rx1.lkey, buf_len as u32)
+                    .await;
                 qp1.post_send(
                     &cpu1,
                     &SendWr {

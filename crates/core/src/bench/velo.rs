@@ -74,7 +74,8 @@ fn rma_side(size: u64, iters: u32) -> (Time, f64) {
         // Latency phase: ping-pong.
         let t0 = sim.now();
         for _ in 0..iters {
-            p0.post_put(&t, i1, nla_tx0, nla_rx1, size as u32, flags).await;
+            p0.post_put(&t, i1, nla_tx0, nla_rx1, size as u32, flags)
+                .await;
             p0.requester.wait(&t).await;
             p0.requester.free(&t).await;
             p0.completer.wait(&t).await;
@@ -106,7 +107,8 @@ fn rma_side(size: u64, iters: u32) -> (Time, f64) {
         for _ in 0..iters {
             p1.completer.wait(&t).await;
             p1.completer.free(&t).await;
-            p1.post_put(&t, i0, nla_tx1, nla_rx0, size as u32, flags).await;
+            p1.post_put(&t, i0, nla_tx1, nla_rx0, size as u32, flags)
+                .await;
             p1.requester.wait(&t).await;
             p1.requester.free(&t).await;
         }
@@ -186,9 +188,8 @@ pub fn point(size: u64, iters: u32) -> VeloResult {
 
 /// Render sweep results (in [`sizes`] order) as the text report.
 pub fn render(results: &[VeloResult]) -> String {
-    let mut out = String::from(
-        "# extension: VELO small-message engine vs RMA put (GPU-driven, EXTOLL)\n",
-    );
+    let mut out =
+        String::from("# extension: VELO small-message engine vs RMA put (GPU-driven, EXTOLL)\n");
     out.push_str(&format!(
         "{:>8} {:>14} {:>14} {:>14} {:>14}\n",
         "bytes", "RMA lat us", "VELO lat us", "RMA msg/s", "VELO msg/s"

@@ -31,6 +31,7 @@ use std::rc::Rc;
 
 use tc_desim::time::{self, Time};
 use tc_trace::rng::XorShift64;
+use tc_trace::series::{Sampler, SeriesSet};
 use tc_trace::Snapshot;
 
 use tc_pcie::Processor;
@@ -195,9 +196,8 @@ enum Op {
 /// Pre-generate one connection's arrival schedule: `(arrival time, op)`,
 /// strictly increasing times.
 fn schedule(spec: &WorkloadSpec, conn: u32) -> Vec<(Time, Op)> {
-    let mut rng = XorShift64::new(
-        spec.seed ^ (conn as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
+    let mut rng =
+        XorShift64::new(spec.seed ^ (conn as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     // Uniform in (0, 1): 53 random mantissa bits, offset by half an ulp so
     // ln() never sees 0.
     let unit = |rng: &mut XorShift64| ((rng.next_u64() >> 11) as f64 + 0.5) / 2f64.powi(53);
@@ -213,7 +213,10 @@ fn schedule(spec: &WorkloadSpec, conn: u32) -> Vec<(Time, Op)> {
                     // Gap compensating the fast intra-burst spacing so the
                     // long-run mean inter-arrival stays `mean_ps`.
                     let intra = mean_ps / 10.0;
-                    exp(&mut rng, BURST_LEN as f64 * mean_ps - (BURST_LEN - 1) as f64 * intra)
+                    exp(
+                        &mut rng,
+                        BURST_LEN as f64 * mean_ps - (BURST_LEN - 1) as f64 * intra,
+                    )
                 } else {
                     exp(&mut rng, mean_ps / 10.0)
                 }
@@ -241,6 +244,29 @@ fn schedule(spec: &WorkloadSpec, conn: u32) -> Vec<(Time, Op)> {
 
 /// Run one load point to completion and measure it.
 pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
+    run_inner(spec, None).0
+}
+
+/// Like [`run`], but also samples windowed telemetry (offered/achieved
+/// kop/s, queue depth with window highs, latency percentiles, message
+/// credit stalls) every `window_ps` of simulated time. Sampling is
+/// host-driven — the simulation is stepped to each window edge and the
+/// registry snapshotted in between — so the measured result is
+/// byte-identical to an unsampled [`run`] of the same spec.
+pub fn run_with_series(spec: &WorkloadSpec, window_ps: Time) -> (WorkloadResult, SeriesSet) {
+    assert!(window_ps > 0, "window must be positive");
+    let (r, s) = run_inner(spec, Some(window_ps));
+    (r, s.expect("sampling was requested"))
+}
+
+/// Offered/achieved ops in a window, expressed as kop/s (integer, for
+/// deterministic series rendering).
+fn window_kops(ops: u64, window_ps: Time) -> u64 {
+    // ops / (window_ps · 1e-12 s) / 1e3 = ops · 1e9 / window_ps.
+    (ops as f64 * 1e9 / window_ps as f64).round() as u64
+}
+
+fn run_inner(spec: &WorkloadSpec, window_ps: Option<Time>) -> (WorkloadResult, Option<SeriesSet>) {
     assert!(spec.conns > 0 && spec.offered_kops > 0.0 && spec.queue_cap > 0);
     let c = Cluster::new(spec.backend);
     let scope = c.sim.registry().scope("workload");
@@ -259,8 +285,10 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
         msg_cfg.eager_threshold = t;
     }
 
+    let mut last_arrival: Time = 0;
     for conn in 0..spec.conns {
         let plan = schedule(spec, conn);
+        last_arrival = last_arrival.max(plan.last().map_or(0, |p| p.0));
         let cells = Rc::new(ConnCells::default());
         conn_cells.push(cells.clone());
 
@@ -274,8 +302,11 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
         {
             let sim = c.sim.clone();
             let (q, wake, done) = (queue.clone(), wakeup.clone(), gen_done.clone());
-            let (arrivals, dropped, depth) =
-                (arrivals_ctr.clone(), dropped_ctr.clone(), depth_gauge.clone());
+            let (arrivals, dropped, depth) = (
+                arrivals_ctr.clone(),
+                dropped_ctr.clone(),
+                depth_gauge.clone(),
+            );
             let cells = cells.clone();
             let cap = spec.queue_cap;
             c.sim.spawn(&format!("workload.gen{conn}"), async move {
@@ -303,25 +334,111 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
         }
 
         match spec.app {
-            None => spawn_raw_conn(&c, conn, &queue, &wakeup, &gen_done, &conn_done, &cells, WorkerCtrs {
-                completed: completed_ctr.clone(),
-                errors: errors_ctr.clone(),
-                depth: depth_gauge.clone(),
-                latency: latency_hist.clone(),
-                last_done: last_done.clone(),
-            }),
-            Some(kind) => spawn_app_conn(&c, conn, kind, msg_cfg, &queue, &wakeup, &gen_done, &conn_done, &cells, WorkerCtrs {
-                completed: completed_ctr.clone(),
-                errors: errors_ctr.clone(),
-                depth: depth_gauge.clone(),
-                latency: latency_hist.clone(),
-                last_done: last_done.clone(),
-            }),
+            None => spawn_raw_conn(
+                &c,
+                conn,
+                &queue,
+                &wakeup,
+                &gen_done,
+                &conn_done,
+                &cells,
+                WorkerCtrs {
+                    completed: completed_ctr.clone(),
+                    errors: errors_ctr.clone(),
+                    depth: depth_gauge.clone(),
+                    latency: latency_hist.clone(),
+                    last_done: last_done.clone(),
+                },
+            ),
+            Some(kind) => spawn_app_conn(
+                &c,
+                conn,
+                kind,
+                msg_cfg,
+                &queue,
+                &wakeup,
+                &gen_done,
+                &conn_done,
+                &cells,
+                WorkerCtrs {
+                    completed: completed_ctr.clone(),
+                    errors: errors_ctr.clone(),
+                    depth: depth_gauge.clone(),
+                    latency: latency_hist.clone(),
+                    last_done: last_done.clone(),
+                },
+            ),
         }
     }
 
     let start = c.sim.registry().snapshot();
-    c.sim.run();
+    // Deterministic quiescence guard: every operation must complete and
+    // every server must drain within a generous service allowance after
+    // the last arrival. A run that reaches the horizon with live
+    // processes is stuck — deadlocked (blocked with no timers) or
+    // livelocked (servers polling a condition that can never come true) —
+    // and gets dumped loudly instead of hanging the harness forever.
+    let total_ops = spec.ops_per_conn as u64 * spec.conns as u64;
+    let horizon = last_arrival + time::ms(2) * total_ops.max(1) + time::ms(20);
+    let series = match window_ps {
+        None => {
+            c.sim.run_until(horizon);
+            None
+        }
+        Some(window) => {
+            let mut sampler = Sampler::new(window, &["workload0.", "msg0."], start.clone());
+            let (mut prev_arr, mut prev_comp) = (0u64, 0u64);
+            let mut wstart: Time = 0;
+            loop {
+                // Half-open window [wstart, wstart + window), like the
+                // sharded coordinator's.
+                let wend = wstart.saturating_add(window);
+                c.sim.run_until(wend - 1);
+                let snap = c.sim.registry().snapshot();
+                let arr = snap.get("workload0.arrivals");
+                let comp = snap.get("workload0.completed");
+                sampler.push(
+                    "workload.offered_kops",
+                    "kop/s",
+                    wstart,
+                    window_kops(arr - prev_arr, window),
+                );
+                sampler.push(
+                    "workload.achieved_kops",
+                    "kop/s",
+                    wstart,
+                    window_kops(comp - prev_comp, window),
+                );
+                (prev_arr, prev_comp) = (arr, comp);
+                sampler.sample(wstart, &snap);
+                wstart = wend;
+                if c.sim.next_event_time().is_none() || wstart >= horizon {
+                    break;
+                }
+            }
+            Some(sampler.finish())
+        }
+    };
+    // Device daemons (NIC engines) legitimately stay alive after the
+    // workload drains, so liveness alone is not a hang. Stuck means:
+    // events still scheduled at the horizon (a poll loop that will never
+    // satisfy its condition), or a connection whose books do not balance
+    // (a generator or worker blocked forever with no timer).
+    let books_balance = conn_cells.iter().all(|cc| {
+        cc.arrivals.get() == spec.ops_per_conn as u64
+            && cc.arrivals.get() == cc.completed.get() + cc.dropped.get()
+    });
+    if c.sim.next_event_time().is_some() || !books_balance {
+        panic!(
+            "workload ({:?}/{}/{} conns @ {} kop/s) failed to quiesce by t={} ps:\n{}",
+            spec.backend,
+            spec.process.label(),
+            spec.conns,
+            spec.offered_kops,
+            horizon,
+            c.sim.stuck_dump()
+        );
+    }
     let registry = c.sim.registry().snapshot().delta(&start);
 
     let completed = registry.get("workload0.completed");
@@ -330,7 +447,7 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
         .histogram("workload0.latency_ps")
         .cloned()
         .unwrap_or_default();
-    WorkloadResult {
+    let result = WorkloadResult {
         spec: *spec,
         offered_ops: spec.offered_kops * 1e3 * spec.conns as f64,
         achieved_ops: if elapsed == 0 {
@@ -347,7 +464,8 @@ pub fn run(spec: &WorkloadSpec) -> WorkloadResult {
         elapsed,
         per_conn: conn_cells.iter().map(|c| c.stats()).collect(),
         registry,
-    }
+    };
+    (result, series)
 }
 
 /// Global counter handles threaded into each connection's worker.
@@ -384,8 +502,12 @@ fn spawn_raw_conn(
     {
         let sim = c.sim.clone();
         let gpu = c.nodes[0].gpu.clone();
-        let (q, wake, gdone, cdone) =
-            (queue.clone(), wakeup.clone(), gen_done.clone(), conn_done.clone());
+        let (q, wake, gdone, cdone) = (
+            queue.clone(),
+            wakeup.clone(),
+            gen_done.clone(),
+            conn_done.clone(),
+        );
         let cells = cells.clone();
         c.sim.spawn(&format!("workload.conn{conn}"), async move {
             let t = gpu.thread();
@@ -425,7 +547,10 @@ fn spawn_raw_conn(
                         }
                     }
                     None if gdone.get() => break,
-                    None => wake.wait_until(|| gdone.get() || !q.borrow().is_empty()).await,
+                    None => {
+                        wake.wait_until(|| gdone.get() || !q.borrow().is_empty())
+                            .await
+                    }
                 }
             }
             cdone.set(true);
@@ -486,8 +611,12 @@ fn spawn_app_conn(
     {
         let sim = c.sim.clone();
         let gpu = c.nodes[0].gpu.clone();
-        let (q, wake, gdone, cdone) =
-            (queue.clone(), wakeup.clone(), gen_done.clone(), conn_done.clone());
+        let (q, wake, gdone, cdone) = (
+            queue.clone(),
+            wakeup.clone(),
+            gen_done.clone(),
+            conn_done.clone(),
+        );
         let (ready, rsig) = (ready.clone(), ready_sig.clone());
         let cells = cells.clone();
         c.sim.spawn(&format!("workload.conn{conn}"), async move {
@@ -520,7 +649,10 @@ fn spawn_app_conn(
                         }
                     }
                     None if gdone.get() => break,
-                    None => wake.wait_until(|| gdone.get() || !q.borrow().is_empty()).await,
+                    None => {
+                        wake.wait_until(|| gdone.get() || !q.borrow().is_empty())
+                            .await
+                    }
                 }
             }
             cdone.set(true);
@@ -712,7 +844,10 @@ mod tests {
                 }
             }
             let total: u64 = r.per_conn.iter().map(|c| c.completed).sum();
-            assert_eq!(total, r.completed, "{backend:?}: per-conn sums match globals");
+            assert_eq!(
+                total, r.completed,
+                "{backend:?}: per-conn sums match globals"
+            );
         }
     }
 
@@ -724,6 +859,51 @@ mod tests {
         assert_eq!(a.registry, b.registry);
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.per_conn, b.per_conn);
+    }
+
+    #[test]
+    fn sampled_run_is_byte_identical_to_unsampled() {
+        // Host-driven sampling must not perturb the run: same registry
+        // delta, same elapsed time, same per-conn books — only the series
+        // is extra.
+        let spec = quick_spec(Backend::Extoll, 200.0);
+        let plain = run(&spec);
+        let (sampled, series) = run_with_series(&spec, time::us(50));
+        assert_eq!(plain.registry, sampled.registry);
+        assert_eq!(plain.elapsed, sampled.elapsed);
+        assert_eq!(plain.per_conn, sampled.per_conn);
+
+        assert!(!series.is_empty());
+        let offered = series.get("workload.offered_kops").unwrap();
+        let achieved = series.get("workload.achieved_kops").unwrap();
+        assert_eq!(offered.points.len(), achieved.points.len());
+        // Window sums reproduce the run totals.
+        let arr: u64 = series
+            .get("workload0.arrivals")
+            .unwrap()
+            .points
+            .iter()
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(arr, 80);
+        let comp: u64 = series
+            .get("workload0.completed")
+            .unwrap()
+            .points
+            .iter()
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(comp, plain.completed);
+        // Queue-depth gauge gets level and window-high series.
+        assert!(series.get("workload0.queue_depth").is_some());
+        assert!(series.get("workload0.queue_depth.high").is_some());
+        // Windows are on the fixed grid.
+        for w in offered.points.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, time::us(50));
+        }
+        // Deterministic, including the JSON rendering.
+        let (_, series2) = run_with_series(&spec, time::us(50));
+        assert_eq!(series.to_json("workload"), series2.to_json("workload"));
     }
 
     #[test]
@@ -750,9 +930,18 @@ mod tests {
                 assert_eq!(r.per_conn[0].received, 12, "{backend:?} {kind:?}");
                 // The size ladder straddles the crossover, so both paths
                 // must have carried traffic.
-                assert!(r.registry.get("msg0.delivered") >= 24, "{backend:?} {kind:?}");
-                assert!(r.registry.get("msg0.rndv_sends") > 0, "{backend:?} {kind:?}");
-                assert!(r.registry.get("msg0.eager_sends") > 0, "{backend:?} {kind:?}");
+                assert!(
+                    r.registry.get("msg0.delivered") >= 24,
+                    "{backend:?} {kind:?}"
+                );
+                assert!(
+                    r.registry.get("msg0.rndv_sends") > 0,
+                    "{backend:?} {kind:?}"
+                );
+                assert!(
+                    r.registry.get("msg0.eager_sends") > 0,
+                    "{backend:?} {kind:?}"
+                );
             }
         }
     }

@@ -117,6 +117,22 @@ impl Node {
     }
 }
 
+/// Adapter feeding data-plane bus traffic into the causal log as
+/// observed-write edges. Installed by [`Cluster::causal_enable`]; the bus
+/// carries no watch (zero per-access cost beyond one branch) until then.
+struct CausalBusWatch {
+    causal: tc_desim::Sim,
+}
+
+impl tc_mem::BusWatch for CausalBusWatch {
+    fn store(&self, addr: u64) {
+        self.causal.causal().note_store(addr);
+    }
+    fn load(&self, addr: u64) {
+        self.causal.causal().note_load(addr);
+    }
+}
+
 /// The complete two-node system.
 pub struct Cluster {
     /// The simulation that everything runs in.
@@ -177,7 +193,10 @@ impl Cluster {
         let nodes = (first..first + count)
             .map(|idx| {
                 bus.add_ram(
-                    Rc::new(SparseMem::new(layout::host_dram(idx), layout::HOST_DRAM_LEN)),
+                    Rc::new(SparseMem::new(
+                        layout::host_dram(idx),
+                        layout::HOST_DRAM_LEN,
+                    )),
                     RegionKind::HostDram { node: idx },
                 );
                 let pcie =
@@ -188,7 +207,8 @@ impl Cluster {
                     layout::host_dram(idx) + layout::HOST_DRAM_LEN / 2,
                     layout::HOST_DRAM_LEN / 2,
                 ));
-                let host_heap = Rc::new(Heap::new(layout::host_dram(idx), layout::HOST_DRAM_LEN / 2));
+                let host_heap =
+                    Rc::new(Heap::new(layout::host_dram(idx), layout::HOST_DRAM_LEN / 2));
                 let (extoll, ib) = match cfg.backend {
                     Backend::Extoll => {
                         let notif_heap = if cfg.extoll_notif_on_gpu {
@@ -198,10 +218,7 @@ impl Cluster {
                             let base = gpu.alloc(1 << 22, 4096);
                             Heap::new(tc_mem::layout::gpu_dram_to_bar(base), 1 << 22)
                         } else {
-                            Heap::new(
-                                kernel_heap.alloc(1 << 22, 4096),
-                                1 << 22,
-                            )
+                            Heap::new(kernel_heap.alloc(1 << 22, 4096), 1 << 22)
                         };
                         (
                             Some(ExtollNic::new(
@@ -284,6 +301,19 @@ impl Cluster {
     /// shard-local subset).
     pub fn total_nodes(&self) -> usize {
         self.total_nodes
+    }
+
+    /// Clear and start causal recording for this cluster: enables the
+    /// executor's causal log and installs the bus watch that carries
+    /// causality through polled completions (EXTOLL notification queues,
+    /// IB CQs, tag polls) as observed-write edges. Off by default; like
+    /// the trace recorder, recording only observes and cannot perturb
+    /// simulated time.
+    pub fn causal_enable(&self) {
+        self.sim.causal_enable();
+        self.bus.set_watch(Some(Rc::new(CausalBusWatch {
+            causal: self.sim.clone(),
+        })));
     }
 }
 

@@ -75,12 +75,7 @@ pub async fn exchange<P: Processor>(
 }
 
 /// Two-node barrier: returns once both ranks have entered epoch `epoch`.
-pub async fn barrier<P: Processor>(
-    p: &P,
-    ep: &PutGetEndpoint,
-    local_base: Addr,
-    epoch: u64,
-) {
+pub async fn barrier<P: Processor>(p: &P, ep: &PutGetEndpoint, local_base: Addr, epoch: u64) {
     // A zero-length exchange: just the tags.
     let l = layout(0);
     p.st_u64(local_base + l.tag_out, epoch).await;
@@ -153,7 +148,10 @@ mod tests {
     use crate::api::{create_pair, QueueLoc};
     use crate::cluster::{Backend, Cluster};
 
-    fn setup(backend: Backend, data_len: u64) -> (Cluster, Addr, Addr, PutGetEndpoint, PutGetEndpoint) {
+    fn setup(
+        backend: Backend,
+        data_len: u64,
+    ) -> (Cluster, Addr, Addr, PutGetEndpoint, PutGetEndpoint) {
         let c = Cluster::new(backend);
         let total = data_len + scratch_bytes(data_len);
         let a = c.nodes[0].gpu.alloc(total, 256);

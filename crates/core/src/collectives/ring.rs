@@ -49,11 +49,15 @@ impl RingLayout {
         self.vec_bytes + (epoch % 2) * self.chunk_bytes
     }
 
-    fn tag_out(&self) -> u64 {
+    /// Offset of the outgoing tag word (put into the right neighbour's
+    /// `tag_in`).
+    pub fn tag_out(&self) -> u64 {
         self.vec_bytes + 2 * self.chunk_bytes
     }
 
-    fn tag_in(&self) -> u64 {
+    /// Offset of the incoming tag word (written by the left neighbour,
+    /// polled locally).
+    pub fn tag_in(&self) -> u64 {
         self.tag_out() + 8
     }
 }
@@ -61,11 +65,7 @@ impl RingLayout {
 /// Build the ring's endpoint pairs: `to_right[n]` sends from rank `n` into
 /// rank `(n+1) % N`'s buffer. `bufs[n]` must be `layout.buffer_bytes()`
 /// long.
-pub fn build_ring(
-    cluster: &Cluster,
-    bufs: &[Addr],
-    layout: RingLayout,
-) -> Vec<PutGetEndpoint> {
+pub fn build_ring(cluster: &Cluster, bufs: &[Addr], layout: RingLayout) -> Vec<PutGetEndpoint> {
     let n = bufs.len();
     assert_eq!(n as u64, layout.nodes);
     (0..n)
@@ -141,8 +141,7 @@ pub fn build_ring_sharded(
     // Pass 2 — all-gather the cut edges' exports, then connect. Connects
     // are pure state wiring (`Backend::connect_half`), so running them
     // here instead of inside each edge's build is unobservable.
-    let all: Vec<(usize, bool, HalfExport)> =
-        sc.exchange(exports).into_iter().flatten().collect();
+    let all: Vec<(usize, bool, HalfExport)> = sc.exchange(exports).into_iter().flatten().collect();
     let peer = |edge: usize, a_side: bool| -> HalfExport {
         all.iter()
             .find(|&&(e, s, _)| e == edge && s == a_side)

@@ -68,7 +68,9 @@ pub mod transport;
 pub use api::{create_pair, create_pair_between, CommError, PutGetEndpoint, QueueLoc};
 pub use cluster::{Backend, Cluster, ClusterConfig, Node};
 pub use msg::apps::AppKind;
-pub use msg::{messenger_pair, messenger_pair_between, MsgConfig, MsgDesc, Messenger, RendezvousMode};
+pub use msg::{
+    messenger_pair, messenger_pair_between, Messenger, MsgConfig, MsgDesc, RendezvousMode,
+};
 pub use shard::{ShardCluster, ShardPlan, WireFrame};
 pub use transport::{AnyTransport, ExtollTransport, IbTransport, Transport, TransportCaps};
 

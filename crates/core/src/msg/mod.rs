@@ -396,7 +396,8 @@ impl<T: Transport> Messenger<T> {
             self.credits.set(self.credits.get() - 1);
             self.stats.eager_frags.add(1);
             let end = (off + fp).min(data.len());
-            self.emit(p, FrameKind::Eager, seq, total, &data[off..end]).await?;
+            self.emit(p, FrameKind::Eager, seq, total, &data[off..end])
+                .await?;
             off = end;
             if off >= data.len() {
                 return Ok(());
@@ -529,10 +530,7 @@ impl<T: Transport> Messenger<T> {
 
     /// Non-blocking [`Messenger::recv_desc`]: drain whatever frames are
     /// pending, return the next message if one is complete.
-    pub async fn try_recv_desc<P: Processor>(
-        &self,
-        p: &P,
-    ) -> Result<Option<MsgDesc>, CommError> {
+    pub async fn try_recv_desc<P: Processor>(&self, p: &P) -> Result<Option<MsgDesc>, CommError> {
         self.init(p).await;
         self.flush_release(p).await?;
         loop {
@@ -663,10 +661,13 @@ impl<T: Transport> Messenger<T> {
                     // Peer staging regions start at offset 0 on both sides.
                     self.tp.get(p, self.rx_base(), 0, len).await?;
                 }
-                self.state.borrow_mut().ready.push_back(MsgDesc::Rendezvous {
-                    off: self.rx_base(),
-                    len,
-                });
+                self.state
+                    .borrow_mut()
+                    .ready
+                    .push_back(MsgDesc::Rendezvous {
+                        off: self.rx_base(),
+                        len,
+                    });
                 self.stats.delivered.add(1);
                 self.stats.fin.add(1);
                 self.emit(p, FrameKind::Fin, seq, len, &[]).await
@@ -745,9 +746,9 @@ pub fn messenger_pair_between(
 ) -> (Messenger<AnyTransport>, Messenger<AnyTransport>) {
     let buf_a = c.nodes[node_a].gpu.alloc(buf_len, 256);
     let buf_b = c.nodes[node_b].gpu.alloc(buf_len, 256);
-    let (ta, tb) = c
-        .backend
-        .instantiate(c, (node_a, buf_a), (node_b, buf_b), buf_len, QueueLoc::Host);
+    let (ta, tb) =
+        c.backend
+            .instantiate(c, (node_a, buf_a), (node_b, buf_b), buf_len, QueueLoc::Host);
     let stats = MsgStats::in_scope(&c.sim.registry().scope("msg"));
     (
         Messenger::new(

@@ -21,7 +21,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use tc_desim::{Outgoing, ShardHandle, Time};
+use tc_desim::{Outgoing, ShardHandle, Time, WindowStat};
 use tc_extoll::RmaFrame;
 use tc_ib::IbFrame;
 
@@ -144,24 +144,22 @@ impl<'c> ShardCluster<'c> {
             Backend::Extoll => ClusterConfig::extoll(),
             Backend::Infiniband => ClusterConfig::infiniband(),
         };
-        let cluster = Cluster::with_config_subset(
-            ClusterConfig {
-                nodes,
-                ..cfg
-            },
-            first,
-            per_shard,
-        );
+        let cluster = Cluster::with_config_subset(ClusterConfig { nodes, ..cfg }, first, per_shard);
         let staged = Rc::new(RefCell::new(Vec::new()));
         let owned = first..first + per_shard;
         for port in (0..nodes).filter(|p| !owned.contains(p)) {
             cluster.extoll_fabric.mark_remote(port);
             cluster.ib_fabric.mark_remote(port);
         }
+        // Each tap also logs a causal export: staging order here equals
+        // the coordinator's drain order, which assigns envelope sequence
+        // numbers — so `exports[seq]` on this shard is exactly the node
+        // that produced envelope `seq` (resolved by `Cause::Import` on
+        // the receiving shard).
         let tap = staged.clone();
-        cluster
-            .extoll_fabric
-            .set_remote_tap(Box::new(move |dst, src, deliver_at, bytes, frame| {
+        let tap_sim = cluster.sim.clone();
+        cluster.extoll_fabric.set_remote_tap(Box::new(
+            move |dst, src, deliver_at, bytes, frame| {
                 tap.borrow_mut().push(Outgoing {
                     dst_shard: dst / per_shard,
                     deliver_at,
@@ -172,8 +170,11 @@ impl<'c> ShardCluster<'c> {
                         frame,
                     },
                 });
-            }));
+                tap_sim.causal_export();
+            },
+        ));
         let tap = staged.clone();
+        let tap_sim = cluster.sim.clone();
         cluster
             .ib_fabric
             .set_remote_tap(Box::new(move |dst, src, deliver_at, bytes, frame| {
@@ -187,6 +188,7 @@ impl<'c> ShardCluster<'c> {
                         frame,
                     },
                 });
+                tap_sim.causal_export();
             }));
         ShardCluster {
             cluster,
@@ -219,32 +221,53 @@ impl<'c> ShardCluster<'c> {
         self.handle.exchange(value)
     }
 
+    /// Enable causal recording on this shard (see
+    /// [`Cluster::causal_enable`]). Call on every shard in the same
+    /// pre-traffic position so cross-shard `Import` edges resolve.
+    pub fn causal_enable(&self) {
+        self.cluster.causal_enable();
+    }
+
     /// Run this shard's simulation to global completion, exchanging
     /// cross-shard frames at lookahead-window barriers. Returns the time
     /// of the last *real* event on this shard (window-edge idling
     /// excluded), so `max` over shards equals the serial completion time.
     pub fn run(&mut self) -> Time {
+        self.run_observed(|_| {})
+    }
+
+    /// Like [`ShardCluster::run`], but reports a deterministic
+    /// [`WindowStat`] per executed barrier window (bounds plus exported /
+    /// imported envelope counts), for per-shard telemetry series.
+    pub fn run_observed(&mut self, on_window: impl FnMut(WindowStat)) -> Time {
         let sim = self.cluster.sim.clone();
+        let import_sim = sim.clone();
         let extoll = self.cluster.extoll_fabric.clone();
         let ib = self.cluster.ib_fabric.clone();
         let staged = self.staged.clone();
-        self.handle.run(
+        self.handle.run_observed(
             &sim,
             move || staged.borrow_mut().drain(..).collect(),
-            move |env| match env.msg {
-                WireFrame::Rma {
-                    dst,
-                    src,
-                    bytes,
-                    frame,
-                } => extoll.inject(dst, src, env.deliver_at, frame, bytes),
-                WireFrame::Ib {
-                    dst,
-                    src,
-                    bytes,
-                    frame,
-                } => ib.inject(dst, src, env.deliver_at, frame, bytes),
+            move |env| {
+                // The next spawn (the injected `fabric.prop` replay) is
+                // caused by the exporting node on the producing shard.
+                import_sim.causal_stage_import(env.src_shard as u32, env.seq);
+                match env.msg {
+                    WireFrame::Rma {
+                        dst,
+                        src,
+                        bytes,
+                        frame,
+                    } => extoll.inject(dst, src, env.deliver_at, frame, bytes),
+                    WireFrame::Ib {
+                        dst,
+                        src,
+                        bytes,
+                        frame,
+                    } => ib.inject(dst, src, env.deliver_at, frame, bytes),
+                }
             },
+            on_window,
         )
     }
 }

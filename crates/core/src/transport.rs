@@ -363,7 +363,8 @@ impl Transport for ExtollTransport {
         let n = self.port.requester.wait(p).await;
         debug_assert_eq!(n.unit, NotifyUnit::Requester);
         self.port.requester.free(p).await;
-        self.outstanding.set(self.outstanding.get().saturating_sub(1));
+        self.outstanding
+            .set(self.outstanding.get().saturating_sub(1));
         Ok(())
     }
 
@@ -371,7 +372,8 @@ impl Transport for ExtollTransport {
         let mut drained = 0;
         while self.port.requester.try_poll(p).await.is_some() {
             self.port.requester.free(p).await;
-            self.outstanding.set(self.outstanding.get().saturating_sub(1));
+            self.outstanding
+                .set(self.outstanding.get().saturating_sub(1));
             drained += 1;
         }
         drained
@@ -538,7 +540,10 @@ impl Transport for IbTransport {
     }
 
     async fn send<P: Processor>(&self, p: &P, payload: &[u8]) -> Result<(), CommError> {
-        assert!(payload.len() <= MSG_SLOT_LEN as usize, "payload exceeds caps");
+        assert!(
+            payload.len() <= MSG_SLOT_LEN as usize,
+            "payload exceeds caps"
+        );
         // The send CQ is shared with one-sided completions; retire those
         // first so the completion reaped below is this send's.
         self.flush(p).await?;
@@ -591,14 +596,16 @@ impl Transport for IbTransport {
     async fn quiet<P: Processor>(&self, p: &P) -> Result<(), CommError> {
         let wc = self.send_cq.wait(p).await;
         debug_assert_eq!(wc.opcode, tc_ib::CqeOpcode::SendComplete);
-        self.outstanding.set(self.outstanding.get().saturating_sub(1));
+        self.outstanding
+            .set(self.outstanding.get().saturating_sub(1));
         status_to_result(wc.status)
     }
 
     async fn poll_completions<P: Processor>(&self, p: &P) -> u64 {
         let mut drained = 0;
         while let Some(wc) = self.send_cq.poll(p).await {
-            self.outstanding.set(self.outstanding.get().saturating_sub(1));
+            self.outstanding
+                .set(self.outstanding.get().saturating_sub(1));
             drained += 1;
             debug_assert_eq!(wc.opcode, tc_ib::CqeOpcode::SendComplete);
         }

@@ -192,7 +192,14 @@ fn check_threshold_straddle(backend: Backend, mode: RendezvousMode) {
     };
     let (m0, m1) = messenger_pair(&c, MSG_BUF, cfg);
     let stats = m0.stats().clone();
-    let sizes = vec![0, 1, threshold - 1, threshold, threshold + 1, 4 * threshold + 13];
+    let sizes = vec![
+        0,
+        1,
+        threshold - 1,
+        threshold,
+        threshold + 1,
+        4 * threshold + 13,
+    ];
     let eager_count = sizes.iter().filter(|&&s| s <= threshold).count() as u64;
     let total = sizes.len() as u64;
     let rndv_count = total - eager_count;
@@ -226,7 +233,10 @@ fn check_threshold_straddle(backend: Backend, mode: RendezvousMode) {
         });
     }
     c.sim.run();
-    assert!(done.get(), "{backend:?}/{mode:?}: battery ran to completion");
+    assert!(
+        done.get(),
+        "{backend:?}/{mode:?}: battery ran to completion"
+    );
     assert_eq!(stats.eager_sends.get(), eager_count, "{backend:?}/{mode:?}");
     assert_eq!(stats.rndv_sends.get(), rndv_count, "{backend:?}/{mode:?}");
     assert_eq!(stats.delivered.get(), total);
@@ -344,10 +354,12 @@ fn check_credit_exhaustion(backend: Backend) {
         stats.credits_returned.get() > 0,
         "{backend:?}: receiver returned credits"
     );
-    let frags = (BIG as u64).div_ceil(
-        (backend.transport_caps().max_small_message - 8) as u64,
+    let frags = (BIG as u64).div_ceil((backend.transport_caps().max_small_message - 8) as u64);
+    assert_eq!(
+        stats.eager_frags.get(),
+        frags,
+        "{backend:?}: fragment count"
     );
-    assert_eq!(stats.eager_frags.get(), frags, "{backend:?}: fragment count");
 }
 
 /// Interleaved eager and rendezvous messages of one direction are

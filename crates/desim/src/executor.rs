@@ -21,6 +21,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use tc_trace::causal::{CausalDump, CausalLog, Cause, NodeId};
 use tc_trace::{Recorder, Registry};
 
 use crate::intern::{NameId, NameTable};
@@ -39,6 +40,16 @@ struct ProcSlot {
     name: NameId,
     /// Set while the process is on the runnable queue, to avoid duplicates.
     queued: bool,
+    /// Causal-log process key (monotone, generation-safe — slab indices
+    /// are recycled, these never are). 0 = not yet assigned; assigned at
+    /// spawn when causal recording is on, else lazily at the first poll
+    /// after it is enabled.
+    causal_key: u64,
+    /// The process's most recent causal node.
+    last_node: Option<NodeId>,
+    /// Why the process is (about to be) runnable; consumed at the next
+    /// poll. First cause wins, mirroring `queued`.
+    cause: Option<Cause>,
 }
 
 pub(crate) struct Inner {
@@ -62,6 +73,28 @@ impl Inner {
             }
         }
     }
+
+    /// Attribute a causal cause to `pid`'s next poll. Only the *first*
+    /// cause sticks (a process already queued keeps the cause that queued
+    /// it), mirroring `make_runnable`'s duplicate suppression — call this
+    /// just before `make_runnable`.
+    fn stage_cause(&mut self, pid: ProcId, cause: Cause) {
+        if let Some(Some(slot)) = self.procs.get_mut(pid.0) {
+            if !slot.queued {
+                slot.cause = Some(cause);
+            }
+        }
+    }
+
+    /// Timer variant of [`Inner::stage_cause`]: the cause is the target's
+    /// own previous node (its delay started there).
+    fn stage_timer_cause(&mut self, pid: ProcId) {
+        if let Some(Some(slot)) = self.procs.get_mut(pid.0) {
+            if !slot.queued {
+                slot.cause = slot.last_node.map(|prev| Cause::Timer { prev });
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -78,6 +111,11 @@ struct Shared {
     inner: RefCell<Inner>,
     registry: Registry,
     recorder: Recorder,
+    causal: CausalLog,
+    /// Cross-shard envelope provenance for the *next* spawn (set by the
+    /// shard coordinator's deliver callback just before it replays an
+    /// envelope, consumed by [`Sim::spawn`]).
+    import_stage: Cell<Option<(u32, u64)>>,
 }
 
 /// Handle to a simulation. Cheap to clone (one reference-count bump); all
@@ -127,6 +165,8 @@ impl Sim {
                 }),
                 registry: Registry::new(),
                 recorder: Recorder::new(),
+                causal: CausalLog::new(),
+                import_stage: Cell::new(None),
             }),
         }
     }
@@ -202,12 +242,27 @@ impl Sim {
                 vec![("proc", name.into())],
             );
         }
+        let (causal_key, cause) = if self.shared.causal.on() {
+            let key = self.shared.causal.new_proc(name);
+            let cause = match self.shared.import_stage.take() {
+                Some((src_shard, seq)) => Cause::Import { src_shard, seq },
+                None => Cause::Spawn {
+                    parent: self.shared.causal.current(),
+                },
+            };
+            (key, Some(cause))
+        } else {
+            (0, None)
+        };
         let mut inner = self.shared.inner.borrow_mut();
         let name = inner.names.intern(name);
         let slot = ProcSlot {
             fut: Some(Box::pin(fut)),
             name,
             queued: true,
+            causal_key,
+            last_node: None,
+            cause,
         };
         let id = match inner.free.pop() {
             Some(i) => {
@@ -225,9 +280,16 @@ impl Sim {
     }
 
     /// Mark `pid` runnable at the current time (no-op if already queued or
-    /// finished). Used by the sync primitives.
+    /// finished). Used by `yield_now`: causally, the process wakes itself
+    /// from its own current node.
     pub(crate) fn make_runnable(&self, pid: ProcId) {
-        self.shared.inner.borrow_mut().make_runnable(pid);
+        let mut inner = self.shared.inner.borrow_mut();
+        if self.shared.causal.on() {
+            if let Some(waker) = self.shared.causal.current() {
+                inner.stage_cause(pid, Cause::Wake { waker });
+            }
+        }
+        inner.make_runnable(pid);
     }
 
     #[inline]
@@ -262,8 +324,16 @@ impl Sim {
     /// recycled cell.
     pub(crate) fn wake_waiters(&self, waiters: &mut Vec<(ProcId, WaitToken)>) {
         let mut inner = self.shared.inner.borrow_mut();
+        let waker = if self.shared.causal.on() {
+            self.shared.causal.current()
+        } else {
+            None
+        };
         for (pid, tok) in waiters.drain(..) {
             inner.waits.set(tok);
+            if let Some(waker) = waker {
+                inner.stage_cause(pid, Cause::Wake { waker });
+            }
             inner.make_runnable(pid);
         }
     }
@@ -271,6 +341,11 @@ impl Sim {
     /// Wake a single waiter.
     pub(crate) fn wake_one(&self, pid: ProcId, tok: WaitToken) {
         let mut inner = self.shared.inner.borrow_mut();
+        if self.shared.causal.on() {
+            if let Some(waker) = self.shared.causal.current() {
+                inner.stage_cause(pid, Cause::Wake { waker });
+            }
+        }
         inner.waits.set(tok);
         inner.make_runnable(pid);
     }
@@ -278,6 +353,7 @@ impl Sim {
     // -----------------------------------------------------------------------
 
     fn poll_proc(&self, pid: ProcId) {
+        let causal_on = self.shared.causal.on();
         // Move the future out of the slab so polling can re-borrow `inner`.
         let mut fut = {
             let mut inner = self.shared.inner.borrow_mut();
@@ -290,8 +366,27 @@ impl Sim {
                 Some(f) => f,
                 None => return,
             };
+            let name = slot.name;
+            if causal_on {
+                let cause = slot.cause.take();
+                let mut key = slot.causal_key;
+                if key == 0 {
+                    // Spawned before causal recording was enabled: assign
+                    // its generation-safe key on first sight.
+                    key = self.shared.causal.new_proc(&inner.names.get(name).clone());
+                    if let Some(Some(slot)) = inner.procs.get_mut(pid.0) {
+                        slot.causal_key = key;
+                    }
+                }
+                let node = self
+                    .shared
+                    .causal
+                    .begin_node(key, self.shared.now.get(), cause);
+                if let Some(Some(slot)) = inner.procs.get_mut(pid.0) {
+                    slot.last_node = Some(node);
+                }
+            }
             if self.shared.recorder.on() {
-                let name = slot.name;
                 self.shared.recorder.instant(
                     self.shared.now.get(),
                     "desim",
@@ -307,6 +402,9 @@ impl Sim {
         let mut cx = Context::from_waker(waker);
         let done = fut.as_mut().poll(&mut cx).is_ready();
         self.shared.current.set(None);
+        if causal_on {
+            self.shared.causal.end_node();
+        }
         let mut inner = self.shared.inner.borrow_mut();
         if done {
             inner.procs[pid.0] = None;
@@ -350,6 +448,9 @@ impl Sim {
                     self.shared.now.set(at);
                     self.shared.last_event.set(at);
                     if let Some(pid) = waiter {
+                        if self.shared.causal.on() {
+                            inner.stage_timer_cause(pid);
+                        }
                         inner.make_runnable(pid);
                     }
                 }
@@ -446,6 +547,100 @@ impl Sim {
             .flatten()
             .map(|s| inner.names.get(s.name).to_string())
             .collect()
+    }
+
+    /// A human-readable report of every live process for quiescence
+    /// failures: one line per stuck process with, when causal recording is
+    /// on, its last causal node (timestamp and the edge that caused it)
+    /// and any pending cause staged for a poll that never happened.
+    pub fn stuck_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.shared.inner.borrow();
+        let causal = &self.shared.causal;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} live process(es) at t={} ps:",
+            inner.live,
+            self.shared.now.get()
+        );
+        for slot in inner.procs.iter().flatten() {
+            let name = inner.names.get(slot.name);
+            let _ = write!(out, "  {name}");
+            if causal.on() {
+                if let Some(n) = slot.last_node.and_then(|id| causal.node(id)) {
+                    let _ = write!(out, ": last polled at t={} ps (cause {:?})", n.ts, n.cause);
+                }
+                if let Some(cause) = slot.cause {
+                    let _ = write!(out, ", pending cause {cause:?}");
+                }
+            }
+            out.push('\n');
+        }
+        if !causal.on() {
+            out.push_str("(enable causal recording for per-process causal edges)\n");
+        }
+        out
+    }
+
+    // -- causal log plumbing ------------------------------------------------
+
+    /// The causal event log shared by every component of this simulation.
+    /// Off by default; see [`Sim::causal_enable`].
+    pub fn causal(&self) -> &CausalLog {
+        &self.shared.causal
+    }
+
+    /// Clear and start causal recording. Process keys already assigned in
+    /// a previous recording window are invalidated and re-assigned
+    /// lazily, so dumps never mix generations.
+    pub fn causal_enable(&self) {
+        self.shared.causal.enable();
+        self.shared.import_stage.set(None);
+        let mut inner = self.shared.inner.borrow_mut();
+        for slot in inner.procs.iter_mut().flatten() {
+            slot.causal_key = 0;
+            slot.last_node = None;
+            slot.cause = None;
+        }
+    }
+
+    /// Whether causal recording is currently enabled.
+    pub fn causal_enabled(&self) -> bool {
+        self.shared.causal.on()
+    }
+
+    /// Label the currently-running process's node as a completion point
+    /// (see [`tc_trace::causal::critical_path`]). No-op when recording is
+    /// off or outside a process.
+    pub fn causal_mark(&self, label: &str) {
+        if self.shared.causal.on() {
+            self.shared.causal.mark(label);
+        }
+    }
+
+    /// Record that the current node exported a cross-shard envelope; call
+    /// from the remote tap, in staging order (export order must equal the
+    /// coordinator's sequence numbering). No-op when recording is off.
+    pub fn causal_export(&self) {
+        if self.shared.causal.on() {
+            self.shared.causal.export_current();
+        }
+    }
+
+    /// Attribute the *next* [`Sim::spawn`] to the cross-shard envelope
+    /// `(src_shard, seq)` instead of its local spawner; call from the
+    /// shard coordinator's deliver callback just before replaying an
+    /// envelope. No-op when recording is off.
+    pub fn causal_stage_import(&self, src_shard: u32, seq: u64) {
+        if self.shared.causal.on() {
+            self.shared.import_stage.set(Some((src_shard, seq)));
+        }
+    }
+
+    /// Take the captured causal graph (see [`CausalLog::dump`]).
+    pub fn causal_dump(&self) -> CausalDump {
+        self.shared.causal.dump()
     }
 
     fn schedule_timer(&self, at: Time, waiter: ProcId) -> TimerRef {

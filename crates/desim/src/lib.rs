@@ -51,8 +51,8 @@ pub mod sync;
 pub mod time;
 
 pub use executor::{ProcId, Sim};
-pub use shard::{run_sharded, Envelope, Outgoing, ShardHandle};
 pub use queue::QueueKind;
+pub use shard::{run_sharded, Envelope, Outgoing, ShardHandle, WindowStat};
 pub use time::{Freq, Time};
 
 // Re-exported so hardware models can name instrumentation types through

@@ -170,7 +170,11 @@ impl Wheel {
     }
 
     fn insert(&mut self, at: Time, seq: u64, waiter: ProcId) -> TimerId {
-        debug_assert!(at > self.elapsed, "timer at {at} not after wheel cursor {}", self.elapsed);
+        debug_assert!(
+            at > self.elapsed,
+            "timer at {at} not after wheel cursor {}",
+            self.elapsed
+        );
         let idx = match self.free.pop() {
             Some(i) => {
                 let s = &mut self.slab[i as usize];
@@ -532,7 +536,12 @@ mod tests {
         let order = drain(&mut w);
         assert_eq!(
             order,
-            vec![(10, ProcId(1)), (64, ProcId(3)), (500, ProcId(0)), (500, ProcId(2))]
+            vec![
+                (10, ProcId(1)),
+                (64, ProcId(3)),
+                (500, ProcId(0)),
+                (500, ProcId(2))
+            ]
         );
     }
 

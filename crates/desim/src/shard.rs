@@ -66,6 +66,24 @@ pub struct Outgoing<M> {
     pub msg: M,
 }
 
+/// Per-window observation handed to [`ShardHandle::run_observed`]'s
+/// callback: everything in it is derived from simulated time and the
+/// deterministic envelope exchange, never from wall-clock state, so a
+/// run's sequence of `WindowStat`s is reproducible bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStat {
+    /// Zero-based index of the window within the run.
+    pub index: u64,
+    /// Window start (inclusive), simulated picoseconds.
+    pub wstart: Time,
+    /// Window end (exclusive), simulated picoseconds.
+    pub wend: Time,
+    /// Envelopes this shard staged for peers during the window.
+    pub exported: u64,
+    /// Envelopes delivered into this shard at the window's barrier.
+    pub imported: u64,
+}
+
 /// A generation-counted rendezvous barrier.
 ///
 /// Like [`std::sync::Barrier`] but (a) every crossing returns the new
@@ -215,10 +233,27 @@ impl<M: Send> ShardHandle<'_, M> {
     pub fn run(
         &mut self,
         sim: &Sim,
+        drain: impl FnMut() -> Vec<Outgoing<M>>,
+        deliver: impl FnMut(Envelope<M>),
+    ) -> Time {
+        self.run_observed(sim, drain, deliver, |_| {})
+    }
+
+    /// Like [`ShardHandle::run`], but invokes `on_window` once per executed
+    /// window with a [`WindowStat`] describing the window's bounds and
+    /// cross-shard traffic. The callback runs between the two barrier
+    /// crossings of the round (after this shard's inbox is drained), on the
+    /// worker thread; it observes only deterministic state, so feeding the
+    /// stats into telemetry cannot perturb the simulation.
+    pub fn run_observed(
+        &mut self,
+        sim: &Sim,
         mut drain: impl FnMut() -> Vec<Outgoing<M>>,
         mut deliver: impl FnMut(Envelope<M>),
+        mut on_window: impl FnMut(WindowStat),
     ) -> Time {
         let mut wstart: Time = 0;
+        let mut window_index: u64 = 0;
         loop {
             // Half-open window [wstart, wend): everything strictly before
             // the boundary executes now; an event exactly at `wend`
@@ -229,7 +264,9 @@ impl<M: Send> ShardHandle<'_, M> {
             sim.run_until(wend - 1);
 
             let mut bound = sim.next_event_time().unwrap_or(Time::MAX);
+            let mut exported: u64 = 0;
             for out in drain() {
+                exported += 1;
                 assert!(
                     out.deliver_at >= wend,
                     "lookahead violated: envelope for shard {} delivers at {} \
@@ -263,6 +300,7 @@ impl<M: Send> ShardHandle<'_, M> {
                 .map(|s| s.load(Ordering::SeqCst))
                 .min()
                 .unwrap_or(Time::MAX);
+            let imported = mine.len() as u64;
             for env in mine {
                 assert_eq!(
                     env.epoch, self.epoch,
@@ -272,6 +310,14 @@ impl<M: Send> ShardHandle<'_, M> {
                 debug_assert!(env.deliver_at >= wend, "delivery into the past");
                 deliver(env);
             }
+            on_window(WindowStat {
+                index: window_index,
+                wstart,
+                wend,
+                exported,
+                imported,
+            });
+            window_index += 1;
             // Second crossing: every inbox is drained and every status
             // read before any shard starts publishing the next round.
             self.epoch = self.coord.barrier.wait();
@@ -456,7 +502,11 @@ mod tests {
                     });
                 }
             };
-            let last = h.run(&sim, move || std::mem::take(&mut *sent.borrow_mut()), deliver);
+            let last = h.run(
+                &sim,
+                move || std::mem::take(&mut *sent.borrow_mut()),
+                deliver,
+            );
             let events = seen.borrow().clone();
             let epoch = *epoch_at_delivery.borrow();
             (last, events, epoch)
@@ -499,7 +549,11 @@ mod tests {
                         order.borrow_mut().push(env.msg);
                     }
                 };
-                h.run(&sim, move || std::mem::take(&mut *sent.borrow_mut()), deliver);
+                h.run(
+                    &sim,
+                    move || std::mem::take(&mut *sent.borrow_mut()),
+                    deliver,
+                );
                 let seen = order.borrow().clone();
                 seen
             });

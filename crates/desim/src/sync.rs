@@ -11,6 +11,8 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll};
 
+use tc_trace::causal::NodeId;
+
 use crate::executor::{ProcId, Sim};
 
 /// Handle to a slab wait cell (see [`WaitCells`]). Stale once the cell is
@@ -244,6 +246,11 @@ struct ChanInner<T> {
     queue: RefCell<VecDeque<T>>,
     changed: Signal,
     closed: Cell<bool>,
+    /// Causal node of each queued item's sender, parallel to `queue`.
+    /// Only populated while causal recording is on; items enqueued before
+    /// recording was enabled carry no entry, so enable causal recording
+    /// before traffic starts for complete channel edges.
+    senders: RefCell<VecDeque<Option<NodeId>>>,
 }
 
 /// A FIFO channel between simulation processes.
@@ -272,6 +279,7 @@ impl<T> Channel<T> {
                 queue: RefCell::new(VecDeque::new()),
                 changed: sim.signal(),
                 closed: Cell::new(false),
+                senders: RefCell::new(VecDeque::new()),
             }),
         }
     }
@@ -308,6 +316,10 @@ impl<T> Channel<T> {
         }
         q.push_back(v);
         drop(q);
+        let causal = self.inner.changed.inner.sim.causal();
+        if causal.on() {
+            self.inner.senders.borrow_mut().push_back(causal.current());
+        }
         self.inner.changed.notify_all();
         Ok(())
     }
@@ -329,6 +341,12 @@ impl<T> Channel<T> {
     pub fn try_recv(&self) -> Option<T> {
         let v = self.inner.queue.borrow_mut().pop_front();
         if v.is_some() {
+            let causal = self.inner.changed.inner.sim.causal();
+            if causal.on() {
+                if let Some(sender) = self.inner.senders.borrow_mut().pop_front().flatten() {
+                    causal.chan_edge(sender);
+                }
+            }
             self.inner.changed.notify_all();
         }
         v

@@ -1,0 +1,251 @@
+//! Causal-graph recording by the executor and sync primitives.
+//!
+//! These tests pin the edge kinds the executor emits (spawn, wake, timer,
+//! import, channel send), the generation safety of `causal_enable`, and
+//! the zero-perturbation contract: recording on or off, a run's simulated
+//! timestamps are bit-identical.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use tc_desim::sync::{Channel, Semaphore};
+use tc_desim::time::ns;
+use tc_desim::Sim;
+use tc_trace::causal::{AuxKind, Cause};
+
+#[test]
+fn spawn_wake_and_timer_edges_are_recorded() {
+    let sim = Sim::new();
+    sim.causal_enable();
+    let sig = sim.signal();
+    let s2 = sig.clone();
+    let woke_at = Rc::new(Cell::new(0u64));
+    let w = woke_at.clone();
+    let h = sim.clone();
+    sim.spawn("waiter", async move {
+        s2.wait().await;
+        w.set(h.now());
+    });
+    let h = sim.clone();
+    sim.spawn("notifier", async move {
+        h.delay(ns(5)).await;
+        sig.notify_all();
+    });
+    sim.run();
+    assert_eq!(woke_at.get(), ns(5));
+
+    let dump = sim.causal_dump();
+    // Four polls: waiter@0 (spawn), notifier@0 (spawn), notifier@5ns
+    // (its own timer), waiter@5ns (woken by the notifier).
+    assert_eq!(dump.nodes.len(), 4);
+    assert!(matches!(
+        dump.nodes[0].cause,
+        Some(Cause::Spawn { parent: None })
+    ));
+    assert!(matches!(
+        dump.nodes[1].cause,
+        Some(Cause::Spawn { parent: None })
+    ));
+    assert_eq!(dump.nodes[2].ts, ns(5));
+    assert_eq!(dump.nodes[2].cause, Some(Cause::Timer { prev: 1 }));
+    assert_eq!(dump.nodes[3].ts, ns(5));
+    assert_eq!(dump.nodes[3].cause, Some(Cause::Wake { waker: 2 }));
+    assert_eq!(dump.names[&dump.nodes[0].proc_key], "waiter");
+    assert_eq!(dump.names[&dump.nodes[1].proc_key], "notifier");
+}
+
+#[test]
+fn spawn_from_inside_a_process_records_the_parent_node() {
+    let sim = Sim::new();
+    sim.causal_enable();
+    let h = sim.clone();
+    sim.spawn("parent", async move {
+        h.delay(ns(1)).await;
+        h.spawn("child", async move {});
+    });
+    sim.run();
+    let dump = sim.causal_dump();
+    // parent@0, parent@1ns (timer), child@1ns with parent = node 1.
+    assert_eq!(dump.nodes.len(), 3);
+    assert_eq!(dump.nodes[2].cause, Some(Cause::Spawn { parent: Some(1) }));
+    assert_eq!(dump.names[&dump.nodes[2].proc_key], "child");
+}
+
+#[test]
+fn channel_receive_records_a_send_edge() {
+    let sim = Sim::new();
+    sim.causal_enable();
+    let ch: Channel<u32> = Channel::new(&sim, 0);
+    let c = ch.clone();
+    let h = sim.clone();
+    sim.spawn("producer", async move {
+        h.delay(ns(3)).await;
+        c.send(7).await;
+    });
+    let c = ch.clone();
+    sim.spawn("consumer", async move {
+        assert_eq!(c.recv().await, Some(7));
+    });
+    sim.run();
+
+    let dump = sim.causal_dump();
+    let edges: Vec<_> = dump
+        .aux
+        .iter()
+        .filter(|e| e.kind == AuxKind::ChanSend)
+        .collect();
+    assert_eq!(edges.len(), 1);
+    let src = &dump.nodes[edges[0].src as usize];
+    let dst = &dump.nodes[edges[0].dst as usize];
+    assert_eq!(src.ts, ns(3));
+    assert_eq!(dst.ts, ns(3));
+    assert_eq!(dump.names[&src.proc_key], "producer");
+    assert_eq!(dump.names[&dst.proc_key], "consumer");
+}
+
+#[test]
+fn staged_import_attributes_the_next_spawn() {
+    let sim = Sim::new();
+    sim.causal_enable();
+    sim.causal_stage_import(3, 9);
+    sim.spawn("replay", async move {});
+    sim.run();
+    let dump = sim.causal_dump();
+    assert_eq!(
+        dump.nodes[0].cause,
+        Some(Cause::Import {
+            src_shard: 3,
+            seq: 9
+        })
+    );
+}
+
+#[test]
+fn exports_index_in_call_order() {
+    let sim = Sim::new();
+    sim.causal_enable();
+    let h = sim.clone();
+    sim.spawn("exporter", async move {
+        h.causal_export();
+        h.delay(ns(2)).await;
+        h.causal_export();
+    });
+    sim.run();
+    let dump = sim.causal_dump();
+    assert_eq!(dump.exports.len(), 2);
+    assert_eq!(dump.nodes[dump.exports[0] as usize].ts, 0);
+    assert_eq!(dump.nodes[dump.exports[1] as usize].ts, ns(2));
+}
+
+#[test]
+fn enable_resets_process_keys_across_generations() {
+    let sim = Sim::new();
+    let h = sim.clone();
+    sim.spawn("long-lived", async move {
+        for _ in 0..4 {
+            h.delay(ns(10)).await;
+        }
+    });
+    // First generation: record the first half of the run.
+    sim.causal_enable();
+    sim.run_until(ns(15));
+    let first = sim.causal_dump();
+    // Second generation: keys and nodes start over; the pre-existing
+    // process gets a fresh key lazily at its next poll.
+    sim.causal_enable();
+    sim.run();
+    let second = sim.causal_dump();
+    assert!(!first.nodes.is_empty() && !second.nodes.is_empty());
+    for n in &second.nodes {
+        assert_eq!(second.names[&n.proc_key], "long-lived");
+        // Every second-generation cause resolves within the second dump.
+        match n.cause {
+            Some(Cause::Timer { prev }) => assert!((prev as usize) < second.nodes.len()),
+            Some(Cause::Spawn { parent: None }) | None => {}
+            other => panic!("unexpected cause {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn stuck_dump_names_live_processes_and_causes() {
+    let sim = Sim::new();
+    sim.causal_enable();
+    let sig = sim.signal();
+    sim.spawn("stuck-waiter", async move {
+        sig.wait().await;
+    });
+    sim.run();
+    assert_eq!(sim.live_processes(), 1);
+    let dump = sim.stuck_dump();
+    assert!(dump.contains("1 live process(es)"), "{dump}");
+    assert!(dump.contains("stuck-waiter"), "{dump}");
+    assert!(dump.contains("last polled at t=0 ps"), "{dump}");
+
+    // With recording off the dump still names the process and points at
+    // the knob.
+    let sim = Sim::new();
+    let sig = sim.signal();
+    sim.spawn("quiet-waiter", async move {
+        sig.wait().await;
+    });
+    sim.run();
+    let dump = sim.stuck_dump();
+    assert!(dump.contains("quiet-waiter"), "{dump}");
+    assert!(dump.contains("enable causal recording"), "{dump}");
+}
+
+/// A moderately contended model: bounded-channel producer/consumer plus
+/// semaphore-limited workers, all logging completion instants.
+fn busy_model(sim: &Sim) -> Rc<RefCell<Vec<(u64, String)>>> {
+    let log: Rc<RefCell<Vec<(u64, String)>>> = Rc::new(RefCell::new(Vec::new()));
+    let ch: Channel<u64> = Channel::new(sim, 2);
+    let sem = Semaphore::new(sim, 2);
+    let c = ch.clone();
+    let h = sim.clone();
+    sim.spawn("producer", async move {
+        for i in 0..6 {
+            h.delay(ns(7)).await;
+            c.send(i).await;
+        }
+        c.close();
+    });
+    let c = ch.clone();
+    let h = sim.clone();
+    let l = log.clone();
+    sim.spawn("consumer", async move {
+        while let Some(v) = c.recv().await {
+            h.delay(ns(11)).await;
+            l.borrow_mut().push((h.now(), format!("item{v}")));
+        }
+    });
+    for i in 0..4 {
+        let s = sem.clone();
+        let h = sim.clone();
+        let l = log.clone();
+        sim.spawn(&format!("worker{i}"), async move {
+            s.acquire().await;
+            h.delay(ns(13)).await;
+            l.borrow_mut().push((h.now(), format!("worker{i}")));
+            s.release();
+        });
+    }
+    log
+}
+
+#[test]
+fn recording_does_not_perturb_simulated_time() {
+    let run = |causal: bool| {
+        let sim = Sim::new();
+        if causal {
+            sim.causal_enable();
+        }
+        let log = busy_model(&sim);
+        let end = sim.run();
+        let events = log.borrow().clone();
+        (end, events)
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off, on, "causal recording perturbed the schedule");
+}

@@ -28,13 +28,13 @@ type Log = Rc<RefCell<Vec<(Time, u64, u32)>>>;
 /// boundaries (64, 4096, 64^3, …) as often as deep inside a level.
 fn random_delay(rng: &mut XorShift64) -> Time {
     match rng.below(7) {
-        0 => rng.range(1, 64),                        // level 0
-        1 => rng.range(60, 70),                       // straddles 64
-        2 => rng.range(4090, 4103),                   // straddles 64^2
-        3 => rng.range(1, 1 << 18),                   // levels 0..=2
+        0 => rng.range(1, 64),                          // level 0
+        1 => rng.range(60, 70),                         // straddles 64
+        2 => rng.range(4090, 4103),                     // straddles 64^2
+        3 => rng.range(1, 1 << 18),                     // levels 0..=2
         4 => rng.range((1 << 18) - 50, (1 << 18) + 50), // straddles 64^3
-        5 => rng.range(1, 1 << 30),                   // mid levels
-        _ => rng.range(1, 1 << 42),                   // high levels
+        5 => rng.range(1, 1 << 30),                     // mid levels
+        _ => rng.range(1, 1 << 42),                     // high levels
     }
 }
 
@@ -101,7 +101,9 @@ fn run_schedule(kind: QueueKind, seed: u64) -> Vec<(Time, u64, u32)> {
         }
     });
     sim.run();
-    Rc::try_unwrap(log).expect("all schedule processes ended").into_inner()
+    Rc::try_unwrap(log)
+        .expect("all schedule processes ended")
+        .into_inner()
 }
 
 /// Same schedule, but executed as a series of `run_until` steps at
@@ -131,7 +133,9 @@ fn run_schedule_stepped(kind: QueueKind, seed: u64) -> Vec<(Time, u64, u32)> {
         sim.run_until(deadline);
     }
     sim.run();
-    Rc::try_unwrap(log).expect("all schedule processes ended").into_inner()
+    Rc::try_unwrap(log)
+        .expect("all schedule processes ended")
+        .into_inner()
 }
 
 #[test]
@@ -141,7 +145,8 @@ fn thousands_of_random_schedules_agree() {
         let wheel = run_schedule(QueueKind::Wheel, seed);
         let heap = run_schedule(QueueKind::RefHeap, seed);
         assert_eq!(
-            wheel, heap,
+            wheel,
+            heap,
             "wheel and heap diverged on seed {seed} \
              (first difference at index {:?})",
             wheel.iter().zip(&heap).position(|(a, b)| a != b)

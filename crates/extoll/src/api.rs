@@ -8,7 +8,7 @@ use tc_mem::{layout, Addr, RegionKind};
 use tc_pcie::Processor;
 
 use crate::engine::ExtollNic;
-use crate::notif::{Notification, NotifQueueLayout};
+use crate::notif::{NotifQueueLayout, Notification};
 use crate::wr::{RmaCommand, WorkRequest, WrFlags};
 
 /// Consumer view of one notification queue: software read cursor plus the
@@ -105,17 +105,12 @@ impl VeloPort {
     /// Send up to [`crate::velo::VELO_MAX_PAYLOAD`] bytes to `dst_port` on
     /// the peer node: header + payload PIO'd in one write-combined burst.
     pub async fn send<P: Processor>(&self, p: &P, dst_port: u16, payload: &[u8]) {
-        self.send_to(p, self.peer_node.get(), dst_port, payload).await;
+        self.send_to(p, self.peer_node.get(), dst_port, payload)
+            .await;
     }
 
     /// Send to an explicit `(node, port)` destination.
-    pub async fn send_to<P: Processor>(
-        &self,
-        p: &P,
-        dst_node: u16,
-        dst_port: u16,
-        payload: &[u8],
-    ) {
+    pub async fn send_to<P: Processor>(&self, p: &P, dst_node: u16, dst_port: u16, payload: &[u8]) {
         crate::velo::velo_send(p, self.send_page, dst_node, dst_port, payload).await;
     }
 
@@ -281,8 +276,15 @@ impl RmaPort {
     /// §VI): three lanes of a warp each prepare one descriptor word and the
     /// warp issues a single write-combined 192-bit store to the requester
     /// page. One store-path transaction instead of three.
-    pub async fn post_put_warp<G>(&self, t: &G, dst_port: u16, local_nla: u64, remote_nla: u64, len: u32, flags: WrFlags)
-    where
+    pub async fn post_put_warp<G>(
+        &self,
+        t: &G,
+        dst_port: u16,
+        local_nla: u64,
+        remote_nla: u64,
+        len: u32,
+        flags: WrFlags,
+    ) where
         G: Processor + WarpCapable,
     {
         let wr = WorkRequest {
@@ -340,8 +342,7 @@ mod tests {
     /// Two EXTOLL nodes back to back.
     pub(crate) fn two_nodes(sim: &Sim) -> (Bus, Node, Node) {
         let bus = Bus::new();
-        let cable: Cable<crate::engine::RmaFrame> =
-            Cable::new(sim, CableConfig::extoll_galibier());
+        let cable: Cable<crate::engine::RmaFrame> = Cable::new(sim, CableConfig::extoll_galibier());
         let build = |node: usize| {
             bus.add_ram(
                 Rc::new(SparseMem::new(layout::host_dram(node), 1 << 30)),

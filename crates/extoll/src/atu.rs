@@ -45,11 +45,9 @@ impl Atu {
         let pages = (fabric % NLA_PAGE + len).div_ceil(NLA_PAGE);
         let nla = self.next_nla.get();
         self.next_nla.set(nla + pages * NLA_PAGE);
-        self.entries.borrow_mut().push(AtuEntry {
-            nla,
-            len,
-            fabric,
-        });
+        self.entries
+            .borrow_mut()
+            .push(AtuEntry { nla, len, fabric });
         nla + fabric % NLA_PAGE
     }
 

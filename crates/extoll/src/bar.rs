@@ -36,11 +36,7 @@ impl RequesterBar {
 
     /// [`RequesterBar::new`] with an explicit WR-queue depth gauge (a
     /// registry handle such as `extoll0.wr_queue_depth`).
-    pub fn instrumented(
-        ports: u16,
-        wr_out: Channel<(u16, WorkRequest)>,
-        wr_queue: Gauge,
-    ) -> Self {
+    pub fn instrumented(ports: u16, wr_out: Channel<(u16, WorkRequest)>, wr_queue: Gauge) -> Self {
         RequesterBar {
             assembly: RefCell::new(vec![[None; 3]; ports as usize]),
             wr_out,
@@ -67,7 +63,10 @@ impl MmioDevice for RequesterBar {
         let word0 = ((offset % PORT_PAGE) / 8) as usize;
         let words = data.len() / 8;
         assert!(
-            offset.is_multiple_of(8) && data.len().is_multiple_of(8) && words >= 1 && word0 + words <= 3,
+            offset.is_multiple_of(8)
+                && data.len().is_multiple_of(8)
+                && words >= 1
+                && word0 + words <= 3,
             "requester page accepts aligned 64-bit (or write-combined \
              multiple-of-64-bit) stores to words 0..3 (got offset \
              {offset:#x}, len {})",

@@ -8,13 +8,13 @@ use tc_desim::sync::Channel;
 use tc_desim::time::{self, Freq};
 use tc_desim::Sim;
 use tc_link::Port;
-use tc_trace::{Counter, Gauge, Scope};
 use tc_mem::{layout, Addr, Bus, Heap, RegionKind};
 use tc_pcie::{Endpoint, Pcie};
+use tc_trace::{Counter, Gauge, Scope};
 
 use crate::atu::Atu;
 use crate::bar::{RequesterBar, PORT_PAGE};
-use crate::notif::{Notification, NotifQueueLayout, NotifyUnit};
+use crate::notif::{NotifQueueLayout, Notification, NotifyUnit};
 use crate::velo::{Mailbox, VeloBar, VeloMsg, VELO_PAGE};
 use crate::wr::{RmaCommand, WorkRequest};
 
@@ -239,8 +239,8 @@ impl ExtollNic {
         );
         let velo_mailboxes = (0..cfg.ports)
             .map(|_| {
-                let base = notif_heap
-                    .alloc(VELO_MAILBOX_SLOTS * crate::velo::MAILBOX_SLOT + 4, 128);
+                let base =
+                    notif_heap.alloc(VELO_MAILBOX_SLOTS * crate::velo::MAILBOX_SLOT + 4, 128);
                 (Mailbox::at(base, VELO_MAILBOX_SLOTS), Cell::new(0))
             })
             .collect();
@@ -436,7 +436,19 @@ impl ExtollNic {
                             ],
                         );
                     }
+                    let t0 = inner.sim.now();
                     inner.sim.delay(cyc(inner.cfg.requester_cycles)).await;
+                    let rec = inner.sim.recorder();
+                    if rec.on() {
+                        rec.span(
+                            t0,
+                            inner.sim.now(),
+                            "nic",
+                            format!("extoll{}.requester", inner.node),
+                            "wr_decode",
+                            vec![("bytes", (wr.len as u64).into())],
+                        );
+                    }
                     match wr.command {
                         RmaCommand::Put => {
                             NicStats::bump(&inner.stats.puts);
@@ -485,13 +497,8 @@ impl ExtollNic {
                         }
                     }
                     if wr.flags.notify_requester {
-                        nic.write_notification(
-                            port,
-                            NotifyUnit::Requester,
-                            wr.len,
-                            wr.local_nla,
-                        )
-                        .await;
+                        nic.write_notification(port, NotifyUnit::Requester, wr.len, wr.local_nla)
+                            .await;
                     }
                 }
             });
@@ -531,12 +538,23 @@ impl ExtollNic {
                 let inner = &nic.inner;
                 let cyc = |n| inner.cfg.clock.cycles(n);
                 while let Some(frame) = wire.recv().await {
+                    let t0 = inner.sim.now();
                     inner.sim.delay(cyc(inner.cfg.completer_cycles)).await;
+                    let rec = inner.sim.recorder();
+                    if rec.on() {
+                        rec.span(
+                            t0,
+                            inner.sim.now(),
+                            "nic",
+                            format!("extoll{}.completer", inner.node),
+                            "rx_complete",
+                            vec![],
+                        );
+                    }
                     NicStats::bump(&inner.stats.frames_completed);
                     match frame {
                         RmaFrame::Velo(msg) => {
-                            let (mailbox, wp) =
-                                &inner.velo_mailboxes[msg.dst_port as usize];
+                            let (mailbox, wp) = &inner.velo_mailboxes[msg.dst_port as usize];
                             let rp = inner.bus.read_u32(mailbox.rp_addr) as u64;
                             if wp.get().wrapping_sub(rp) >= mailbox.ring.capacity() {
                                 NicStats::bump(&inner.stats.velo_drops);
@@ -545,8 +563,7 @@ impl ExtollNic {
                             let slot = mailbox.ring.slot(wp.get());
                             wp.set(wp.get() + 1);
                             // One burst: status word + payload.
-                            let mut bytes =
-                                Vec::with_capacity(8 + msg.data.len());
+                            let mut bytes = Vec::with_capacity(8 + msg.data.len());
                             bytes.extend_from_slice(
                                 &Mailbox::status(msg.src_node, msg.src_port, msg.data.len() as u8)
                                     .to_le_bytes(),

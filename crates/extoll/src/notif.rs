@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        for unit in [NotifyUnit::Requester, NotifyUnit::Completer, NotifyUnit::Responder] {
+        for unit in [
+            NotifyUnit::Requester,
+            NotifyUnit::Completer,
+            NotifyUnit::Responder,
+        ] {
             let n = Notification {
                 unit,
                 port: 31,

@@ -66,7 +66,9 @@ fn many_ports_move_disjoint_data_concurrently() {
     for k in 0..PORTS {
         let src = n0.host_heap.alloc(LEN, 64);
         let dst = n1.host_heap.alloc(LEN, 64);
-        let data: Vec<u8> = (0..LEN).map(|i| (i as u8).wrapping_mul(k as u8 + 1)).collect();
+        let data: Vec<u8> = (0..LEN)
+            .map(|i| (i as u8).wrapping_mul(k as u8 + 1))
+            .collect();
         bus.write(src, &data);
         let src_nla = n0.nic.register_memory(src, LEN);
         let dst_nla = n1.nic.register_memory(dst, LEN);
@@ -220,7 +222,9 @@ fn wr_queue_gauge_and_poll_spin_counter_observe_a_put() {
     // the notification landed (one PCIe-latency round trip per spin).
     assert!(snap.get("extoll0.notif_poll_spins") > 0);
     // The BAR raised the WR FIFO depth and the requester engine drained it.
-    let g = snap.gauge("extoll0.wr_queue_depth").expect("gauge registered");
+    let g = snap
+        .gauge("extoll0.wr_queue_depth")
+        .expect("gauge registered");
     assert_eq!(g.current, 0);
     assert!(g.high_water >= 1);
 }
@@ -245,11 +249,13 @@ fn gpu_and_cpu_can_share_a_port_sequentially() {
             notify_requester: true,
             ..Default::default()
         };
-        p0.post_put(&cpu, p1.index(), src_nla, dst_nla, 64, flags).await;
+        p0.post_put(&cpu, p1.index(), src_nla, dst_nla, 64, flags)
+            .await;
         p0.requester.wait(&cpu).await;
         p0.requester.free(&cpu).await;
         let t = gpu.thread();
-        p0.post_put(&t, p1.index(), src_nla + 64, dst_nla + 64, 64, flags).await;
+        p0.post_put(&t, p1.index(), src_nla + 64, dst_nla + 64, 64, flags)
+            .await;
         p0.requester.wait(&t).await;
         p0.requester.free(&t).await;
     });

@@ -124,7 +124,10 @@ fn velo_overflow_drops_are_counted() {
     sim.run();
     let stats = n1.nic.stats();
     assert!(stats.velo_drops.get() > 0, "expected mailbox overflow");
-    assert!(stats.velo_delivered.get() >= 64, "mailbox should have filled");
+    assert!(
+        stats.velo_delivered.get() >= 64,
+        "mailbox should have filled"
+    );
 }
 
 #[test]

@@ -145,13 +145,37 @@ impl CounterSnapshot {
 impl fmt::Display for CounterSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "sysmem reads (32B accesses)   {:>10}", self.sysmem_reads)?;
-        writeln!(f, "sysmem writes (32B accesses)  {:>10}", self.sysmem_writes)?;
-        writeln!(f, "globmem64 reads (accesses)    {:>10}", self.globmem64_reads)?;
-        writeln!(f, "globmem64 writes (accesses)   {:>10}", self.globmem64_writes)?;
+        writeln!(
+            f,
+            "sysmem writes (32B accesses)  {:>10}",
+            self.sysmem_writes
+        )?;
+        writeln!(
+            f,
+            "globmem64 reads (accesses)    {:>10}",
+            self.globmem64_reads
+        )?;
+        writeln!(
+            f,
+            "globmem64 writes (accesses)   {:>10}",
+            self.globmem64_writes
+        )?;
         writeln!(f, "l2 read hits                  {:>10}", self.l2_read_hits)?;
-        writeln!(f, "l2 read misses                {:>10}", self.l2_read_misses)?;
-        writeln!(f, "l2 read requests              {:>10}", self.l2_read_requests)?;
-        writeln!(f, "l2 write requests             {:>10}", self.l2_write_requests)?;
+        writeln!(
+            f,
+            "l2 read misses                {:>10}",
+            self.l2_read_misses
+        )?;
+        writeln!(
+            f,
+            "l2 read requests              {:>10}",
+            self.l2_read_requests
+        )?;
+        writeln!(
+            f,
+            "l2 write requests             {:>10}",
+            self.l2_write_requests
+        )?;
         writeln!(f, "memory accesses (r/w)         {:>10}", self.mem_accesses)?;
         write!(f, "instructions executed         {:>10}", self.instructions)
     }

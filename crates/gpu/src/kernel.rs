@@ -72,7 +72,13 @@ impl Gpu {
     /// caller continues immediately, like `kernel<<<...>>>` in CUDA); the
     /// kernel begins after the host-side launch overhead *and* after the
     /// previous kernel on the same stream has completed.
-    pub fn launch<F, Fut>(&self, stream: &Stream, name: &str, blocks: usize, body: F) -> KernelHandle
+    pub fn launch<F, Fut>(
+        &self,
+        stream: &Stream,
+        name: &str,
+        blocks: usize,
+        body: F,
+    ) -> KernelHandle
     where
         F: Fn(usize, GpuThread) -> Fut + 'static,
         Fut: Future<Output = ()> + 'static,

@@ -55,7 +55,9 @@ impl GpuThread {
     pub async fn instr(&self, n: u64) {
         let c = self.counters();
         GpuCounters::bump(&c.instructions, n);
+        let t0 = self.gpu.sim().now();
         self.gpu.sim().delay(self.gpu.config().instr_time(n)).await;
+        self.record_exec_span(t0, "instr", n);
     }
 
     /// Execute `n` instructions that a warp of `width` threads can execute
@@ -66,10 +68,26 @@ impl GpuThread {
         let c = self.counters();
         GpuCounters::bump(&c.instructions, n);
         let serial = n.div_ceil(width.max(1));
+        let t0 = self.gpu.sim().now();
         self.gpu
             .sim()
             .delay(self.gpu.config().instr_time(serial))
             .await;
+        self.record_exec_span(t0, "instr", n);
+    }
+
+    fn record_exec_span(&self, t0: tc_desim::Time, name: &'static str, n: u64) {
+        let rec = self.gpu.sim().recorder();
+        if rec.on() {
+            rec.span(
+                t0,
+                self.gpu.sim().now(),
+                "gpu",
+                self.track.to_string(),
+                name,
+                vec![("n", n.into())],
+            );
+        }
     }
 
     async fn load(&self, addr: Addr, buf: &mut [u8]) {
@@ -217,7 +235,9 @@ impl GpuThread {
     pub async fn fence_system(&self) {
         let c = self.counters();
         GpuCounters::bump(&c.instructions, 1);
+        let t0 = self.gpu.sim().now();
         self.gpu.sim().delay(self.gpu.config().fence_sys).await;
+        self.record_exec_span(t0, "fence", 1);
     }
 }
 

@@ -437,12 +437,7 @@ impl IbvQp {
     /// [`crate::wqe::MAX_INLINE`] bytes) is copied *into* the WQE, so the
     /// HCA never DMA-reads a payload buffer — the classic small-message
     /// optimization of the era, here exposed for the inline ablation.
-    pub async fn post_send_inline<P: Processor>(
-        &self,
-        p: &P,
-        wr: &SendWr,
-        payload: &[u8],
-    ) {
+    pub async fn post_send_inline<P: Processor>(&self, p: &P, wr: &SendWr, payload: &[u8]) {
         assert!(payload.len() <= crate::wqe::MAX_INLINE);
         assert_eq!(payload.len(), wr.len as usize);
         assert!(

@@ -154,7 +154,10 @@ impl<T: 'static> Fabric<T> {
                     "link",
                     format!("fabric.port{dst}.rx"),
                     "deserialize",
-                    vec![("bytes", payload_bytes.into()), ("src", (src as u64).into())],
+                    vec![
+                        ("bytes", payload_bytes.into()),
+                        ("src", (src as u64).into()),
+                    ],
                 );
             }
             rx.send(frame).await;
@@ -255,7 +258,10 @@ impl<T: 'static> Port<T> {
                 "link",
                 format!("fabric.port{}.tx", self.side),
                 "serialize",
-                vec![("bytes", payload_bytes.into()), ("dst", (dst as u64).into())],
+                vec![
+                    ("bytes", payload_bytes.into()),
+                    ("dst", (dst as u64).into()),
+                ],
             );
         }
         if inner.ports[dst].remote.get() {
@@ -266,7 +272,13 @@ impl<T: 'static> Port<T> {
             let tap = tap
                 .as_ref()
                 .expect("frame for a remote port but no remote tap installed");
-            tap(dst, self.side, tx_done + inner.cfg.latency, payload_bytes, frame);
+            tap(
+                dst,
+                self.side,
+                tx_done + inner.cfg.latency,
+                payload_bytes,
+                frame,
+            );
             return;
         }
         // Propagation: enqueue at the destination after `latency`.
@@ -284,7 +296,10 @@ impl<T: 'static> Port<T> {
                     "link",
                     format!("fabric.port{dst}.rx"),
                     "deserialize",
-                    vec![("bytes", payload_bytes.into()), ("src", (src as u64).into())],
+                    vec![
+                        ("bytes", payload_bytes.into()),
+                        ("src", (src as u64).into()),
+                    ],
                 );
             }
             rx.send(frame).await;

@@ -102,16 +102,37 @@ impl Region {
     }
 }
 
+/// Observer of data-plane RAM traffic, for dependency tracking (e.g. the
+/// causal profiler's observed-write edges). Callbacks fire *after* alias
+/// resolution, so a store through a BAR window and a poll of the aliased
+/// DRAM meet at the same physical address. Watches must only observe —
+/// they may not access the bus or schedule simulation work.
+pub trait BusWatch {
+    /// An 8-byte-aligned word at `addr` was (possibly partially) written.
+    fn store(&self, addr: Addr);
+    /// A small (≤ 8 byte) read touched the 8-byte-aligned word at `addr`.
+    fn load(&self, addr: Addr);
+}
+
 /// The fabric bus. Cheap to clone (shared).
 #[derive(Clone, Default)]
 pub struct Bus {
     regions: Rc<RefCell<Vec<Region>>>,
+    /// Shared across clones so a watch installed after wiring is seen by
+    /// every holder of the bus. `None` (the default) costs one borrow and
+    /// branch per RAM access.
+    watch: Rc<RefCell<Option<Rc<dyn BusWatch>>>>,
 }
 
 impl Bus {
     /// An empty bus.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install (or clear) the data-plane watch.
+    pub fn set_watch(&self, watch: Option<Rc<dyn BusWatch>>) {
+        *self.watch.borrow_mut() = watch;
     }
 
     fn insert(&self, r: Region) {
@@ -199,6 +220,13 @@ impl Bus {
         let act = self.with_region(addr, |r| match r {
             Region::Ram { mem, .. } => {
                 mem.read(addr, buf);
+                // Only word-sized reads are dependency-relevant (poll
+                // loops); bulk DMA reads must not consume pending stores.
+                if buf.len() <= 8 {
+                    if let Some(w) = &*self.watch.borrow() {
+                        w.load(addr & !7);
+                    }
+                }
                 Act::Done
             }
             Region::Mmio { base, dev, .. } => {
@@ -221,6 +249,19 @@ impl Bus {
         let act = self.with_region(addr, |r| match r {
             Region::Ram { mem, .. } => {
                 mem.write(addr, data);
+                if !data.is_empty() {
+                    if let Some(w) = &*self.watch.borrow() {
+                        // First and last words: a payload's body is never
+                        // polled, its edges (tags, markers, notification
+                        // records) are.
+                        let first = addr & !7;
+                        let last = (addr + data.len() as u64 - 1) & !7;
+                        w.store(first);
+                        if last != first {
+                            w.store(last);
+                        }
+                    }
+                }
                 Act::Done
             }
             Region::Mmio { base, dev, .. } => {
@@ -350,6 +391,63 @@ mod tests {
         let mut b = [0u8; 4];
         bus.read(layout::ib_uar(0), &mut b);
         assert_eq!(b, [0xFF; 4]);
+    }
+
+    #[derive(Default)]
+    struct RecWatch {
+        ops: RefCell<Vec<(char, Addr)>>,
+    }
+    impl BusWatch for RecWatch {
+        fn store(&self, addr: Addr) {
+            self.ops.borrow_mut().push(('s', addr));
+        }
+        fn load(&self, addr: Addr) {
+            self.ops.borrow_mut().push(('l', addr));
+        }
+    }
+
+    #[test]
+    fn watch_sees_aligned_stores_and_word_loads_after_aliasing() {
+        let bus = bus_with_ram();
+        bus.add_alias(
+            layout::gpu_bar(0),
+            1 << 20,
+            layout::gpu_dram(0),
+            RegionKind::GpuBar { node: 0 },
+        );
+        let w = Rc::new(RecWatch::default());
+        bus.set_watch(Some(w.clone()));
+
+        let base = layout::host_dram(0);
+        // Word write + word read note one aligned address each.
+        bus.write_u64(base + 0x10, 1);
+        assert_eq!(bus.read_u64(base + 0x10), 1);
+        // Bulk write notes first and last words only.
+        bus.write(base + 0x100, &[0u8; 64]);
+        // Bulk read is not dependency-relevant.
+        let mut big = [0u8; 64];
+        bus.read(base + 0x100, &mut big);
+        // A store through the BAR alias lands on the aliased DRAM word,
+        // where a direct poll of the DRAM address observes it.
+        bus.write_u64(layout::gpu_bar(0) + 0x40, 2);
+        assert_eq!(bus.read_u64(layout::gpu_dram(0) + 0x40), 2);
+
+        assert_eq!(
+            *w.ops.borrow(),
+            vec![
+                ('s', base + 0x10),
+                ('l', base + 0x10),
+                ('s', base + 0x100),
+                ('s', base + 0x138),
+                ('s', layout::gpu_dram(0) + 0x40),
+                ('l', layout::gpu_dram(0) + 0x40),
+            ]
+        );
+
+        // Clearing the watch stops observation.
+        bus.set_watch(None);
+        bus.write_u64(base + 0x10, 3);
+        assert_eq!(w.ops.borrow().len(), 6);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod layout;
 pub mod ring;
 pub mod sparse;
 
-pub use bus::{Bus, MmioDevice, RegionKind};
+pub use bus::{Bus, BusWatch, MmioDevice, RegionKind};
 pub use heap::Heap;
 pub use ring::Ring;
 pub use sparse::SparseMem;

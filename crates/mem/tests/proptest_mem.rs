@@ -64,7 +64,11 @@ fn ring_slots_wrap_correctly() {
             r.slot(idx.wrapping_add(entries)),
             "no wrap period for seed {seed}"
         );
-        assert_eq!((s - base) % entry_size, 0, "misaligned slot for seed {seed}");
+        assert_eq!(
+            (s - base) % entry_size,
+            0,
+            "misaligned slot for seed {seed}"
+        );
     }
 }
 

@@ -83,9 +83,7 @@ impl Endpoint {
         let wire = self.cfg.wire_time(data.len() as u64, self.cfg.dma_bw);
         let issued = self.link.reserve(wire);
         let deliver_at = issued + self.cfg.posted_write_lat;
-        self.stats
-            .mmio_write_ps
-            .record(deliver_at - self.sim.now());
+        self.stats.mmio_write_ps.record(deliver_at - self.sim.now());
         let bus = self.bus.clone();
         let sim = self.sim.clone();
         // Delivery happens asynchronously; `reserve` above hands out
@@ -345,7 +343,8 @@ mod tests {
         let ep = pcie.endpoint("nic");
         sim.spawn("io", async move {
             let _ = ep.read_u64(layout::host_dram(0)).await;
-            ep.posted_write(layout::host_dram(0) + 64, vec![1u8; 8]).await;
+            ep.posted_write(layout::host_dram(0) + 64, vec![1u8; 8])
+                .await;
             let mut buf = vec![0u8; 4096];
             ep.dma_read_bulk(layout::host_dram(0), &mut buf).await;
             ep.dma_write_bulk(layout::host_dram(0), &buf).await;

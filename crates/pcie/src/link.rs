@@ -82,7 +82,10 @@ mod tests {
             });
         }
         sim.run();
-        assert_eq!(*ends.borrow(), vec![(0, ns(100)), (1, ns(200)), (2, ns(300))]);
+        assert_eq!(
+            *ends.borrow(),
+            vec![(0, ns(100)), (1, ns(200)), (2, ns(300))]
+        );
         assert_eq!(link.total_busy(), ns(300));
     }
 

@@ -146,6 +146,18 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
                 body.push_str(",\"ts\":");
                 ts_us(&mut body, ev.ts);
             }
+            Phase::Counter { value } => {
+                body.push_str("\"C\",\"pid\":");
+                let _ = write!(body, "{pid},\"tid\":{tid}");
+                body.push_str(",\"ts\":");
+                ts_us(&mut body, ev.ts);
+                body.push_str(",\"name\":");
+                escape(&mut body, &ev.name);
+                body.push_str(",\"args\":{\"value\":");
+                let _ = write!(body, "{value}");
+                body.push_str("}},\n");
+                continue;
+            }
         }
         body.push_str(",\"name\":");
         escape(&mut body, &ev.name);
@@ -186,7 +198,13 @@ mod tests {
             "dma_read",
             vec![("bytes", 4096u64.into())],
         );
-        r.instant(2_000_000, "gpu", "gpu0.warp", "ld", vec![("addr", "0x10".into())]);
+        r.instant(
+            2_000_000,
+            "gpu",
+            "gpu0.warp",
+            "ld",
+            vec![("addr", "0x10".into())],
+        );
         r.instant(2_500_000, "gpu", "gpu0.warp", "st", vec![]);
         r.take_events()
     }
@@ -237,6 +255,37 @@ mod tests {
         let j = to_chrome_json(&r.take_events());
         assert!(j.contains("\"name\":\"node0/gpu\""));
         assert!(j.contains("\"name\":\"node1/gpu\""));
+    }
+
+    #[test]
+    fn counter_events_render_as_counter_tracks() {
+        let ev = vec![
+            TraceEvent {
+                ts: 1_000_000,
+                phase: Phase::Counter { value: 7 },
+                layer: "series",
+                track: "workload0.queue_depth".into(),
+                name: "workload0.queue_depth".into(),
+                args: vec![],
+            },
+            TraceEvent {
+                ts: 2_000_000,
+                phase: Phase::Counter { value: 9 },
+                layer: "series",
+                track: "workload0.queue_depth".into(),
+                name: "workload0.queue_depth".into(),
+                args: vec![],
+            },
+        ];
+        let j = to_chrome_json(&ev);
+        assert!(j.contains("\"ph\":\"C\""));
+        assert!(
+            j.contains("\"ts\":1.000000,\"name\":\"workload0.queue_depth\",\"args\":{\"value\":7}")
+        );
+        assert!(
+            j.contains("\"ts\":2.000000,\"name\":\"workload0.queue_depth\",\"args\":{\"value\":9}")
+        );
+        assert_eq!(to_chrome_json(&ev), to_chrome_json(&ev));
     }
 
     #[test]

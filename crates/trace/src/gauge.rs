@@ -125,8 +125,30 @@ pub struct GaugeSnapshot {
     /// Value at snapshot time.
     pub current: u64,
     /// High-water mark since the last reset. A gauge is a level, not a
-    /// flow: snapshot *deltas* keep the later snapshot's fields verbatim.
+    /// flow: a snapshot *delta* keeps the later `current` and reports a
+    /// window-tight `high_water` bound (see [`GaugeSnapshot::delta`]).
     pub high_water: u64,
+}
+
+impl GaugeSnapshot {
+    /// The gauge's state over the window `earlier..self`, as tight as two
+    /// endpoint snapshots allow. `current` is the value at window end. For
+    /// `high_water`: if the all-time high rose during the window, that new
+    /// record was set *inside* the window and is exact; otherwise the
+    /// all-time high predates the window and must not leak into it, so the
+    /// tightest derivable bound is the larger endpoint value. (An interior
+    /// excursion that stays below the pre-window record is invisible to
+    /// endpoint snapshots; the bound under-reports it, never over-reports.)
+    pub fn delta(&self, earlier: &GaugeSnapshot) -> GaugeSnapshot {
+        GaugeSnapshot {
+            current: self.current,
+            high_water: if self.high_water > earlier.high_water {
+                self.high_water
+            } else {
+                earlier.current.max(self.current)
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +184,12 @@ mod tests {
         let b = a.clone();
         b.add(7);
         assert_eq!(a.get(), 7);
-        assert_eq!(a.snapshot(), GaugeSnapshot { current: 7, high_water: 7 });
+        assert_eq!(
+            a.snapshot(),
+            GaugeSnapshot {
+                current: 7,
+                high_water: 7
+            }
+        );
     }
 }

@@ -18,6 +18,12 @@
 //!   spans and instants from every layer (DES executor, PCIe, GPU, NIC),
 //!   exportable as Chrome trace-event JSON ([`chrome::to_chrome_json`])
 //!   loadable in Perfetto or `chrome://tracing`.
+//! * [`causal`] — a causal event graph recorded by the DES executor
+//!   (spawn/wake/timer/channel/cross-shard/observed-write edges) with
+//!   critical-path extraction and per-layer latency attribution.
+//! * [`series`] — windowed simulated-time telemetry: registry deltas
+//!   sampled on a fixed window grid, rendered as `tc-timeseries-v1` JSON
+//!   or Perfetto counter tracks.
 //! * [`rng::XorShift64`] — a tiny deterministic PRNG used by the
 //!   randomized property tests, so the default workspace builds with zero
 //!   external crates (the build environment has no registry access).
@@ -27,6 +33,7 @@
 //! enabling it cannot perturb simulated timestamps — determinism is
 //! preserved bit-for-bit either way.
 
+pub mod causal;
 pub mod chrome;
 pub mod counter;
 pub mod gauge;
@@ -34,6 +41,7 @@ pub mod histogram;
 pub mod recorder;
 pub mod registry;
 pub mod rng;
+pub mod series;
 
 pub use counter::Counter;
 pub use gauge::{Gauge, GaugeSnapshot};

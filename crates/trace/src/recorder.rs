@@ -35,6 +35,11 @@ pub enum Phase {
     },
     /// A point event at `ts`.
     Instant,
+    /// A sampled counter value at `ts` (a Perfetto counter track point).
+    Counter {
+        /// The sampled value.
+        value: u64,
+    },
 }
 
 /// An argument value attached to an event.

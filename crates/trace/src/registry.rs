@@ -228,8 +228,10 @@ impl Snapshot {
 
     /// Per-metric difference `self - earlier` (saturating, so a counter
     /// reset between snapshots reads as 0 rather than wrapping).
-    /// Histogram counts/sums/buckets subtract; histogram maxima and gauges
-    /// are levels, not flows, and keep the later snapshot's values.
+    /// Histogram counts/sums/buckets subtract; histogram maxima and gauge
+    /// high-water marks are levels, not flows, and report window-tight
+    /// bounds (the all-time high does not leak into a window that never
+    /// reached it; see [`GaugeSnapshot::delta`]).
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             values: self
@@ -248,7 +250,17 @@ impl Snapshot {
                     (n.clone(), d)
                 })
                 .collect(),
-            gauges: self.gauges.clone(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, g)| {
+                    let d = match earlier.gauges.get(n) {
+                        Some(e) => g.delta(e),
+                        None => *g,
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
         }
     }
 
@@ -420,9 +432,33 @@ mod tests {
         let d = reg.snapshot().delta(&s0);
         assert_eq!(d.histogram("n.lat").unwrap().count, 1);
         assert_eq!(d.histogram("n.lat").unwrap().sum, 20);
-        // Gauges are levels: delta keeps the later state.
+        // Gauges are levels: delta keeps the later current, and the
+        // window's high is bounded by the endpoints (the gauge entered the
+        // window at 5, so 5 is the tight window high here).
         assert_eq!(d.gauge("n.depth").unwrap().current, 1);
         assert_eq!(d.gauge("n.depth").unwrap().high_water, 5);
+    }
+
+    #[test]
+    fn gauge_delta_high_water_is_window_tight() {
+        let reg = Registry::new();
+        let g = reg.gauge("n.depth");
+        // Pre-window spike to 100, fully drained before the window opens.
+        g.add(100);
+        g.sub(100);
+        let s0 = reg.snapshot();
+        g.add(3);
+        let d = reg.snapshot().delta(&s0);
+        // The all-time high (100) must not leak into the window; the
+        // window only ever saw depth 3.
+        assert_eq!(d.gauge("n.depth").unwrap().current, 3);
+        assert_eq!(d.gauge("n.depth").unwrap().high_water, 3);
+        // A new all-time record set inside the window is exact.
+        g.add(200);
+        g.sub(150);
+        let d2 = reg.snapshot().delta(&s0);
+        assert_eq!(d2.gauge("n.depth").unwrap().current, 53);
+        assert_eq!(d2.gauge("n.depth").unwrap().high_water, 203);
     }
 
     #[test]

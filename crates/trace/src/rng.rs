@@ -17,7 +17,11 @@ impl XorShift64 {
     /// a fixed non-zero constant.
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

@@ -39,8 +39,12 @@ fn main() {
     let (ep0, ep1) = create_pair(&cluster, buf0, buf1, total, QueueLoc::Host);
 
     // Deterministic pseudo-random inputs.
-    let v0: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 1000).collect();
-    let v1: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x85EB_CA6B) % 1000).collect();
+    let v0: Vec<u64> = (0..N as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) % 1000)
+        .collect();
+    let v1: Vec<u64> = (0..N as u64)
+        .map(|i| i.wrapping_mul(0x85EB_CA6B) % 1000)
+        .collect();
     for (i, v) in v0.iter().enumerate() {
         cluster.bus.write_u64(buf0 + i as u64 * 8, *v);
     }
@@ -88,16 +92,34 @@ fn main() {
     let g1 = cluster.nodes[1].gpu.clone();
     cluster.sim.spawn(
         "rank0",
-        rank(g0.thread(), buf0, ep0, stage_off, tag_out, tag_in, vec_bytes),
+        rank(
+            g0.thread(),
+            buf0,
+            ep0,
+            stage_off,
+            tag_out,
+            tag_in,
+            vec_bytes,
+        ),
     );
     cluster.sim.spawn(
         "rank1",
-        rank(g1.thread(), buf1, ep1, stage_off, tag_out, tag_in, vec_bytes),
+        rank(
+            g1.thread(),
+            buf1,
+            ep1,
+            stage_off,
+            tag_out,
+            tag_in,
+            vec_bytes,
+        ),
     );
     let end = cluster.sim.run();
 
     for (node, buf) in [(0usize, buf0), (1, buf1)] {
-        let got: Vec<u64> = (0..N).map(|i| cluster.bus.read_u64(buf + i as u64 * 8)).collect();
+        let got: Vec<u64> = (0..N)
+            .map(|i| cluster.bus.read_u64(buf + i as u64 * 8))
+            .collect();
         assert_eq!(got, expected, "all-reduce result wrong on node {node}");
     }
     println!(

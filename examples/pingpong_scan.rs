@@ -23,7 +23,11 @@ fn main() {
     println!("== EXTOLL RMA ping-pong latency [us] ==");
     println!(
         "{:>9} {:>16} {:>18} {:>17} {:>22}",
-        "bytes", "dev2dev-direct", "dev2dev-pollOnGPU", "dev2dev-assisted", "dev2dev-hostControlled"
+        "bytes",
+        "dev2dev-direct",
+        "dev2dev-pollOnGPU",
+        "dev2dev-assisted",
+        "dev2dev-hostControlled"
     );
     let mut size = 4u64;
     while size <= max_size {
@@ -45,7 +49,11 @@ fn main() {
     println!("\n== Infiniband Verbs ping-pong latency [us] ==");
     println!(
         "{:>9} {:>16} {:>18} {:>17} {:>22}",
-        "bytes", "dev2dev-bufOnGPU", "dev2dev-bufOnHost", "dev2dev-assisted", "dev2dev-hostControlled"
+        "bytes",
+        "dev2dev-bufOnGPU",
+        "dev2dev-bufOnHost",
+        "dev2dev-assisted",
+        "dev2dev-hostControlled"
     );
     let mut size = 4u64;
     while size <= max_size {

@@ -56,8 +56,7 @@ fn main() {
     cluster.sim.run();
 
     let events = cluster.sim.recorder().take_events();
-    let layers: std::collections::BTreeSet<&str> =
-        events.iter().map(|e| e.layer).collect();
+    let layers: std::collections::BTreeSet<&str> = events.iter().map(|e| e.layer).collect();
     println!(
         "captured {} events across layers: {}",
         events.len(),
@@ -67,7 +66,10 @@ fn main() {
     let json = chrome::to_chrome_json(&events);
     let path = "pingpong.trace.json";
     std::fs::write(path, &json).expect("write trace file");
-    println!("wrote {path} ({} bytes) — open it in https://ui.perfetto.dev", json.len());
+    println!(
+        "wrote {path} ({} bytes) — open it in https://ui.perfetto.dev",
+        json.len()
+    );
 
     // The registry kept counting through the same run.
     let snap = cluster.sim.registry().snapshot();

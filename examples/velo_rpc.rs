@@ -66,9 +66,7 @@ fn main() {
             };
             // A little simulated compute per request.
             t.instr(50).await;
-            worker_port
-                .send(&t, reply_to, &result.to_le_bytes())
-                .await;
+            worker_port.send(&t, reply_to, &result.to_le_bytes()).await;
         }
     });
 
@@ -80,9 +78,7 @@ fn main() {
         let t = client_gpu.thread();
         let t0 = sim.now();
         for (k, &(op, a, b)) in reqs.iter().enumerate() {
-            client_port
-                .send(&t, worker_idx, &encode(op, a, b))
-                .await;
+            client_port.send(&t, worker_idx, &encode(op, a, b)).await;
             let (_src, reply) = client_port.recv(&t).await;
             let got = u64::from_le_bytes(reply.try_into().unwrap());
             assert_eq!(got, expected[k], "rpc {k} returned the wrong value");

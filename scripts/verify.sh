@@ -13,6 +13,9 @@ cargo build --release
 echo "== tier-1: workspace tests =="
 cargo test -q
 
+echo "== lint: rustfmt (check only) =="
+cargo fmt --check
+
 echo "== lint: clippy (all targets, warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -41,6 +44,16 @@ test -s "$metrics_dir/pingpong.trace.json"
 # Fails on unknown or missing keys anywhere in the emitted JSON.
 cargo run --release -p tc-bench --bin reproduce -- \
     --validate-metrics "$metrics_dir/pingpong.metrics.json"
+
+echo "== causal profile (latency attribution sums + tc-timeseries-v1) =="
+# Exits 1 if any attribution claim reports [FAIL] (sum-vs-measured off by
+# >5%, <95% named-layer coverage, wrong wire-crossing count, or a
+# serial-vs-sharded attribution mismatch).
+cargo run --release -p tc-bench --bin reproduce -- \
+    --ids profile --metrics "$metrics_dir" > /dev/null
+test -s "$metrics_dir/profile.timeseries.json"
+cargo run --release -p tc-bench --bin reproduce -- \
+    --validate-metrics "$metrics_dir/profile.timeseries.json"
 
 echo "== crossover experiment (protocol grid + msg0.* metrics) =="
 cargo run --release -p tc-bench --bin reproduce -- \

@@ -36,7 +36,9 @@ fn gen_op(rng: &mut XorShift64, buf_len: u64) -> Op {
 }
 
 fn gen_ops(rng: &mut XorShift64, buf_len: u64, max_ops: u64) -> Vec<Op> {
-    (0..rng.range(1, max_ops)).map(|_| gen_op(rng, buf_len)).collect()
+    (0..rng.range(1, max_ops))
+        .map(|_| gen_op(rng, buf_len))
+        .collect()
 }
 
 fn run_sequence(backend: Backend, queue_loc: QueueLoc, ops: Vec<Op>, seed: u64) {
@@ -48,14 +50,20 @@ fn run_sequence(backend: Backend, queue_loc: QueueLoc, ops: Vec<Op>, seed: u64) 
 
     // Shadow copies model what memory should contain.
     let mut shadow_a: Vec<u8> = (0..BUF).map(|i| (i as u8) ^ (seed as u8)).collect();
-    let mut shadow_b: Vec<u8> = (0..BUF).map(|i| (i as u8).wrapping_mul(31) ^ 0x5A).collect();
+    let mut shadow_b: Vec<u8> = (0..BUF)
+        .map(|i| (i as u8).wrapping_mul(31) ^ 0x5A)
+        .collect();
     c.bus.write(a, &shadow_a);
     c.bus.write(b, &shadow_b);
 
     // Apply the op effects to the shadows in program order (the endpoint
     // quiesces each op before the next, so ordering is strict).
     for op in &ops {
-        let (lo, ro, n) = (op.local_off as usize, op.remote_off as usize, op.len as usize);
+        let (lo, ro, n) = (
+            op.local_off as usize,
+            op.remote_off as usize,
+            op.len as usize,
+        );
         if op.is_put {
             let src = shadow_a[lo..lo + n].to_vec();
             shadow_b[ro..ro + n].copy_from_slice(&src);
@@ -71,10 +79,13 @@ fn run_sequence(backend: Backend, queue_loc: QueueLoc, ops: Vec<Op>, seed: u64) 
         let t = gpu.thread();
         for op in ops2 {
             if op.is_put {
-                ep0.put(&t, op.local_off, op.remote_off, op.len, false).await;
+                ep0.put(&t, op.local_off, op.remote_off, op.len, false)
+                    .await;
                 ep0.quiet(&t).await.unwrap();
             } else {
-                ep0.get(&t, op.local_off, op.remote_off, op.len).await.unwrap();
+                ep0.get(&t, op.local_off, op.remote_off, op.len)
+                    .await
+                    .unwrap();
             }
         }
     });

@@ -14,16 +14,13 @@ fn four_nodes_all_to_one_data_integrity() {
         let mut expected = Vec::new();
         for src in 1..4usize {
             let buf = c.nodes[src].gpu.alloc(LEN, 256);
-            let data: Vec<u8> = (0..LEN).map(|i| (i as u8).wrapping_mul(src as u8)).collect();
+            let data: Vec<u8> = (0..LEN)
+                .map(|i| (i as u8).wrapping_mul(src as u8))
+                .collect();
             c.bus.write(buf, &data);
             expected.push((sink_bufs[src - 1], data));
-            let (_sink_ep, src_ep) = create_pair_between(
-                &c,
-                (0, sink_bufs[src - 1]),
-                (src, buf),
-                LEN,
-                QueueLoc::Host,
-            );
+            let (_sink_ep, src_ep) =
+                create_pair_between(&c, (0, sink_bufs[src - 1]), (src, buf), LEN, QueueLoc::Host);
             let gpu = c.nodes[src].gpu.clone();
             c.sim.spawn(&format!("src{src}"), async move {
                 let t = gpu.thread();
@@ -84,7 +81,9 @@ fn ring_neighbours_exchange_on_eight_nodes() {
 #[test]
 fn velo_routes_across_four_nodes() {
     let c = Cluster::with_nodes(Backend::Extoll, 4);
-    let ports: Vec<_> = (0..4).map(|n| c.nodes[n].extoll().open_velo_port()).collect();
+    let ports: Vec<_> = (0..4)
+        .map(|n| c.nodes[n].extoll().open_velo_port())
+        .collect();
     let idx: Vec<u16> = ports.iter().map(|p| p.index()).collect();
     // Node 0 sends a token around the ring 0 -> 1 -> 2 -> 3 -> 0.
     let mut it = ports.into_iter();

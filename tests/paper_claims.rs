@@ -127,7 +127,10 @@ fn ib_assisted_rate_flat_beyond_four_pairs() {
     let four = ib_msgrate(RateMode::Dev2DevAssisted, 4, 40);
     let thirty_two = ib_msgrate(RateMode::Dev2DevAssisted, 32, 40);
     let ratio = thirty_two.msgs_per_s() / four.msgs_per_s();
-    assert!((0.6..1.4).contains(&ratio), "assisted kept scaling: {ratio}");
+    assert!(
+        (0.6..1.4).contains(&ratio),
+        "assisted kept scaling: {ratio}"
+    );
 }
 
 /// §V-B.2: "for 32 connections almost the same message rate can be reached

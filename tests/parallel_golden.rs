@@ -14,7 +14,10 @@ fn parallel_output_is_byte_identical_to_serial() {
     for id in ["table1", "table2", "fig1a"] {
         let serial = run_experiment_with(&Pool::serial(), id, scale);
         let parallel = run_experiment_with(&Pool::new(4), id, scale);
-        assert_eq!(serial, parallel, "{id} diverged between --jobs 1 and --jobs 4");
+        assert_eq!(
+            serial, parallel,
+            "{id} diverged between --jobs 1 and --jobs 4"
+        );
     }
 }
 

@@ -16,7 +16,11 @@ fn stress(backend: Backend, pairs: usize, msgs_per_pair: u32) {
         let forward = k % 2 == 0;
         let (src, dst) = if forward { (a, b) } else { (b, a) };
         let data: Vec<u8> = (0..LEN)
-            .map(|i| (i as u8).wrapping_mul(2 * k as u8 + 1).wrapping_add(msgs_per_pair as u8))
+            .map(|i| {
+                (i as u8)
+                    .wrapping_mul(2 * k as u8 + 1)
+                    .wrapping_add(msgs_per_pair as u8)
+            })
             .collect();
         c.bus.write(src, &data);
         expected.push((dst, data));
@@ -35,7 +39,10 @@ fn stress(backend: Backend, pairs: usize, msgs_per_pair: u32) {
         });
     }
     let end = c.sim.run_until(tc_repro::putget::time::SEC);
-    assert!(end < tc_repro::putget::time::SEC, "stress run did not finish");
+    assert!(
+        end < tc_repro::putget::time::SEC,
+        "stress run did not finish"
+    );
     for (dst, data) in expected {
         let mut got = vec![0u8; LEN as usize];
         c.bus.read(dst, &mut got);

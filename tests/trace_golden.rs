@@ -63,7 +63,12 @@ fn chrome_trace_covers_all_hardware_layers() {
     let (json, _, _) = pingpong_run(true);
     // Hardware layers group into one Chrome process per node
     // (`node{n}/{layer}`); the executor's own events keep the bare layer.
-    for process in ["\"desim\"", "\"node0/gpu\"", "\"node0/pcie\"", "\"node0/nic\""] {
+    for process in [
+        "\"desim\"",
+        "\"node0/gpu\"",
+        "\"node0/pcie\"",
+        "\"node0/nic\"",
+    ] {
         assert!(json.contains(process), "no events from process {process}");
     }
     // Both nodes of the cluster are represented.
@@ -93,7 +98,10 @@ fn metrics_json_is_byte_identical_across_runs_and_jobs() {
     let a = metrics_report("pingpong", "quick", out1[0].sim.as_ref(), &stats);
     let (out4, _) = run_all(&Pool::new(4), &["pingpong"], Scale::quick());
     let b = metrics_report("pingpong", "quick", out4[0].sim.as_ref(), &stats);
-    assert_eq!(a, b, "metrics JSON diverged between --jobs 1 and --jobs 4 runs");
+    assert_eq!(
+        a, b,
+        "metrics JSON diverged between --jobs 1 and --jobs 4 runs"
+    );
     metrics::validate(&a).expect("golden metrics JSON must pass the schema self-check");
     // The trace export is a golden artifact under the same contract.
     assert_eq!(trace_report("pingpong"), trace_report("pingpong"));
@@ -114,8 +122,14 @@ fn metrics_export_does_not_perturb_the_simulation() {
         &PoolStats::default(),
     );
     let without = extoll_pingpong(ExtollMode::Dev2DevDirect, 1024, 10, 2);
-    assert_eq!(with_export.half_rtt, without.half_rtt, "export changed simulated time");
-    assert_eq!(with_export.registry, without.registry, "export changed metric values");
+    assert_eq!(
+        with_export.half_rtt, without.half_rtt,
+        "export changed simulated time"
+    );
+    assert_eq!(
+        with_export.registry, without.registry,
+        "export changed metric values"
+    );
     assert_counters_match(&without.counters, &with_export.registry);
     assert!(json.contains(&format!("\"simulated_ps\": {}", without.half_rtt)));
 }
@@ -160,7 +174,11 @@ fn histogram_delta_max_reflects_the_window_not_the_high_water_mark() {
         "window max {} must not report the pre-window outlier",
         win.max
     );
-    assert!(win.max >= 900, "window max {} must bound the window's samples", win.max);
+    assert!(
+        win.max >= 900,
+        "window max {} must bound the window's samples",
+        win.max
+    );
     // Delta against an empty baseline is exact.
     let full = reg.snapshot().delta(&Snapshot::default());
     assert_eq!(full.histogram("pin.lat_ps").unwrap().max, 1_000_000);
